@@ -1,0 +1,224 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (one bench per
+// paper figure/table, E01–E10, plus the synthetic evaluation S01–S04) and
+// micro-benchmarks of the hot paths.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package probdedup_test
+
+import (
+	"testing"
+
+	"probdedup"
+	"probdedup/internal/experiments"
+	"probdedup/internal/paperdata"
+	"probdedup/internal/ssr"
+)
+
+// ---- Paper experiments E01–E10 ----
+
+func BenchmarkE01AttrMatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E01()
+	}
+}
+
+func BenchmarkE02Worlds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E02()
+	}
+}
+
+func BenchmarkE03SimDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.E03()
+	}
+}
+
+func BenchmarkE04DecDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = experiments.E04()
+	}
+}
+
+func BenchmarkE05MultiPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E05()
+	}
+}
+
+func BenchmarkE06CertainKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E06()
+	}
+}
+
+func BenchmarkE07SortAlternatives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E07()
+	}
+}
+
+func BenchmarkE08UncertainKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E08()
+	}
+}
+
+func BenchmarkE09Blocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E09()
+	}
+}
+
+func BenchmarkE10Rules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10()
+	}
+}
+
+// ---- Synthetic evaluation S01–S04 ----
+
+func BenchmarkS01Effectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.S01(40, 11)
+	}
+}
+
+func BenchmarkS02Reduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.S02(40, 11)
+	}
+}
+
+func BenchmarkS03WorldSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.S03(30, 13)
+	}
+}
+
+func BenchmarkS04Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.S04([]int{50, 100}, 5)
+	}
+}
+
+func BenchmarkS05WindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.S05(40, 11)
+	}
+}
+
+func BenchmarkA01Conditioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.A01(40, 11)
+	}
+}
+
+func BenchmarkA02NullSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.A02(40, 11)
+	}
+}
+
+// ---- Micro-benchmarks of the hot paths ----
+
+func BenchmarkAttrSimUncertain(b *testing.B) {
+	a1 := probdedup.MustDist(
+		probdedup.Alternative{Value: probdedup.V("machinist"), P: 0.7},
+		probdedup.Alternative{Value: probdedup.V("mechanic"), P: 0.2})
+	a2 := probdedup.MustDist(
+		probdedup.Alternative{Value: probdedup.V("mechanist"), P: 0.8},
+		probdedup.Alternative{Value: probdedup.V("engineer"), P: 0.2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = probdedup.AttrSim(probdedup.Levenshtein, a1, a2)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = probdedup.Levenshtein("machinist", "mechanist")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = probdedup.JaroWinkler("machinist", "mechanist")
+	}
+}
+
+func BenchmarkTopKWorldsR34(b *testing.B) {
+	xr := paperdata.R34()
+	for i := 0; i < b.N; i++ {
+		_ = probdedup.TopKWorlds(xr, true, 16)
+	}
+}
+
+func BenchmarkDetectPaperR34(b *testing.B) {
+	xr := paperdata.R34()
+	opts := probdedup.Options{
+		AltModel: probdedup.SimpleModel{
+			Phi: probdedup.WeightedSum(0.8, 0.2),
+			T:   probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+		},
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := probdedup.Detect(xr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectSynthetic(b *testing.B) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(60, 17))
+	u := d.Union()
+	def, _ := probdedup.ParseKeyDef("name:3+job:2", u.Schema)
+	opts := probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.SNMRanked{Key: def, Window: 7},
+		Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := probdedup.Detect(u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReductionMethods(b *testing.B) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(100, 17))
+	u := d.Union()
+	def, _ := probdedup.ParseKeyDef("name:3+job:2", u.Schema)
+	methods := []probdedup.ReductionMethod{
+		ssr.CrossProduct{},
+		ssr.SNMCertain{Key: def, Window: 7},
+		ssr.SNMAlternatives{Key: def, Window: 7},
+		ssr.SNMRanked{Key: def, Window: 7},
+		ssr.BlockingCertain{Key: def},
+		ssr.BlockingAlternatives{Key: def},
+		ssr.BlockingCluster{Key: def, K: 16, Seed: 1},
+	}
+	for _, m := range methods {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Candidates(u)
+			}
+		})
+	}
+}
+
+func BenchmarkExpectedRanking(b *testing.B) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(200, 17))
+	u := d.Union()
+	def, _ := probdedup.ParseKeyDef("name:3+job:2", u.Schema)
+	m := ssr.SNMRanked{Key: def, Window: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.RankedIDs(u)
+	}
+}

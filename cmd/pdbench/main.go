@@ -1,0 +1,93 @@
+// Command pdbench regenerates the paper's figures and worked examples
+// (E01–E10) and runs the synthetic evaluation suite (S01–S04).
+//
+// Usage:
+//
+//	pdbench [-exp all|paper|s01|s02|s03|s04] [-entities n] [-seed n]
+//
+// The E-experiments print the exact quantities of the paper's figures next
+// to the measured values; the S-experiments print the evaluation tables
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probdedup/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, paper, s01, s02, s03, s04, s05, a01, a02")
+	entities := flag.Int("entities", 150, "entities in the synthetic corpus")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	switch *exp {
+	case "all":
+		fmt.Println(experiments.AllPaperExperiments())
+		runS01(*entities, *seed)
+		runS02(*entities, *seed)
+		runS03(*entities, *seed)
+		runS04(*seed)
+		runS05(*entities, *seed)
+		runA01(*entities, *seed)
+		runA02(*entities, *seed)
+	case "paper":
+		fmt.Println(experiments.AllPaperExperiments())
+	case "s01":
+		runS01(*entities, *seed)
+	case "s02":
+		runS02(*entities, *seed)
+	case "s03":
+		runS03(*entities, *seed)
+	case "s04":
+		runS04(*seed)
+	case "s05":
+		runS05(*entities, *seed)
+	case "a01":
+		runA01(*entities, *seed)
+	case "a02":
+		runA02(*entities, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "pdbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runS01(entities int, seed int64) {
+	_, out := experiments.S01(entities, seed)
+	fmt.Println(out)
+}
+
+func runS02(entities int, seed int64) {
+	_, out := experiments.S02(entities, seed)
+	fmt.Println(out)
+}
+
+func runS03(entities int, seed int64) {
+	_, out := experiments.S03(entities/2, seed)
+	fmt.Println(out)
+}
+
+func runS04(seed int64) {
+	_, out := experiments.S04([]int{100, 200, 400, 800}, seed)
+	fmt.Println(out)
+}
+
+func runS05(entities int, seed int64) {
+	_, out := experiments.S05(entities, seed)
+	fmt.Println(out)
+}
+
+func runA01(entities int, seed int64) {
+	_, out := experiments.A01(entities, seed)
+	fmt.Println(out)
+}
+
+func runA02(entities int, seed int64) {
+	_, out := experiments.A02(entities, seed)
+	fmt.Println(out)
+}

@@ -1,0 +1,250 @@
+// Command pdedup runs duplicate detection over probabilistic relation
+// files in the codec text or JSON format.
+//
+// Usage:
+//
+//	pdedup [flags] FILE [FILE2]
+//
+// With one file the relation is deduplicated against itself; with two files
+// the relations are unioned first (the integration scenario). Input files
+// may hold "relation" or "xrelation" text documents or their JSON
+// equivalents (detected by a leading '{'); mixed inputs are lifted to
+// x-relations.
+//
+// Flags select the comparison function, key definition, reduction method,
+// derivation function and thresholds. Example:
+//
+//	pdedup -key 'name:3+job:2' -reduce snm-alternatives -window 3 \
+//	       -derive decision -lambda 0.5 -mu 1.0 r3.pdb r4.pdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"probdedup"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; separated from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compareName = fs.String("compare", "hamming", "comparison function: hamming, levenshtein, damerau, jaro, jarowinkler, dice2, exact")
+		keySpec     = fs.String("key", "", "key definition, e.g. 'name:3+job:2' (required for reduction methods)")
+		reduceName  = fs.String("reduce", "none", "reduction: none, snm-certain, snm-alternatives, snm-ranked, snm-ranked-median, snm-multipass, blocking-certain, blocking-alternatives, blocking-cluster")
+		window      = fs.Int("window", 3, "sorted neighborhood window size")
+		kWorlds     = fs.Int("worlds", 8, "worlds for snm-multipass")
+		deriveName  = fs.String("derive", "similarity", "derivation: similarity, decision, eta, mpw, max")
+		lambda      = fs.Float64("lambda", 0.4, "threshold Tλ (below: non-match)")
+		mu          = fs.Float64("mu", 0.7, "threshold Tμ (above: match)")
+		altLambda   = fs.Float64("alt-lambda", 0.4, "per-alternative Tλ")
+		altMu       = fs.Float64("alt-mu", 0.7, "per-alternative Tμ")
+		workers     = fs.Int("workers", 1, "parallel matching workers")
+		showAll     = fs.Bool("v", false, "print every compared pair, not only matches")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fmt.Fprintln(stderr, "usage: pdedup [flags] FILE [FILE2]")
+		fs.Usage()
+		return 2
+	}
+
+	xr, err := loadUnion(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+
+	cmp, err := compareByName(*compareName)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+	compare := make([]probdedup.CompareFunc, len(xr.Schema))
+	for i := range compare {
+		compare[i] = cmp
+	}
+
+	opts := probdedup.Options{
+		Compare: compare,
+		AltModel: probdedup.SimpleModel{
+			Phi: equalWeights(len(xr.Schema)),
+			T:   probdedup.Thresholds{Lambda: *altLambda, Mu: *altMu},
+		},
+		Final:   probdedup.Thresholds{Lambda: *lambda, Mu: *mu},
+		Workers: *workers,
+	}
+	opts.Derivation, err = deriveByName(*deriveName)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+
+	if *reduceName != "none" {
+		if *keySpec == "" {
+			fmt.Fprintf(stderr, "pdedup: reduction %q needs -key\n", *reduceName)
+			return 1
+		}
+		def, err := probdedup.ParseKeyDef(*keySpec, xr.Schema)
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+		opts.Reduction, err = reductionByName(*reduceName, def, *window, *kWorlds)
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+	}
+
+	res, err := probdedup.Detect(xr, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "compared %d of %d pairs\n", len(res.Compared), res.TotalPairs)
+	for _, p := range res.Compared {
+		m := res.ByPair[p]
+		if !*showAll && m.Class != probdedup.ClassM && m.Class != probdedup.ClassP {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-4s (%s,%s) sim=%.4f\n", m.Class, p.A, p.B, m.Sim)
+	}
+	fmt.Fprintf(stdout, "matches=%d possible=%d\n", len(res.Matches), len(res.Possible))
+	return 0
+}
+
+func loadUnion(paths []string) (*probdedup.XRelation, error) {
+	var rels []*probdedup.XRelation
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		xr, err := decodeAny(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		rels = append(rels, xr)
+	}
+	u := rels[0]
+	for _, r := range rels[1:] {
+		var err error
+		u, err = u.Union(u.Name+"+"+r.Name, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// decodeAny sniffs the format: JSON (leading '{', distinguished by an
+// "xtuples" key), text xrelation, or text relation.
+func decodeAny(data string) (*probdedup.XRelation, error) {
+	head := firstContentLine(data)
+	switch {
+	case strings.HasPrefix(head, "{"):
+		if strings.Contains(data, `"xtuples"`) {
+			return probdedup.DecodeXRelationJSON(strings.NewReader(data))
+		}
+		r, err := probdedup.DecodeRelationJSON(strings.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return r.ToXRelation(), nil
+	case strings.HasPrefix(head, "xrelation"):
+		return probdedup.DecodeXRelation(strings.NewReader(data))
+	default:
+		r, err := probdedup.DecodeRelation(strings.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return r.ToXRelation(), nil
+	}
+}
+
+func firstContentLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			return line
+		}
+	}
+	return ""
+}
+
+func compareByName(name string) (probdedup.CompareFunc, error) {
+	switch name {
+	case "hamming":
+		return probdedup.NormalizedHamming, nil
+	case "levenshtein":
+		return probdedup.Levenshtein, nil
+	case "damerau":
+		return probdedup.DamerauLevenshtein, nil
+	case "jaro":
+		return probdedup.Jaro, nil
+	case "jarowinkler":
+		return probdedup.JaroWinkler, nil
+	case "dice2":
+		return probdedup.QGramDice(2), nil
+	case "exact":
+		return probdedup.Exact, nil
+	}
+	return nil, fmt.Errorf("unknown comparison function %q", name)
+}
+
+func deriveByName(name string) (probdedup.Derivation, error) {
+	switch name {
+	case "similarity":
+		return probdedup.SimilarityBased{Conditioned: true}, nil
+	case "decision":
+		return probdedup.DecisionBased{Conditioned: true}, nil
+	case "eta":
+		return probdedup.ExpectedEta{Conditioned: true}, nil
+	case "mpw":
+		return probdedup.MostProbableWorldDerivation{Conditioned: true}, nil
+	case "max":
+		return probdedup.MaxSimDerivation{Conditioned: true}, nil
+	}
+	return nil, fmt.Errorf("unknown derivation %q", name)
+}
+
+func reductionByName(name string, def probdedup.KeyDef, window, kWorlds int) (probdedup.ReductionMethod, error) {
+	switch name {
+	case "snm-certain":
+		return probdedup.SNMCertain{Key: def, Window: window}, nil
+	case "snm-alternatives":
+		return probdedup.SNMAlternatives{Key: def, Window: window}, nil
+	case "snm-ranked":
+		return probdedup.SNMRanked{Key: def, Window: window}, nil
+	case "snm-ranked-median":
+		return probdedup.SNMRanked{Key: def, Window: window, Strategy: probdedup.MedianKeyStrategy}, nil
+	case "snm-multipass":
+		return probdedup.SNMMultiPass{Key: def, Window: window, Select: probdedup.TopWorlds, K: kWorlds}, nil
+	case "blocking-certain":
+		return probdedup.BlockingCertain{Key: def}, nil
+	case "blocking-alternatives":
+		return probdedup.BlockingAlternatives{Key: def}, nil
+	case "blocking-cluster":
+		return probdedup.BlockingCluster{Key: def, Seed: 1}, nil
+	}
+	return nil, fmt.Errorf("unknown reduction %q", name)
+}
+
+func equalWeights(n int) probdedup.Combine {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return probdedup.WeightedSum(w...)
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probdedup"
+	"probdedup/internal/paperdata"
+)
+
+// writeFixtures writes the paper relations into a temp dir and returns the
+// file paths.
+func writeFixtures(t *testing.T) (r3Path, r4Path, r1Path, jsonPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	r3Path = filepath.Join(dir, "r3.pdb")
+	r4Path = filepath.Join(dir, "r4.pdb")
+	r1Path = filepath.Join(dir, "r1.pdb")
+	jsonPath = filepath.Join(dir, "r3.json")
+
+	write := func(path string, enc func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := enc(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(r3Path, func(f *os.File) error { return probdedup.EncodeXRelation(f, paperdata.R3()) })
+	write(r4Path, func(f *os.File) error { return probdedup.EncodeXRelation(f, paperdata.R4()) })
+	write(r1Path, func(f *os.File) error { return probdedup.EncodeRelation(f, paperdata.R1()) })
+	write(jsonPath, func(f *os.File) error { return probdedup.EncodeXRelationJSON(f, paperdata.R3()) })
+	return
+}
+
+func TestRunPaperUnion(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-v", r3, r4}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "compared 10 of 10 pairs") {
+		t.Fatalf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "matches=") {
+		t.Fatalf("missing summary:\n%s", s)
+	}
+}
+
+func TestRunWithReduction(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-key", "name:3+job:2", "-reduce", "snm-alternatives", "-window", "2",
+		"-derive", "decision", "-lambda", "0.5", "-mu", "1.0", r3, r4,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "compared 5 of 10 pairs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMixedFormats(t *testing.T) {
+	// Text relation + JSON x-relation union.
+	_, _, r1, jsonR3 := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{r1, jsonR3}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "compared 10 of 10 pairs") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWorkersAndDerivations(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	for _, derive := range []string{"similarity", "decision", "eta", "mpw", "max"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-derive", derive, "-workers", "4", r3, r4}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("derive=%s exit %d: %s", derive, code, errOut.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	r3, _, _, _ := writeFixtures(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no files", []string{}},
+		{"too many files", []string{r3, r3, r3}},
+		{"missing file", []string{"/nonexistent.pdb"}},
+		{"bad compare", []string{"-compare", "nope", r3}},
+		{"bad derive", []string{"-derive", "nope", r3}},
+		{"reduce without key", []string{"-reduce", "snm-certain", r3}},
+		{"bad reduce", []string{"-key", "name:3", "-reduce", "nope", r3}},
+		{"bad key", []string{"-key", "zzz:3", "-reduce", "snm-certain", r3}},
+		{"bad flag", []string{"-definitely-not-a-flag", r3}},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(c.args, &out, &errOut); code == 0 {
+			t.Errorf("%s: want non-zero exit", c.name)
+		}
+	}
+}
+
+func TestDecodeAnySniffing(t *testing.T) {
+	var text bytes.Buffer
+	if err := probdedup.EncodeRelation(&text, paperdata.R1()); err != nil {
+		t.Fatal(err)
+	}
+	xr, err := decodeAny(text.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xr.Tuples) != 3 {
+		t.Fatalf("text relation: %d tuples", len(xr.Tuples))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := probdedup.EncodeRelationJSON(&jsonBuf, paperdata.R1()); err != nil {
+		t.Fatal(err)
+	}
+	xr2, err := decodeAny(jsonBuf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xr2.Tuples) != 3 {
+		t.Fatalf("json relation: %d tuples", len(xr2.Tuples))
+	}
+}

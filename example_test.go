@@ -1,0 +1,157 @@
+package probdedup_test
+
+import (
+	"fmt"
+
+	"probdedup"
+)
+
+// ExampleAttrSim reproduces the paper's Sec. IV-A attribute matching:
+// the expected similarity of two uncertain name values under the
+// normalized Hamming comparison function.
+func ExampleAttrSim() {
+	a1 := probdedup.Certain("Tim")
+	a2 := probdedup.MustDist(
+		probdedup.Alternative{Value: probdedup.V("Tim"), P: 0.7},
+		probdedup.Alternative{Value: probdedup.V("Kim"), P: 0.3},
+	)
+	fmt.Printf("%.2f\n", probdedup.AttrSim(probdedup.NormalizedHamming, a1, a2))
+	// Output: 0.90
+}
+
+// ExampleEqualitySim shows Eq. 4: the probability that two uncertain
+// values are equal (error-free data).
+func ExampleEqualitySim() {
+	a1 := probdedup.MustDist(
+		probdedup.Alternative{Value: probdedup.V("John"), P: 0.5},
+		probdedup.Alternative{Value: probdedup.V("Johan"), P: 0.5},
+	)
+	a2 := probdedup.MustDist(
+		probdedup.Alternative{Value: probdedup.V("John"), P: 0.7},
+		probdedup.Alternative{Value: probdedup.V("Jon"), P: 0.3},
+	)
+	fmt.Printf("%.2f\n", probdedup.EqualitySim(a1, a2))
+	// Output: 0.35
+}
+
+// ExampleDetectRelations runs the full pipeline on two tiny probabilistic
+// relations and prints the matching decision for each pair.
+func ExampleDetectRelations() {
+	r1 := probdedup.NewRelation("R1", "name", "job").Append(
+		probdedup.NewTuple("t11", 1.0,
+			probdedup.Certain("Tim"),
+			probdedup.MustDist(
+				probdedup.Alternative{Value: probdedup.V("machinist"), P: 0.7},
+				probdedup.Alternative{Value: probdedup.V("mechanic"), P: 0.2})),
+	)
+	r2 := probdedup.NewRelation("R2", "name", "job").Append(
+		probdedup.NewTuple("t22", 0.8,
+			probdedup.MustDist(
+				probdedup.Alternative{Value: probdedup.V("Tim"), P: 0.7},
+				probdedup.Alternative{Value: probdedup.V("Kim"), P: 0.3}),
+			probdedup.Certain("mechanic")),
+	)
+	res, err := probdedup.DetectRelations(r1, r2, probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.NormalizedHamming, probdedup.NormalizedHamming},
+		AltModel: probdedup.SimpleModel{
+			Phi: probdedup.WeightedSum(0.8, 0.2),
+			T:   probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+		},
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Compared {
+		m := res.ByPair[p]
+		fmt.Printf("η(%s,%s) = %s (sim %.4f)\n", p.A, p.B, m.Class, m.Sim)
+	}
+	// Output: η(t11,t22) = m (sim 0.8378)
+}
+
+// ExampleEnumerateWorlds lists the possible worlds of a maybe x-tuple.
+func ExampleEnumerateWorlds() {
+	xr := probdedup.NewXRelation("X", "name", "job").Append(
+		probdedup.NewXTuple("t42", probdedup.NewAlt(0.8, "Tom", "mechanic")),
+	)
+	ws, err := probdedup.EnumerateWorlds(xr, false, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, w := range ws {
+		if w.Contains(0) {
+			fmt.Printf("present: %.2f\n", w.P)
+		} else {
+			fmt.Printf("absent:  %.2f\n", w.P)
+		}
+	}
+	// Output:
+	// present: 0.80
+	// absent:  0.20
+}
+
+// ExampleParseRules parses an identification rule in the paper's Fig. 1
+// syntax.
+func ExampleParseRules() {
+	rules, err := probdedup.ParseRules(
+		"IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8",
+		[]string{"name", "job"})
+	if err != nil {
+		panic(err)
+	}
+	r := rules[0]
+	fmt.Println(len(r.Conditions), r.Certainty)
+	// Output: 2 0.8
+}
+
+// ExampleSNMAlternatives shows the sorting-alternatives reduction on two
+// x-tuples sharing an alternative key value.
+func ExampleSNMAlternatives() {
+	xr := probdedup.NewXRelation("X", "name", "job").Append(
+		probdedup.NewXTuple("a",
+			probdedup.NewAlt(0.6, "Tim", "mechanic"),
+			probdedup.NewAlt(0.4, "Jim", "baker")),
+		probdedup.NewXTuple("b", probdedup.NewAlt(1.0, "Tim", "mechanic")),
+		probdedup.NewXTuple("c", probdedup.NewAlt(1.0, "Zoe", "pilot")),
+	)
+	def, err := probdedup.ParseKeyDef("name:3+job:2", xr.Schema)
+	if err != nil {
+		panic(err)
+	}
+	m := probdedup.SNMAlternatives{Key: def, Window: 2}
+	for _, p := range m.Candidates(xr).Sorted() {
+		fmt.Printf("(%s,%s)\n", p.A, p.B)
+	}
+	// Output:
+	// (a,b)
+	// (b,c)
+}
+
+// ExampleResolve fuses a clear match and keeps a possible match as
+// lineage-backed uncertainty.
+func ExampleResolve() {
+	xr := probdedup.NewXRelation("X", "name").Append(
+		probdedup.NewXTuple("a", probdedup.NewAlt(1, "Tim")),
+		probdedup.NewXTuple("b", probdedup.NewAlt(1, "Tim")),
+		probdedup.NewXTuple("c", probdedup.NewAlt(1, "Tom")),
+	)
+	final := probdedup.Thresholds{Lambda: 0.5, Mu: 0.9}
+	res, err := probdedup.Detect(xr, probdedup.Options{Final: final})
+	if err != nil {
+		panic(err)
+	}
+	r, err := probdedup.Resolve(xr, res, final, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range r.Entities {
+		fmt.Println(e.ID, e.Members)
+	}
+	for _, ud := range r.Uncertain {
+		fmt.Printf("%s ↔ %s possible duplicate\n", ud.A, ud.B)
+	}
+	// Output:
+	// a+b [a b]
+	// c [c]
+	// a+b ↔ c possible duplicate
+}

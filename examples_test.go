@@ -1,0 +1,38 @@
+package probdedup_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks a
+// signature line of its output, so the examples in the README cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "matches: 3, possible matches requiring review: 4"},
+		{"./examples/telescopes", "fused result tuples:"},
+		{"./examples/census", "verification (Sec. III-E):"},
+		{"./examples/rules", "matched thanks to the job glossary"},
+		{"./examples/integrate", "mutually exclusive"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

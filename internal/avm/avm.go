@@ -1,0 +1,192 @@
+// Package avm implements attribute value matching for probabilistic data
+// (Sec. IV-A of the paper): the similarity of two uncertain attribute
+// values, comparison vectors c⃗ for tuple pairs, and comparison matrices for
+// x-tuple pairs.
+//
+// The similarity of two uncertain values a1, a2 over domain D̂ = D ∪ {⊥} is
+//
+//	sim(a1,a2) = Σ_{d1∈D̂} Σ_{d2∈D̂} P(a1=d1)·P(a2=d2) · sim(d1,d2)   (Eq. 5)
+//
+// with the non-existence semantics sim(⊥,⊥)=1 and sim(a,⊥)=sim(⊥,a)=0.
+// For error-free data sim(d1,d2) degenerates to equality and Eq. 5 becomes
+// the probability that both values are equal (Eq. 4).
+package avm
+
+import (
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+)
+
+// NullSemantics fixes the similarity of the non-existence marker ⊥ against
+// itself and against existing values. The paper's choice is {1, 0}: two
+// non-existent values refer to the same real-world fact, while a
+// non-existent value is definitely not similar to any existing one. The
+// struct exists as an ablation hook (DESIGN.md §5).
+type NullSemantics struct {
+	// NullNull is sim(⊥,⊥); the paper uses 1.
+	NullNull float64
+	// NullValue is sim(a,⊥)=sim(⊥,a); the paper uses 0.
+	NullValue float64
+}
+
+// PaperNulls is the paper's ⊥ semantics.
+var PaperNulls = NullSemantics{NullNull: 1, NullValue: 0}
+
+// ValueSim compares two certain values under the given ⊥ semantics, using f
+// for pairs of existing values.
+func (ns NullSemantics) ValueSim(f strsim.Func, a, b pdb.Value) float64 {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return ns.NullNull
+	case a.IsNull() || b.IsNull():
+		return ns.NullValue
+	default:
+		return f(a.S(), b.S())
+	}
+}
+
+// Sim computes Eq. 5: the expected similarity of two independent uncertain
+// attribute values, using f on pairs of existing domain values and the
+// paper's ⊥ semantics.
+func Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
+	return PaperNulls.Sim(f, a1, a2)
+}
+
+// Sim computes Eq. 5 under the receiver's ⊥ semantics.
+func (ns NullSemantics) Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
+	total := 0.0
+	for _, x := range a1.Support() {
+		for _, y := range a2.Support() {
+			total += x.P * y.P * ns.ValueSim(f, x.Value, y.Value)
+		}
+	}
+	return total
+}
+
+// EqualitySim computes Eq. 4: the probability that both uncertain values are
+// equal, i.e. Eq. 5 with the exact comparison function. It is the right
+// choice for error-free data.
+func EqualitySim(a1, a2 pdb.Dist) float64 {
+	return Sim(strsim.Exact, a1, a2)
+}
+
+// Vector is the comparison vector c⃗ = [c1..cn] of one tuple pair: the
+// similarity of the values of each attribute, each in [0,1].
+type Vector []float64
+
+// Matrix is the comparison matrix of an x-tuple pair: one comparison vector
+// per pair of alternative tuples (c⃗ᵢⱼ for tⁱ1 × tʲ2).
+type Matrix struct {
+	// K and L are the alternative counts of the two x-tuples.
+	K, L int
+	// Vecs[i][j] is c⃗ᵢⱼ.
+	Vecs [][]Vector
+}
+
+// At returns c⃗ᵢⱼ.
+func (m Matrix) At(i, j int) Vector { return m.Vecs[i][j] }
+
+// Matcher compares tuples attribute by attribute using one comparison
+// function per attribute. Pairwise value similarities are memoized per
+// attribute, which matters because blocking/SNM evaluate the same value
+// pairs many times.
+type Matcher struct {
+	// Funcs holds the comparison function of each attribute, by schema
+	// position.
+	Funcs []strsim.Func
+	// Nulls is the ⊥ semantics; zero value means PaperNulls.
+	Nulls *NullSemantics
+
+	cache []map[[2]string]float64
+}
+
+// NewMatcher builds a Matcher with one comparison function per attribute.
+func NewMatcher(funcs ...strsim.Func) *Matcher {
+	m := &Matcher{Funcs: funcs, cache: make([]map[[2]string]float64, len(funcs))}
+	for i := range m.cache {
+		m.cache[i] = make(map[[2]string]float64)
+	}
+	return m
+}
+
+func (m *Matcher) nulls() NullSemantics {
+	if m.Nulls != nil {
+		return *m.Nulls
+	}
+	return PaperNulls
+}
+
+// valueSim memoizes the comparison function of attribute k on existing
+// values.
+func (m *Matcher) valueSim(k int, a, b pdb.Value) float64 {
+	ns := m.nulls()
+	if a.IsNull() || b.IsNull() {
+		return ns.ValueSim(m.Funcs[k], a, b)
+	}
+	key := [2]string{a.S(), b.S()}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	if v, ok := m.cache[k][key]; ok {
+		return v
+	}
+	v := m.Funcs[k](a.S(), b.S())
+	m.cache[k][key] = v
+	return v
+}
+
+// AttrSim computes Eq. 5 for attribute k with memoization.
+func (m *Matcher) AttrSim(k int, a1, a2 pdb.Dist) float64 {
+	total := 0.0
+	for _, x := range a1.Support() {
+		for _, y := range a2.Support() {
+			total += x.P * y.P * m.valueSim(k, x.Value, y.Value)
+		}
+	}
+	return total
+}
+
+// CompareTuples computes the comparison vector c⃗ of two dependency-free
+// tuples. Tuple membership probabilities are deliberately ignored
+// (Sec. IV: only attribute-level uncertainty influences matching).
+func (m *Matcher) CompareTuples(t1, t2 *pdb.Tuple) Vector {
+	c := make(Vector, len(m.Funcs))
+	for k := range m.Funcs {
+		c[k] = m.AttrSim(k, t1.Attrs[k], t2.Attrs[k])
+	}
+	return c
+}
+
+// CompareAlts computes the comparison vector of two alternative tuples
+// (whose attribute values may themselves be uncertain, e.g. 'mu*').
+func (m *Matcher) CompareAlts(a1, a2 pdb.Alt) Vector {
+	c := make(Vector, len(m.Funcs))
+	for k := range m.Funcs {
+		c[k] = m.AttrSim(k, a1.Values[k], a2.Values[k])
+	}
+	return c
+}
+
+// CompareXTuples computes the k×l comparison matrix of an x-tuple pair
+// (step 1 input of the adapted decision models, Fig. 6).
+func (m *Matcher) CompareXTuples(x1, x2 *pdb.XTuple) Matrix {
+	mat := Matrix{K: len(x1.Alts), L: len(x2.Alts)}
+	mat.Vecs = make([][]Vector, mat.K)
+	for i, a1 := range x1.Alts {
+		mat.Vecs[i] = make([]Vector, mat.L)
+		for j, a2 := range x2.Alts {
+			mat.Vecs[i][j] = m.CompareAlts(a1, a2)
+		}
+	}
+	return mat
+}
+
+// CacheSize reports the number of memoized value pairs per attribute
+// (diagnostics for benchmarks).
+func (m *Matcher) CacheSize() []int {
+	out := make([]int, len(m.cache))
+	for i, c := range m.cache {
+		out[i] = len(c)
+	}
+	return out
+}

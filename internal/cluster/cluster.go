@@ -1,0 +1,260 @@
+// Package cluster groups tuples by their uncertain key values, the
+// clustering-based handling of uncertain blocking keys suggested in
+// Sec. V-B (refs [38]–[40]).
+//
+// Two algorithms are provided:
+//
+//   - UKMeans: the expected-distance k-means of Ngai et al. (ICDM 2006)
+//     specialized to one-dimensional key embeddings. Each uncertain key is a
+//     distribution over positions in the global sorted key universe; under
+//     squared Euclidean distance UK-means reduces to k-means over the
+//     per-item expected positions (the variance term is constant per item),
+//     which we exploit for an exact, fast implementation.
+//
+//   - KMedoids: a PAM-style k-medoids over expected pairwise string
+//     distances E[d(k1,k2)] = ΣΣ p1(k1)p2(k2)·d(k1,k2), which respects string
+//     geometry directly at O(n²) cost.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/strsim"
+)
+
+// Item is a tuple ID with its conditioned probabilistic key value.
+type Item struct {
+	ID   string
+	Keys []keys.KeyProb
+}
+
+// Clustering maps every item index to a cluster index in [0,k).
+type Clustering struct {
+	// Assign[i] is the cluster of item i.
+	Assign []int
+	// K is the number of clusters.
+	K int
+}
+
+// Blocks converts the clustering into blocks of item indices.
+func (c Clustering) Blocks() [][]int {
+	out := make([][]int, c.K)
+	for i, b := range c.Assign {
+		out[b] = append(out[b], i)
+	}
+	return out
+}
+
+// embed maps each item to its expected position in the global sorted key
+// universe, normalized to [0,1].
+func embed(items []Item) []float64 {
+	universe := map[string]int{}
+	var all []string
+	for _, it := range items {
+		for _, kp := range it.Keys {
+			if _, ok := universe[kp.Key]; !ok {
+				universe[kp.Key] = 0
+				all = append(all, kp.Key)
+			}
+		}
+	}
+	sort.Strings(all)
+	for i, k := range all {
+		universe[k] = i
+	}
+	denom := float64(len(all) - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	out := make([]float64, len(items))
+	for i, it := range items {
+		e, total := 0.0, 0.0
+		for _, kp := range it.Keys {
+			e += kp.P * float64(universe[kp.Key])
+			total += kp.P
+		}
+		if total > 0 {
+			e /= total
+		}
+		out[i] = e / denom
+	}
+	return out
+}
+
+// UKMeans clusters items into k groups by expected key position. The rng
+// seeds the initial centroids (k-means++-style farthest-point seeding keeps
+// it deterministic given the rng). Iteration stops on convergence or after
+// maxIter rounds.
+func UKMeans(items []Item, k int, maxIter int, rng *rand.Rand) Clustering {
+	n := len(items)
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	pos := embed(items)
+	// Farthest-point seeding from a random start.
+	centroids := make([]float64, 0, k)
+	if n > 0 {
+		centroids = append(centroids, pos[rng.Intn(n)])
+	}
+	for len(centroids) < k {
+		bestIdx, bestDist := 0, -1.0
+		for i, p := range pos {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := math.Abs(p - c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		centroids = append(centroids, pos[bestIdx])
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range pos {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if d := (p - ct) * (p - ct); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, a := range assign {
+			sums[a] += pos[i]
+			counts[a]++
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				centroids[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Clustering{Assign: assign, K: k}
+}
+
+// ExpectedDistance returns E[d(a,b)] over the two key distributions, with
+// d = 1 − sim for the given comparison function.
+func ExpectedDistance(f strsim.Func, a, b []keys.KeyProb) float64 {
+	total, mass := 0.0, 0.0
+	for _, x := range a {
+		for _, y := range b {
+			total += x.P * y.P * (1 - f(x.Key, y.Key))
+			mass += x.P * y.P
+		}
+	}
+	if mass <= 0 {
+		return 0
+	}
+	return total / mass
+}
+
+// KMedoids clusters items into k groups with PAM-style alternation over the
+// expected pairwise distance matrix. Deterministic given the rng.
+func KMedoids(items []Item, k int, f strsim.Func, maxIter int, rng *rand.Rand) Clustering {
+	n := len(items)
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	// Precompute the distance matrix.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := ExpectedDistance(f, items[i].Keys, items[j].Keys)
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// Farthest-point seeding.
+	medoids := []int{}
+	if n > 0 {
+		medoids = append(medoids, rng.Intn(n))
+	}
+	for len(medoids) < k {
+		bestIdx, bestD := 0, -1.0
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dist[i][m] < d {
+					d = dist[i][m]
+				}
+			}
+			if d > bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		medoids = append(medoids, bestIdx)
+	}
+	assign := make([]int, n)
+	assignAll := func() {
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if dist[i][m] < bestD {
+					best, bestD = c, dist[i][m]
+				}
+			}
+			assign[i] = best
+		}
+	}
+	assignAll()
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for c := 0; c < k; c++ {
+			// Pick the member minimizing intra-cluster distance as medoid.
+			bestM, bestCost := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				cost := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						cost += dist[i][j]
+					}
+				}
+				if cost < bestCost {
+					bestM, bestCost = i, cost
+				}
+			}
+			if bestM != medoids[c] {
+				medoids[c] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		assignAll()
+	}
+	return Clustering{Assign: assign, K: k}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/strsim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func certainItem(id, key string) Item {
+	return Item{ID: id, Keys: []keys.KeyProb{{Key: key, P: 1}}}
+}
+
+func TestUKMeansSeparatesObviousGroups(t *testing.T) {
+	items := []Item{
+		certainItem("a1", "Aaa"), certainItem("a2", "Aab"), certainItem("a3", "Aac"),
+		certainItem("z1", "Zza"), certainItem("z2", "Zzb"), certainItem("z3", "Zzc"),
+	}
+	c := UKMeans(items, 2, 0, rand.New(rand.NewSource(1)))
+	if c.K != 2 {
+		t.Fatalf("K = %d", c.K)
+	}
+	// The three A-items share a cluster; the three Z-items share the other.
+	if c.Assign[0] != c.Assign[1] || c.Assign[1] != c.Assign[2] {
+		t.Fatalf("A group split: %v", c.Assign)
+	}
+	if c.Assign[3] != c.Assign[4] || c.Assign[4] != c.Assign[5] {
+		t.Fatalf("Z group split: %v", c.Assign)
+	}
+	if c.Assign[0] == c.Assign[3] {
+		t.Fatalf("groups merged: %v", c.Assign)
+	}
+}
+
+func TestUKMeansUncertainItemFollowsItsMass(t *testing.T) {
+	items := []Item{
+		certainItem("a1", "Aaa"), certainItem("a2", "Aab"),
+		certainItem("z1", "Zza"), certainItem("z2", "Zzb"),
+		// 90% in the A region.
+		{ID: "u", Keys: []keys.KeyProb{{Key: "Aac", P: 0.9}, {Key: "Zzc", P: 0.1}}},
+	}
+	c := UKMeans(items, 2, 0, rand.New(rand.NewSource(2)))
+	if c.Assign[4] != c.Assign[0] {
+		t.Fatalf("uncertain item must join the A cluster: %v", c.Assign)
+	}
+}
+
+func TestUKMeansEdgeCases(t *testing.T) {
+	// k > n collapses to n; k ≤ 0 becomes 1.
+	items := []Item{certainItem("a", "x"), certainItem("b", "y")}
+	c := UKMeans(items, 5, 0, rand.New(rand.NewSource(3)))
+	if c.K != 2 {
+		t.Fatalf("K = %d", c.K)
+	}
+	c = UKMeans(items, 0, 0, rand.New(rand.NewSource(3)))
+	if c.K != 1 || c.Assign[0] != 0 || c.Assign[1] != 0 {
+		t.Fatalf("K=0 handling: %+v", c)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	c := Clustering{Assign: []int{0, 1, 0, 1, 1}, K: 2}
+	b := c.Blocks()
+	if len(b) != 2 || len(b[0]) != 2 || len(b[1]) != 3 {
+		t.Fatalf("blocks %v", b)
+	}
+}
+
+func TestExpectedDistance(t *testing.T) {
+	a := []keys.KeyProb{{Key: "abc", P: 1}}
+	b := []keys.KeyProb{{Key: "abc", P: 0.5}, {Key: "xyz", P: 0.5}}
+	got := ExpectedDistance(strsim.Exact, a, b)
+	if !almost(got, 0.5) {
+		t.Fatalf("E[d] = %v, want 0.5", got)
+	}
+	// Identical certain keys → 0.
+	if !almost(ExpectedDistance(strsim.Exact, a, a), 0) {
+		t.Fatal("self distance must be 0")
+	}
+	// Empty distributions degrade gracefully.
+	if !almost(ExpectedDistance(strsim.Exact, nil, a), 0) {
+		t.Fatal("empty dist must give 0")
+	}
+}
+
+func TestKMedoids(t *testing.T) {
+	items := []Item{
+		certainItem("a1", "Johpi"), certainItem("a2", "Johmu"), certainItem("a3", "Johpa"),
+		certainItem("b1", "Timme"), certainItem("b2", "Tomme"),
+	}
+	c := KMedoids(items, 2, strsim.NormalizedHamming, 0, rand.New(rand.NewSource(4)))
+	if c.K != 2 {
+		t.Fatalf("K = %d", c.K)
+	}
+	if c.Assign[0] != c.Assign[1] || c.Assign[1] != c.Assign[2] {
+		t.Fatalf("Joh* split: %v", c.Assign)
+	}
+	if c.Assign[3] != c.Assign[4] {
+		t.Fatalf("T*mme split: %v", c.Assign)
+	}
+	if c.Assign[0] == c.Assign[3] {
+		t.Fatalf("clusters merged: %v", c.Assign)
+	}
+}
+
+func TestClusteringDeterministicGivenSeed(t *testing.T) {
+	items := []Item{
+		certainItem("a", "ka"), certainItem("b", "kb"), certainItem("c", "zc"),
+		certainItem("d", "zd"), certainItem("e", "ze"),
+	}
+	c1 := UKMeans(items, 2, 0, rand.New(rand.NewSource(7)))
+	c2 := UKMeans(items, 2, 0, rand.New(rand.NewSource(7)))
+	for i := range c1.Assign {
+		if c1.Assign[i] != c2.Assign[i] {
+			t.Fatal("UKMeans must be deterministic for a fixed seed")
+		}
+	}
+	m1 := KMedoids(items, 2, strsim.Exact, 0, rand.New(rand.NewSource(7)))
+	m2 := KMedoids(items, 2, strsim.Exact, 0, rand.New(rand.NewSource(7)))
+	for i := range m1.Assign {
+		if m1.Assign[i] != m2.Assign[i] {
+			t.Fatal("KMedoids must be deterministic for a fixed seed")
+		}
+	}
+}

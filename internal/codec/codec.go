@@ -1,0 +1,261 @@
+// Package codec reads and writes probabilistic relations and x-relations in
+// a line-oriented text format used by the command-line tools and examples.
+//
+// Format (tab-separated cells, '#' starts a comment line):
+//
+//	relation R1
+//	schema	name	job
+//	t11	1.0	Tim	machinist:0.7|mechanic:0.2
+//	t12	1.0	John:0.5|Johan:0.5	baker:0.7|confectioner:0.3
+//
+//	xrelation R3
+//	schema	name	job
+//	xtuple	t31
+//	alt	0.7	John	pilot
+//	alt	0.3	Johan	musician:0.5|muralist:0.5
+//
+// An attribute cell is either a bare value (certain), "_" (certain ⊥), or a
+// '|'-separated list of value:probability alternatives whose probabilities
+// sum to at most 1 (the remainder is ⊥ mass). Values must not contain tab,
+// '|' or ':'.
+package codec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"probdedup/internal/pdb"
+)
+
+// EncodeRelation writes a dependency-free relation.
+func EncodeRelation(w io.Writer, r *pdb.Relation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "relation %s\n", r.Name)
+	fmt.Fprintf(bw, "schema\t%s\n", strings.Join(r.Schema, "\t"))
+	for _, t := range r.Tuples {
+		cells := make([]string, 0, len(t.Attrs)+2)
+		cells = append(cells, t.ID, formatProb(t.P))
+		for _, d := range t.Attrs {
+			cells = append(cells, encodeDist(d))
+		}
+		fmt.Fprintln(bw, strings.Join(cells, "\t"))
+	}
+	return bw.Flush()
+}
+
+// EncodeXRelation writes an x-relation.
+func EncodeXRelation(w io.Writer, r *pdb.XRelation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "xrelation %s\n", r.Name)
+	fmt.Fprintf(bw, "schema\t%s\n", strings.Join(r.Schema, "\t"))
+	for _, x := range r.Tuples {
+		fmt.Fprintf(bw, "xtuple\t%s\n", x.ID)
+		for _, alt := range x.Alts {
+			cells := make([]string, 0, len(alt.Values)+2)
+			cells = append(cells, "alt", formatProb(alt.P))
+			for _, d := range alt.Values {
+				cells = append(cells, encodeDist(d))
+			}
+			fmt.Fprintln(bw, strings.Join(cells, "\t"))
+		}
+	}
+	return bw.Flush()
+}
+
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+func encodeDist(d pdb.Dist) string {
+	if d.Len() == 0 {
+		return "_"
+	}
+	if d.IsCertain() {
+		return d.Alternatives()[0].Value.S()
+	}
+	parts := make([]string, 0, d.Len())
+	for _, a := range d.Alternatives() {
+		parts = append(parts, fmt.Sprintf("%s:%s", a.Value.S(), formatProb(a.P)))
+	}
+	return strings.Join(parts, "|")
+}
+
+// DecodeRelation parses a dependency-free relation.
+func DecodeRelation(r io.Reader) (*pdb.Relation, error) {
+	p := &parser{s: bufio.NewScanner(r)}
+	name, err := p.header("relation")
+	if err != nil {
+		return nil, err
+	}
+	schema, err := p.schema()
+	if err != nil {
+		return nil, err
+	}
+	rel := pdb.NewRelation(name, schema...)
+	for p.next() {
+		cells := strings.Split(p.line, "\t")
+		if len(cells) != len(schema)+2 {
+			return nil, p.errf("tuple line has %d cells, want %d", len(cells), len(schema)+2)
+		}
+		prob, err := strconv.ParseFloat(cells[1], 64)
+		if err != nil {
+			return nil, p.errf("bad tuple probability %q", cells[1])
+		}
+		attrs := make([]pdb.Dist, len(schema))
+		for i, cell := range cells[2:] {
+			d, err := decodeDist(cell)
+			if err != nil {
+				return nil, p.errf("attribute %d: %v", i, err)
+			}
+			attrs[i] = d
+		}
+		rel.Append(pdb.NewTuple(cells[0], prob, attrs...))
+	}
+	if err := p.s.Err(); err != nil {
+		return nil, err
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// DecodeXRelation parses an x-relation.
+func DecodeXRelation(r io.Reader) (*pdb.XRelation, error) {
+	p := &parser{s: bufio.NewScanner(r)}
+	name, err := p.header("xrelation")
+	if err != nil {
+		return nil, err
+	}
+	schema, err := p.schema()
+	if err != nil {
+		return nil, err
+	}
+	rel := pdb.NewXRelation(name, schema...)
+	var cur *pdb.XTuple
+	flush := func() {
+		if cur != nil {
+			rel.Append(cur)
+			cur = nil
+		}
+	}
+	for p.next() {
+		cells := strings.Split(p.line, "\t")
+		switch cells[0] {
+		case "xtuple":
+			if len(cells) != 2 {
+				return nil, p.errf("xtuple line needs exactly an ID")
+			}
+			flush()
+			cur = &pdb.XTuple{ID: cells[1]}
+		case "alt":
+			if cur == nil {
+				return nil, p.errf("alt line before any xtuple")
+			}
+			if len(cells) != len(schema)+2 {
+				return nil, p.errf("alt line has %d cells, want %d", len(cells), len(schema)+2)
+			}
+			prob, err := strconv.ParseFloat(cells[1], 64)
+			if err != nil {
+				return nil, p.errf("bad alternative probability %q", cells[1])
+			}
+			values := make([]pdb.Dist, len(schema))
+			for i, cell := range cells[2:] {
+				d, err := decodeDist(cell)
+				if err != nil {
+					return nil, p.errf("attribute %d: %v", i, err)
+				}
+				values[i] = d
+			}
+			cur.Alts = append(cur.Alts, pdb.Alt{Values: values, P: prob})
+		default:
+			return nil, p.errf("unexpected line %q", p.line)
+		}
+	}
+	flush()
+	if err := p.s.Err(); err != nil {
+		return nil, err
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func decodeDist(cell string) (pdb.Dist, error) {
+	if cell == "_" {
+		return pdb.CertainNull(), nil
+	}
+	if !strings.Contains(cell, ":") {
+		if cell == "" {
+			return pdb.Dist{}, fmt.Errorf("empty attribute cell")
+		}
+		return pdb.Certain(cell), nil
+	}
+	var alts []pdb.Alternative
+	for _, part := range strings.Split(cell, "|") {
+		v, ps, ok := strings.Cut(part, ":")
+		if !ok {
+			return pdb.Dist{}, fmt.Errorf("alternative %q missing probability", part)
+		}
+		prob, err := strconv.ParseFloat(ps, 64)
+		if err != nil {
+			return pdb.Dist{}, fmt.Errorf("bad probability in %q", part)
+		}
+		val := pdb.V(v)
+		if v == "_" {
+			val = pdb.Null
+		}
+		alts = append(alts, pdb.Alternative{Value: val, P: prob})
+	}
+	return pdb.NewDist(alts...)
+}
+
+type parser struct {
+	s    *bufio.Scanner
+	line string
+	n    int
+}
+
+// next advances to the next non-empty, non-comment line.
+func (p *parser) next() bool {
+	for p.s.Scan() {
+		p.n++
+		p.line = strings.TrimRight(p.s.Text(), "\r\n")
+		trimmed := strings.TrimSpace(p.line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.n, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) header(kind string) (string, error) {
+	if !p.next() {
+		return "", fmt.Errorf("codec: empty input")
+	}
+	fields := strings.Fields(p.line)
+	if len(fields) != 2 || fields[0] != kind {
+		return "", p.errf("expected %q header, got %q", kind, p.line)
+	}
+	return fields[1], nil
+}
+
+func (p *parser) schema() ([]string, error) {
+	if !p.next() {
+		return nil, fmt.Errorf("codec: missing schema line")
+	}
+	cells := strings.Split(p.line, "\t")
+	if cells[0] != "schema" || len(cells) < 2 {
+		return nil, p.errf("expected schema line, got %q", p.line)
+	}
+	return cells[1:], nil
+}

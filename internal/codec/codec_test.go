@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+)
+
+func TestRelationRoundTrip(t *testing.T) {
+	for _, r := range []*pdb.Relation{paperdata.R1(), paperdata.R2()} {
+		var buf bytes.Buffer
+		if err := EncodeRelation(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeRelation(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", r.Name, err, buf.String())
+		}
+		if back.String() != r.String() {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back, r)
+		}
+	}
+}
+
+func TestXRelationRoundTrip(t *testing.T) {
+	for _, r := range []*pdb.XRelation{paperdata.R3(), paperdata.R4(), paperdata.R34()} {
+		var buf bytes.Buffer
+		if err := EncodeXRelation(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeXRelation(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", r.Name, err, buf.String())
+		}
+		if back.String() != r.String() {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back, r)
+		}
+	}
+}
+
+func TestDecodeRelationLiteral(t *testing.T) {
+	src := `# paper relation R1
+relation R1
+schema	name	job
+t11	1.0	Tim	machinist:0.7|mechanic:0.2
+
+t13	0.6	Tim:0.6|Tom:0.4	machinist
+`
+	r, err := DecodeRelation(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tuples) != 2 || r.Name != "R1" {
+		t.Fatalf("decoded %v", r)
+	}
+	t11 := r.TupleByID("t11")
+	if t11.Attrs[1].P(pdb.V("machinist")) != 0.7 {
+		t.Fatalf("t11.job = %v", t11.Attrs[1])
+	}
+	if t11.Attrs[0].String() != "Tim" {
+		t.Fatalf("t11.name = %v", t11.Attrs[0])
+	}
+}
+
+func TestDecodeNullCells(t *testing.T) {
+	src := "relation R\nschema\ta\nt1\t1.0\t_\n"
+	r, err := DecodeRelation(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tuples[0].Attrs[0].IsCertain() || r.Tuples[0].Attrs[0].NullP() != 1 {
+		t.Fatalf("cell _ must decode to certain ⊥, got %v", r.Tuples[0].Attrs[0])
+	}
+	// Explicit null alternative inside a distribution.
+	src2 := "relation R\nschema\ta\nt1\t1.0\tx:0.5|_:0.5\n"
+	r2, err := DecodeRelation(strings.NewReader(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Tuples[0].Attrs[0].NullP() != 0.5 {
+		t.Fatalf("⊥ mass = %v", r2.Tuples[0].Attrs[0].NullP())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"wrong header", "xrelation R\nschema\ta\n"},
+		{"missing schema", "relation R\nt1\t1.0\tx\n"},
+		{"cell count", "relation R\nschema\ta\tb\nt1\t1.0\tx\n"},
+		{"bad prob", "relation R\nschema\ta\nt1\tabc\tx\n"},
+		{"bad alt prob", "relation R\nschema\ta\nt1\t1.0\tx:zz\n"},
+		{"prob sum", "relation R\nschema\ta\nt1\t1.0\tx:0.9|y:0.3\n"},
+		{"dup id", "relation R\nschema\ta\nt1\t1.0\tx\nt1\t1.0\ty\n"},
+		{"empty cell", "relation R\nschema\ta\nt1\t1.0\t\n"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRelation(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	xcases := []struct{ name, src string }{
+		{"alt before xtuple", "xrelation R\nschema\ta\nalt\t1.0\tx\n"},
+		{"bad line", "xrelation R\nschema\ta\nbogus\tfoo\n"},
+		{"xtuple arity", "xrelation R\nschema\ta\nxtuple\tt1\textra\n"},
+		{"alt cells", "xrelation R\nschema\ta\tb\nxtuple\tt1\nalt\t1.0\tx\n"},
+		{"no alts", "xrelation R\nschema\ta\nxtuple\tt1\n"},
+	}
+	for _, c := range xcases {
+		if _, err := DecodeXRelation(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "relation R\nschema\ta\n# comment\nt1\tbad\tx\n"
+	_, err := DecodeRelation(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("want line 4 in error, got %v", err)
+	}
+}

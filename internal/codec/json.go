@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"probdedup/internal/pdb"
+)
+
+// JSON wire format. Attribute cells are arrays of {v, p} objects; a missing
+// "v" (null entry) carries explicit ⊥ probability mass; certain values may
+// be written as a single-element array with p omitted (meaning 1).
+
+type jsonAlt struct {
+	V *string  `json:"v"` // nil = ⊥
+	P *float64 `json:"p,omitempty"`
+}
+
+type jsonDist []jsonAlt
+
+type jsonTuple struct {
+	ID    string     `json:"id"`
+	P     float64    `json:"p"`
+	Attrs []jsonDist `json:"attrs"`
+}
+
+type jsonRelation struct {
+	Name   string      `json:"name"`
+	Schema []string    `json:"schema"`
+	Tuples []jsonTuple `json:"tuples"`
+}
+
+type jsonXAlt struct {
+	P      float64    `json:"p"`
+	Values []jsonDist `json:"values"`
+}
+
+type jsonXTuple struct {
+	ID   string     `json:"id"`
+	Alts []jsonXAlt `json:"alts"`
+}
+
+type jsonXRelation struct {
+	Name   string       `json:"name"`
+	Schema []string     `json:"schema"`
+	Tuples []jsonXTuple `json:"xtuples"`
+}
+
+func distToJSON(d pdb.Dist) jsonDist {
+	out := make(jsonDist, 0, d.Len()+1)
+	for _, a := range d.Alternatives() {
+		v := a.Value.S()
+		p := a.P
+		out = append(out, jsonAlt{V: &v, P: &p})
+	}
+	if np := d.NullP(); np > pdb.Eps {
+		p := np
+		out = append(out, jsonAlt{V: nil, P: &p})
+	}
+	return out
+}
+
+func distFromJSON(jd jsonDist) (pdb.Dist, error) {
+	alts := make([]pdb.Alternative, 0, len(jd))
+	for _, ja := range jd {
+		p := 1.0
+		if ja.P != nil {
+			p = *ja.P
+		}
+		v := pdb.Null
+		if ja.V != nil {
+			v = pdb.V(*ja.V)
+		}
+		alts = append(alts, pdb.Alternative{Value: v, P: p})
+	}
+	return pdb.NewDist(alts...)
+}
+
+// EncodeRelationJSON writes a dependency-free relation as JSON.
+func EncodeRelationJSON(w io.Writer, r *pdb.Relation) error {
+	jr := jsonRelation{Name: r.Name, Schema: r.Schema}
+	for _, t := range r.Tuples {
+		jt := jsonTuple{ID: t.ID, P: t.P}
+		for _, d := range t.Attrs {
+			jt.Attrs = append(jt.Attrs, distToJSON(d))
+		}
+		jr.Tuples = append(jr.Tuples, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// DecodeRelationJSON reads a dependency-free relation from JSON.
+func DecodeRelationJSON(r io.Reader) (*pdb.Relation, error) {
+	var jr jsonRelation
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	rel := pdb.NewRelation(jr.Name, jr.Schema...)
+	for _, jt := range jr.Tuples {
+		attrs := make([]pdb.Dist, 0, len(jt.Attrs))
+		for i, jd := range jt.Attrs {
+			d, err := distFromJSON(jd)
+			if err != nil {
+				return nil, fmt.Errorf("codec: tuple %s attribute %d: %w", jt.ID, i, err)
+			}
+			attrs = append(attrs, d)
+		}
+		rel.Append(pdb.NewTuple(jt.ID, jt.P, attrs...))
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// EncodeXRelationJSON writes an x-relation as JSON.
+func EncodeXRelationJSON(w io.Writer, r *pdb.XRelation) error {
+	jr := jsonXRelation{Name: r.Name, Schema: r.Schema}
+	for _, x := range r.Tuples {
+		jx := jsonXTuple{ID: x.ID}
+		for _, alt := range x.Alts {
+			ja := jsonXAlt{P: alt.P}
+			for _, d := range alt.Values {
+				ja.Values = append(ja.Values, distToJSON(d))
+			}
+			jx.Alts = append(jx.Alts, ja)
+		}
+		jr.Tuples = append(jr.Tuples, jx)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// DecodeXRelationJSON reads an x-relation from JSON.
+func DecodeXRelationJSON(r io.Reader) (*pdb.XRelation, error) {
+	var jr jsonXRelation
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	rel := pdb.NewXRelation(jr.Name, jr.Schema...)
+	for _, jx := range jr.Tuples {
+		x := &pdb.XTuple{ID: jx.ID}
+		for ai, ja := range jx.Alts {
+			values := make([]pdb.Dist, 0, len(ja.Values))
+			for i, jd := range ja.Values {
+				d, err := distFromJSON(jd)
+				if err != nil {
+					return nil, fmt.Errorf("codec: x-tuple %s alt %d attribute %d: %w", jx.ID, ai, i, err)
+				}
+				values = append(values, d)
+			}
+			x.Alts = append(x.Alts, pdb.Alt{Values: values, P: ja.P})
+		}
+		rel.Append(x)
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}

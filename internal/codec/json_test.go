@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+)
+
+func TestJSONRelationRoundTrip(t *testing.T) {
+	for _, r := range []*pdb.Relation{paperdata.R1(), paperdata.R2()} {
+		var buf bytes.Buffer
+		if err := EncodeRelationJSON(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeRelationJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if back.String() != r.String() {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back, r)
+		}
+	}
+}
+
+func TestJSONXRelationRoundTrip(t *testing.T) {
+	for _, r := range []*pdb.XRelation{paperdata.R3(), paperdata.R4(), paperdata.R34()} {
+		var buf bytes.Buffer
+		if err := EncodeXRelationJSON(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeXRelationJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if back.String() != r.String() {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back, r)
+		}
+	}
+}
+
+func TestJSONNullEncoding(t *testing.T) {
+	// ⊥ mass appears as an entry with "v": null.
+	r := pdb.NewRelation("R", "a").Append(
+		pdb.NewTuple("t1", 1,
+			pdb.MustDist(pdb.Alternative{Value: pdb.V("x"), P: 0.6})))
+	var buf bytes.Buffer
+	if err := EncodeRelationJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"v": null`) {
+		t.Fatalf("⊥ not encoded:\n%s", buf.String())
+	}
+	back, err := DecodeRelationJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Tuples[0].Attrs[0].NullP(); got < 0.39 || got > 0.41 {
+		t.Fatalf("⊥ mass lost: %v", got)
+	}
+}
+
+func TestJSONLiteralWithOmittedP(t *testing.T) {
+	src := `{
+	  "name": "R",
+	  "schema": ["a"],
+	  "tuples": [{"id": "t1", "p": 1, "attrs": [[{"v": "x"}]]}]
+	}`
+	r, err := DecodeRelationJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tuples[0].Attrs[0].IsCertain() {
+		t.Fatalf("omitted p must mean certainty: %v", r.Tuples[0].Attrs[0])
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"syntax", `{`},
+		{"bad prob sum", `{"name":"R","schema":["a"],"tuples":[{"id":"t1","p":1,"attrs":[[{"v":"x","p":0.9},{"v":"y","p":0.3}]]}]}`},
+		{"zero tuple p", `{"name":"R","schema":["a"],"tuples":[{"id":"t1","p":0,"attrs":[[{"v":"x"}]]}]}`},
+		{"arity", `{"name":"R","schema":["a","b"],"tuples":[{"id":"t1","p":1,"attrs":[[{"v":"x"}]]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRelationJSON(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if _, err := DecodeXRelationJSON(strings.NewReader(`{"name":"R","schema":["a"],"xtuples":[{"id":"t","alts":[]}]}`)); err == nil {
+		t.Error("x-tuple without alternatives must fail validation")
+	}
+}

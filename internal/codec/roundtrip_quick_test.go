@@ -1,0 +1,77 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"probdedup/internal/dataset"
+)
+
+// TestQuickRoundTripRandomCorpora round-trips randomly generated relations
+// through both codecs: encode(decode(encode(x))) must be stable and the
+// decoded relation must render identically.
+func TestQuickRoundTripRandomCorpora(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := dataset.DefaultConfig(10, seed)
+		cfg.UncertainRate = 0.8 // stress distributions
+		cfg.NullRate = 0.4      // stress ⊥ encoding
+		d := dataset.Generate(cfg)
+
+		// Text codec, dependency-free.
+		var buf bytes.Buffer
+		if err := EncodeRelation(&buf, d.A); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := DecodeRelation(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		if back.String() != d.A.String() {
+			t.Fatalf("seed %d: text relation round trip mismatch", seed)
+		}
+		var buf2 bytes.Buffer
+		if err := EncodeRelation(&buf2, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("seed %d: text encoding not stable", seed)
+		}
+
+		// Text codec, x-relation.
+		buf.Reset()
+		if err := EncodeXRelation(&buf, d.XA); err != nil {
+			t.Fatal(err)
+		}
+		xback, err := DecodeXRelation(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if xback.String() != d.XA.String() {
+			t.Fatalf("seed %d: text x-relation round trip mismatch", seed)
+		}
+
+		// JSON codec, both flavours.
+		buf.Reset()
+		if err := EncodeRelationJSON(&buf, d.B); err != nil {
+			t.Fatal(err)
+		}
+		jback, err := DecodeRelationJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if jback.String() != d.B.String() {
+			t.Fatalf("seed %d: json relation round trip mismatch", seed)
+		}
+		buf.Reset()
+		if err := EncodeXRelationJSON(&buf, d.XB); err != nil {
+			t.Fatal(err)
+		}
+		jxback, err := DecodeXRelationJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if jxback.String() != d.XB.String() {
+			t.Fatalf("seed %d: json x-relation round trip mismatch", seed)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package core orchestrates the complete duplicate detection pipeline for
+// probabilistic data (Sec. III's five steps, adapted per Secs. IV and V):
+//
+//	data preparation → search space reduction → attribute value matching
+//	→ decision model (with x-tuple derivation) → verification
+//
+// The pipeline operates on x-relations; dependency-free probabilistic
+// relations are lifted losslessly (each tuple becomes a one-alternative
+// x-tuple whose attribute values stay uncertain).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/ssr"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+// Options configures a detection run. Zero-value fields fall back to
+// sensible defaults (see Detect).
+type Options struct {
+	// Standardizer is the optional data-preparation step.
+	Standardizer *prepare.Standardizer
+	// Compare holds one comparison function per attribute; defaults to
+	// normalized Hamming (the paper's running choice) on every attribute.
+	Compare []strsim.Func
+	// Reduction is the search-space reduction method; nil compares all
+	// pairs.
+	Reduction ssr.Method
+	// AltModel is the decision model applied per alternative-tuple pair;
+	// defaults to the equal-weight SimpleModel with the Final thresholds.
+	AltModel decision.Model
+	// Derivation is the x-tuple derivation function ϑ; defaults to the
+	// similarity-based conditional expectation (Eq. 6).
+	Derivation xmatch.Derivation
+	// Final classifies the derived x-tuple similarity into {M,P,U}.
+	Final decision.Thresholds
+	// Workers parallelizes the matching/decision stage across goroutines
+	// (0 or 1 means sequential). Each worker owns its own matcher cache, so
+	// results are identical to a sequential run.
+	Workers int
+	// Nulls overrides the ⊥ semantics of attribute value matching; nil
+	// means the paper's sim(⊥,⊥)=1, sim(a,⊥)=0 (ablation hook, DESIGN.md
+	// §5).
+	Nulls *avm.NullSemantics
+}
+
+// Match is one compared pair with its derived similarity and class.
+type Match struct {
+	Pair  verify.Pair
+	Sim   float64
+	Class decision.Class
+}
+
+// Result is the outcome of a detection run.
+type Result struct {
+	// Matches and Possible are the declared sets M and P.
+	Matches, Possible verify.PairSet
+	// Compared lists every candidate pair in deterministic order.
+	Compared []verify.Pair
+	// ByPair gives similarity and class per compared pair.
+	ByPair map[verify.Pair]Match
+	// TotalPairs is the unreduced search-space size.
+	TotalPairs int
+}
+
+// Detect runs the pipeline over an x-relation (typically the union of the
+// sources to integrate).
+func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
+	if err := xr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := opts.Final.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Step A: data preparation.
+	if opts.Standardizer != nil {
+		xr = opts.Standardizer.XRelation(xr)
+	}
+
+	// Step C prerequisites: comparison functions.
+	compare := opts.Compare
+	if len(compare) == 0 {
+		compare = make([]strsim.Func, len(xr.Schema))
+		for i := range compare {
+			compare[i] = strsim.NormalizedHamming
+		}
+	}
+	if len(compare) != len(xr.Schema) {
+		return nil, fmt.Errorf("core: %d comparison functions for %d attributes", len(compare), len(xr.Schema))
+	}
+
+	altModel := opts.AltModel
+	if altModel == nil {
+		weights := make([]float64, len(xr.Schema))
+		for i := range weights {
+			weights[i] = 1 / float64(len(xr.Schema))
+		}
+		altModel = decision.SimpleModel{Phi: decision.WeightedSum(weights...), T: opts.Final}
+	}
+	derive := opts.Derivation
+	if derive == nil {
+		derive = xmatch.SimilarityBased{Conditioned: true}
+	}
+
+	newComparer := func() *xmatch.Comparer {
+		m := avm.NewMatcher(compare...)
+		m.Nulls = opts.Nulls
+		return &xmatch.Comparer{
+			Matcher:  m,
+			AltModel: altModel,
+			Derive:   derive,
+			Final:    opts.Final,
+		}
+	}
+
+	// Step B: search space reduction.
+	var candidates verify.PairSet
+	if opts.Reduction == nil {
+		candidates = ssr.CrossProduct{}.Candidates(xr)
+	} else {
+		candidates = opts.Reduction.Candidates(xr)
+	}
+
+	// Steps C and D: attribute value matching and decision per candidate.
+	byID := make(map[string]*pdb.XTuple, len(xr.Tuples))
+	for _, x := range xr.Tuples {
+		byID[x.ID] = x
+	}
+	res := &Result{
+		Matches:    verify.PairSet{},
+		Possible:   verify.PairSet{},
+		ByPair:     make(map[verify.Pair]Match, len(candidates)),
+		TotalPairs: len(ssr.AllPairs(xr)),
+	}
+	res.Compared = make([]verify.Pair, 0, len(candidates))
+	for p := range candidates {
+		res.Compared = append(res.Compared, p)
+	}
+	sort.Slice(res.Compared, func(i, j int) bool {
+		if res.Compared[i].A != res.Compared[j].A {
+			return res.Compared[i].A < res.Compared[j].A
+		}
+		return res.Compared[i].B < res.Compared[j].B
+	})
+	for _, p := range res.Compared {
+		if _, ok := byID[p.A]; !ok {
+			return nil, fmt.Errorf("core: candidate pair %v references unknown tuples", p)
+		}
+		if _, ok := byID[p.B]; !ok {
+			return nil, fmt.Errorf("core: candidate pair %v references unknown tuples", p)
+		}
+	}
+
+	matches := make([]Match, len(res.Compared))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(res.Compared) {
+		workers = len(res.Compared)
+	}
+	if workers <= 1 {
+		comparer := newComparer()
+		for i, p := range res.Compared {
+			r := comparer.Compare(byID[p.A], byID[p.B])
+			matches[i] = Match{Pair: p, Sim: r.Sim, Class: r.Class}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				comparer := newComparer()
+				for i := w; i < len(res.Compared); i += workers {
+					p := res.Compared[i]
+					r := comparer.Compare(byID[p.A], byID[p.B])
+					matches[i] = Match{Pair: p, Sim: r.Sim, Class: r.Class}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, m := range matches {
+		res.ByPair[m.Pair] = m
+		switch m.Class {
+		case decision.M:
+			res.Matches[m.Pair] = true
+		case decision.P:
+			res.Possible[m.Pair] = true
+		}
+	}
+	return res, nil
+}
+
+// DetectRelations lifts two dependency-free relations, unions them, and
+// runs Detect — the common "integrate two probabilistic sources" entry
+// point (the paper's ℛ1/ℛ2 scenario).
+func DetectRelations(r1, r2 *pdb.Relation, opts Options) (*Result, error) {
+	x1 := r1.ToXRelation()
+	x2 := r2.ToXRelation()
+	u, err := x1.Union(r1.Name+"+"+r2.Name, x2)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return Detect(u, opts)
+}
+
+// Verify executes the verification step (Sec. III-E) against ground truth.
+// The effectiveness is measured over the compared pairs; duplicates pruned
+// by the reduction step count as false negatives, which Evaluate sees via
+// the full universe.
+func (r *Result) Verify(truth verify.PairSet, universe []verify.Pair) verify.Report {
+	if universe == nil {
+		universe = r.Compared
+	}
+	return verify.Evaluate(r.Matches, r.Possible, truth, universe)
+}
+
+// Reduction reports the search-space reduction achieved by the run.
+func (r *Result) Reduction(truth verify.PairSet) verify.Reduction {
+	trueIn := 0
+	for _, p := range r.Compared {
+		if truth[p] {
+			trueIn++
+		}
+	}
+	return verify.Reduction{
+		CandidatePairs:   len(r.Compared),
+		TotalPairs:       r.TotalPairs,
+		TrueInCandidates: trueIn,
+		TrueTotal:        len(truth),
+	}
+}

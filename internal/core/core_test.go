@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/dataset"
+	"probdedup/internal/decision"
+	"probdedup/internal/keys"
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/ssr"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func paperOptions() Options {
+	return Options{
+		Compare: []strsim.Func{strsim.NormalizedHamming, strsim.NormalizedHamming},
+		AltModel: decision.SimpleModel{
+			Phi: decision.WeightedSum(0.8, 0.2),
+			T:   decision.Thresholds{Lambda: 0.4, Mu: 0.7},
+		},
+		Derivation: xmatch.SimilarityBased{Conditioned: true},
+		Final:      decision.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+}
+
+func TestDetectRelationsPaperR1R2(t *testing.T) {
+	res, err := DetectRelations(paperdata.R1(), paperdata.R2(), paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 tuples → 15 pairs, all compared without reduction.
+	if res.TotalPairs != 15 || len(res.Compared) != 15 {
+		t.Fatalf("compared %d of %d", len(res.Compared), res.TotalPairs)
+	}
+	// The worked example: (t11,t22) has sim 0.8·0.9+0.2·(53/90).
+	m, ok := res.ByPair[verify.NewPair("t11", "t22")]
+	if !ok {
+		t.Fatal("pair (t11,t22) not compared")
+	}
+	want := 0.8*0.9 + 0.2*(53.0/90)
+	if !almost(m.Sim, want) {
+		t.Fatalf("sim(t11,t22) = %v, want %v", m.Sim, want)
+	}
+	if m.Class != decision.M {
+		t.Fatalf("(t11,t22) must be a match, got %v", m.Class)
+	}
+	if !res.Matches.Has("t11", "t22") {
+		t.Fatal("matches set inconsistent")
+	}
+}
+
+func TestDetectXRelationsPaper(t *testing.T) {
+	opts := paperOptions()
+	opts.Derivation = xmatch.DecisionBased{Conditioned: true}
+	opts.Final = decision.Thresholds{Lambda: 0.5, Mu: 1.0}
+	res, err := Detect(paperdata.R34(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.ByPair[verify.NewPair("t32", "t42")]
+	if !almost(m.Sim, 0.75) {
+		t.Fatalf("decision-based sim(t32,t42) = %v, want 0.75", m.Sim)
+	}
+	if m.Class != decision.P {
+		t.Fatalf("class %v", m.Class)
+	}
+}
+
+func TestDetectWithReduction(t *testing.T) {
+	opts := paperOptions()
+	opts.Reduction = ssr.SNMAlternatives{
+		Key:    keys.NewDef(keys.Part{Attr: 0, Prefix: 3}, keys.Part{Attr: 1, Prefix: 2}),
+		Window: 2,
+	}
+	res, err := Detect(paperdata.R34(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compared) != 5 {
+		t.Fatalf("reduced candidates = %d, want the paper's 5", len(res.Compared))
+	}
+	if res.TotalPairs != 10 {
+		t.Fatalf("total pairs %d", res.TotalPairs)
+	}
+}
+
+func TestDetectDefaults(t *testing.T) {
+	// No Compare/AltModel/Derivation: defaults must work end to end.
+	res, err := Detect(paperdata.R34(), Options{Final: decision.Thresholds{Lambda: 0.4, Mu: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compared) != 10 {
+		t.Fatalf("compared %d", len(res.Compared))
+	}
+	// Identical tuples would be matched; sanity: all sims in [0,1] for the
+	// default similarity-based derivation with normalized φ.
+	for _, m := range res.ByPair {
+		if m.Sim < -1e-9 || m.Sim > 1+1e-9 {
+			t.Fatalf("sim %v outside [0,1]", m.Sim)
+		}
+	}
+}
+
+func TestDetectWithStandardizer(t *testing.T) {
+	opts := paperOptions()
+	opts.Standardizer = prepare.NewStandardizer(prepare.LowerCase, prepare.LowerCase)
+	// Build two tuples differing only in case: after standardization they
+	// are identical and must match.
+	a := pdb.NewRelation("A", "name", "job").Append(
+		pdb.NewTuple("a1", 1, pdb.Certain("TIM"), pdb.Certain("MECHANIC")))
+	b := pdb.NewRelation("B", "name", "job").Append(
+		pdb.NewTuple("b1", 1, pdb.Certain("tim"), pdb.Certain("mechanic")))
+	res, err := DetectRelations(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches.Has("a1", "b1") {
+		t.Fatal("standardized identical tuples must match")
+	}
+	// Without the standardizer the normalized Hamming of TIM/tim is 0.
+	opts.Standardizer = nil
+	res2, err := DetectRelations(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Matches.Has("a1", "b1") {
+		t.Fatal("case difference must prevent the match without preparation")
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	// Invalid thresholds.
+	if _, err := Detect(paperdata.R34(), Options{Final: decision.Thresholds{Lambda: 1, Mu: 0}}); err == nil {
+		t.Fatal("want threshold error")
+	}
+	// Wrong comparison function count.
+	opts := Options{Compare: []strsim.Func{strsim.Exact}}
+	if _, err := Detect(paperdata.R34(), opts); err == nil {
+		t.Fatal("want arity error")
+	}
+	// Invalid relation.
+	bad := pdb.NewXRelation("bad", "a").Append(pdb.NewXTuple("t"))
+	if _, err := Detect(bad, Options{}); err == nil {
+		t.Fatal("want validation error")
+	}
+	// Union width mismatch.
+	r1 := pdb.NewRelation("r1", "a")
+	r2 := pdb.NewRelation("r2", "a", "b")
+	if _, err := DetectRelations(r1, r2, Options{}); err == nil {
+		t.Fatal("want union error")
+	}
+}
+
+func TestVerifyAndReduction(t *testing.T) {
+	d := dataset.Generate(dataset.DefaultConfig(60, 5))
+	opts := Options{
+		Compare: []strsim.Func{strsim.Levenshtein, strsim.Levenshtein, strsim.Levenshtein},
+		AltModel: decision.SimpleModel{
+			Phi: decision.WeightedSum(0.5, 0.25, 0.25),
+			T:   decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+		},
+		Derivation: xmatch.SimilarityBased{Conditioned: true},
+		Final:      decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+	}
+	u := d.Union()
+	res, err := Detect(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Verify(d.Truth, ssr.AllPairs(u))
+	// On an easy synthetic corpus the pipeline must clearly beat chance.
+	if rep.Recall() < 0.3 {
+		t.Fatalf("recall %v suspiciously low: %s", rep.Recall(), rep)
+	}
+	if rep.Precision() < 0.3 {
+		t.Fatalf("precision %v suspiciously low: %s", rep.Precision(), rep)
+	}
+	red := res.Reduction(d.Truth)
+	if red.CandidatePairs != len(res.Compared) || red.TotalPairs != res.TotalPairs {
+		t.Fatalf("reduction inconsistent: %+v", red)
+	}
+	if !almost(red.ReductionRatio(), 0) {
+		t.Fatalf("cross product must not reduce: %v", red.ReductionRatio())
+	}
+}
+
+func TestDeterministicComparedOrder(t *testing.T) {
+	res1, err := Detect(paperdata.R34(), Options{Final: decision.Thresholds{Lambda: 0.4, Mu: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := Detect(paperdata.R34(), Options{Final: decision.Thresholds{Lambda: 0.4, Mu: 0.7}})
+	for i := range res1.Compared {
+		if res1.Compared[i] != res2.Compared[i] {
+			t.Fatal("Compared order must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/dataset"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+	"probdedup/internal/xmatch"
+)
+
+func TestParallelDetectMatchesSequential(t *testing.T) {
+	d := dataset.Generate(dataset.DefaultConfig(50, 23))
+	u := d.Union()
+	base := Options{
+		Compare: []strsim.Func{strsim.Levenshtein, strsim.Levenshtein, strsim.Levenshtein},
+		AltModel: decision.SimpleModel{
+			Phi: decision.WeightedSum(0.4, 0.3, 0.3),
+			T:   decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+		},
+		Derivation: xmatch.SimilarityBased{Conditioned: true},
+		Final:      decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+	}
+	seq, err := Detect(u, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 1000} {
+		opts := base
+		opts.Workers = workers
+		par, err := Detect(u, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Compared) != len(seq.Compared) {
+			t.Fatalf("workers=%d: compared %d vs %d", workers, len(par.Compared), len(seq.Compared))
+		}
+		for p, sm := range seq.ByPair {
+			pm, ok := par.ByPair[p]
+			if !ok {
+				t.Fatalf("workers=%d: pair %v missing", workers, p)
+			}
+			if math.Abs(pm.Sim-sm.Sim) > 1e-12 || pm.Class != sm.Class {
+				t.Fatalf("workers=%d: pair %v differs (%v/%v vs %v/%v)",
+					workers, p, pm.Sim, pm.Class, sm.Sim, sm.Class)
+			}
+		}
+		if len(par.Matches) != len(seq.Matches) || len(par.Possible) != len(seq.Possible) {
+			t.Fatalf("workers=%d: set sizes differ", workers)
+		}
+	}
+}
+
+func TestParallelDetectEmptyCandidates(t *testing.T) {
+	// A single-tuple relation yields no pairs; workers > pairs must not
+	// panic.
+	u := pdb.NewXRelation("one", "a").Append(pdb.NewXTuple("t", pdb.NewAlt(1, "x")))
+	opts := Options{Final: decision.Thresholds{Lambda: 0.4, Mu: 0.7}, Workers: 8}
+	res, err := Detect(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compared) != 0 {
+		t.Fatalf("compared %d", len(res.Compared))
+	}
+}

@@ -1,0 +1,336 @@
+// Package dataset generates synthetic probabilistic person datasets with
+// ground truth, the evaluation substrate for the paper's verification step
+// (Sec. III-E). The paper reports no dataset of its own, so the generator
+// mimics the paper's running scenario: two autonomous probabilistic sources
+// (e.g. catalogs produced by different instruments) that overlap in the
+// real-world entities they describe.
+//
+// Generation pipeline per source tuple:
+//
+//  1. draw a real-world entity (name, job, city from seed lists),
+//  2. corrupt attribute values with typo noise (edit operations) at the
+//     configured error rate,
+//  3. inject attribute-level uncertainty: with the configured probability
+//     an attribute value becomes a small distribution containing the true
+//     (or corrupted) value plus plausible wrong alternatives, with
+//     probability mass drawn from the rng; optionally some mass goes to ⊥,
+//  4. inject tuple-level uncertainty: p(t) < 1 for a fraction of tuples —
+//     which duplicate detection must ignore,
+//  5. for x-relations, wrap correlated attribute combinations into
+//     alternatives (e.g. {(Tim, mechanic), (Jim, baker)}).
+//
+// Every randomized step uses an explicit *rand.Rand for reproducibility.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+)
+
+// Config controls generation.
+type Config struct {
+	// Entities is the number of distinct real-world entities.
+	Entities int
+	// DupRate is the fraction of entities represented in BOTH sources
+	// (cross-source duplicates).
+	DupRate float64
+	// IntraDupRate is the fraction of entities with a second representation
+	// inside the same source.
+	IntraDupRate float64
+	// TypoRate is the per-attribute probability of corrupting the value of
+	// a duplicate representation with edit noise.
+	TypoRate float64
+	// UncertainRate is the per-attribute probability of replacing the value
+	// with a small distribution (uncertainty injection).
+	UncertainRate float64
+	// NullRate is the per-attribute probability of moving some mass to ⊥.
+	NullRate float64
+	// MaybeRate is the fraction of tuples with p(t) < 1.
+	MaybeRate float64
+	// AltRate is, for x-relations, the probability that a tuple gets a
+	// second correlated alternative.
+	AltRate float64
+	// CorrelatedNulls makes missingness an *entity-level* property: with
+	// probability NullRate an entity's attribute does not exist in the real
+	// world, so every representation renders it as certain ⊥ (the paper's
+	// reading of non-existence). When false, ⊥ mass is injected
+	// independently per representation (measurement-style missingness).
+	CorrelatedNulls bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a medium-difficulty configuration.
+func DefaultConfig(entities int, seed int64) Config {
+	return Config{
+		Entities:      entities,
+		DupRate:       0.5,
+		IntraDupRate:  0.1,
+		TypoRate:      0.3,
+		UncertainRate: 0.4,
+		NullRate:      0.1,
+		MaybeRate:     0.3,
+		AltRate:       0.4,
+		Seed:          seed,
+	}
+}
+
+// Dataset is a generated two-source corpus with ground truth.
+type Dataset struct {
+	// A and B are the two probabilistic sources.
+	A, B *pdb.Relation
+	// XA and XB are x-relation renderings of the same entities (with
+	// correlated alternatives).
+	XA, XB *pdb.XRelation
+	// Truth contains every pair of tuple IDs representing the same entity
+	// (intra- and inter-source).
+	Truth verify.PairSet
+}
+
+// Union returns XA ∪ XB (the relation duplicate detection runs on).
+func (d *Dataset) Union() *pdb.XRelation {
+	u, err := d.XA.Union("U", d.XB)
+	if err != nil {
+		panic(err) // schemas are identical by construction
+	}
+	return u
+}
+
+var firstNames = []string{
+	"Tim", "Tom", "Jim", "John", "Johan", "Jon", "Sean", "Kim", "Timothy",
+	"Anna", "Anne", "Hanna", "Maria", "Marie", "Peter", "Petra", "Paul",
+	"Paula", "Robert", "Rupert", "Laura", "Lara", "Nora", "Norbert", "Fabian",
+	"Fiona", "Maurice", "Morris", "Ander", "Andre", "Greta", "Gerda",
+}
+
+var jobs = []string{
+	"machinist", "mechanic", "mechanist", "baker", "confectioner",
+	"confectionist", "pilot", "pianist", "musician", "muralist", "engineer",
+	"teacher", "doctor", "nurse", "astronomer", "astrologer", "carpenter",
+	"gardener", "plumber", "painter", "printer", "writer", "waiter",
+}
+
+var cities = []string{
+	"Hamburg", "Homburg", "Enschede", "Eindhoven", "Berlin", "Bern",
+	"Munich", "Muenster", "Twente", "Trente", "Bremen", "Dresden",
+	"Leiden", "Leipzig", "Utrecht", "Ulm",
+}
+
+// Entity is one real-world person.
+type Entity struct {
+	Name, Job, City string
+	// Missing marks attributes that do not exist for this entity in the
+	// real world (only used with Config.CorrelatedNulls).
+	Missing [3]bool
+}
+
+// Schema is the attribute schema of generated relations.
+var Schema = []string{"name", "job", "city"}
+
+// Generate builds a dataset for the configuration.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entities := make([]Entity, cfg.Entities)
+	for i := range entities {
+		entities[i] = Entity{
+			Name: firstNames[rng.Intn(len(firstNames))],
+			Job:  jobs[rng.Intn(len(jobs))],
+			City: cities[rng.Intn(len(cities))],
+		}
+		if cfg.CorrelatedNulls {
+			// Non-existence is a fact about the entity: job and city may be
+			// missing in the real world (never the name).
+			for attr := 1; attr < 3; attr++ {
+				entities[i].Missing[attr] = rng.Float64() < cfg.NullRate
+			}
+		}
+	}
+
+	d := &Dataset{
+		A:     pdb.NewRelation("A", Schema...),
+		B:     pdb.NewRelation("B", Schema...),
+		XA:    pdb.NewXRelation("XA", Schema...),
+		XB:    pdb.NewXRelation("XB", Schema...),
+		Truth: verify.PairSet{},
+	}
+
+	var idSeq int
+	nextID := func(src string) string {
+		idSeq++
+		return fmt.Sprintf("%s%04d", src, idSeq)
+	}
+
+	for _, e := range entities {
+		// IDs of all representations of this entity, for truth pairs.
+		var reps []string
+		add := func(src string, r *pdb.Relation, xr *pdb.XRelation, corrupted bool) {
+			id := nextID(src)
+			tu, xt := render(rng, cfg, id, e, corrupted)
+			r.Append(tu)
+			xr.Append(xt)
+			reps = append(reps, id)
+		}
+		// Source A always holds the entity; the first representation of an
+		// entity is clean (its duplicates carry the noise).
+		add("a", d.A, d.XA, false)
+		if rng.Float64() < cfg.IntraDupRate {
+			add("a", d.A, d.XA, true)
+		}
+		if rng.Float64() < cfg.DupRate {
+			add("b", d.B, d.XB, true)
+			if rng.Float64() < cfg.IntraDupRate {
+				add("b", d.B, d.XB, true)
+			}
+		}
+		for i := 0; i < len(reps); i++ {
+			for j := i + 1; j < len(reps); j++ {
+				d.Truth.Add(reps[i], reps[j])
+			}
+		}
+	}
+	return d
+}
+
+// render produces the dependency-free and x-tuple representation of one
+// entity occurrence.
+func render(rng *rand.Rand, cfg Config, id string, e Entity, corrupted bool) (*pdb.Tuple, *pdb.XTuple) {
+	vals := []string{e.Name, e.Job, e.City}
+	if corrupted {
+		for i, v := range vals {
+			if rng.Float64() < cfg.TypoRate {
+				vals[i] = Typo(rng, v)
+			}
+		}
+	}
+	attrs := make([]pdb.Dist, len(vals))
+	for i, v := range vals {
+		if cfg.CorrelatedNulls && e.Missing[i] {
+			attrs[i] = pdb.CertainNull()
+			continue
+		}
+		attrs[i] = uncertainDist(rng, cfg, v, domainFor(i))
+	}
+	p := 1.0
+	if rng.Float64() < cfg.MaybeRate {
+		p = 0.3 + 0.7*rng.Float64()
+	}
+	tu := pdb.NewTuple(id, p, attrs...)
+
+	// X-tuple: primary alternative plus, sometimes, a correlated second
+	// alternative built from fresh corruptions.
+	alts := []pdb.Alt{{Values: attrs, P: p}}
+	if rng.Float64() < cfg.AltRate {
+		alt2 := make([]pdb.Dist, len(vals))
+		for i, v := range vals {
+			if cfg.CorrelatedNulls && e.Missing[i] {
+				alt2[i] = pdb.CertainNull()
+				continue
+			}
+			w := v
+			if rng.Float64() < 0.5 {
+				w = Typo(rng, v)
+			}
+			alt2[i] = uncertainDist(rng, cfg, w, domainFor(i))
+		}
+		split := 0.3 + 0.4*rng.Float64()
+		alts = []pdb.Alt{
+			{Values: attrs, P: p * split},
+			{Values: alt2, P: p * (1 - split)},
+		}
+	}
+	xt := &pdb.XTuple{ID: id, Alts: alts}
+	return tu, xt
+}
+
+func domainFor(attr int) []string {
+	switch attr {
+	case 0:
+		return firstNames
+	case 1:
+		return jobs
+	default:
+		return cities
+	}
+}
+
+// uncertainDist wraps a value into an attribute distribution according to
+// the uncertainty configuration.
+func uncertainDist(rng *rand.Rand, cfg Config, v string, domain []string) pdb.Dist {
+	nullMass := 0.0
+	if rng.Float64() < cfg.NullRate {
+		nullMass = 0.05 + 0.25*rng.Float64()
+	}
+	if rng.Float64() >= cfg.UncertainRate {
+		if nullMass > 0 {
+			return pdb.MustDist(pdb.Alternative{Value: pdb.V(v), P: 1 - nullMass})
+		}
+		return pdb.Certain(v)
+	}
+	// 2–3 alternatives: the true value gets the lion's share.
+	n := 2 + rng.Intn(2)
+	remaining := 1 - nullMass
+	main := remaining * (0.55 + 0.3*rng.Float64())
+	alts := []pdb.Alternative{{Value: pdb.V(v), P: main}}
+	remaining -= main
+	for i := 1; i < n && remaining > 1e-6; i++ {
+		other := domain[rng.Intn(len(domain))]
+		if other == v {
+			other = Typo(rng, v)
+		}
+		p := remaining
+		if i < n-1 {
+			p = remaining * rng.Float64()
+		}
+		remaining -= p
+		if p > 1e-6 {
+			alts = append(alts, pdb.Alternative{Value: pdb.V(other), P: p})
+		}
+	}
+	return pdb.MustDist(alts...)
+}
+
+// Typo applies one random edit operation (substitute, insert, delete,
+// transpose) to s, never returning s unchanged for len(s) > 1.
+func Typo(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return "x"
+	}
+	switch rng.Intn(4) {
+	case 0: // substitute
+		i := rng.Intn(len(r))
+		old := r[i]
+		for r[i] == old {
+			r[i] = rune('a' + rng.Intn(26))
+		}
+		return string(r)
+	case 1: // insert
+		i := rng.Intn(len(r) + 1)
+		c := rune('a' + rng.Intn(26))
+		return string(r[:i]) + string(c) + string(r[i:])
+	case 2: // delete
+		if len(r) == 1 {
+			return string(r) + "x"
+		}
+		i := rng.Intn(len(r))
+		return string(r[:i]) + string(r[i+1:])
+	default: // transpose
+		if len(r) == 1 {
+			return string(r) + "x"
+		}
+		i := rng.Intn(len(r) - 1)
+		if r[i] == r[i+1] {
+			// Transposing equal runes is a no-op; substitute instead.
+			old := r[i]
+			for r[i] == old {
+				r[i] = rune('a' + rng.Intn(26))
+			}
+			return string(r)
+		}
+		r[i], r[i+1] = r[i+1], r[i]
+		return string(r)
+	}
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	cfg := DefaultConfig(100, 42)
+	d1 := Generate(cfg)
+	d2 := Generate(cfg)
+
+	for _, r := range []interface{ Validate() error }{d1.A, d1.B, d1.XA, d1.XB} {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Determinism: same seed, identical rendering.
+	if d1.A.String() != d2.A.String() || d1.XB.String() != d2.XB.String() {
+		t.Fatal("generation must be deterministic for a fixed seed")
+	}
+	if len(d1.Truth) != len(d2.Truth) {
+		t.Fatal("truth differs across runs")
+	}
+	// Different seed, different data.
+	d3 := Generate(DefaultConfig(100, 43))
+	if d1.A.String() == d3.A.String() {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig(200, 7)
+	d := Generate(cfg)
+	if len(d.A.Tuples) < 200 {
+		t.Fatalf("source A has %d tuples, want ≥ 200", len(d.A.Tuples))
+	}
+	// With DupRate 0.5 source B should hold a substantial share.
+	if len(d.B.Tuples) < 50 || len(d.B.Tuples) > 200 {
+		t.Fatalf("source B has %d tuples", len(d.B.Tuples))
+	}
+	if len(d.Truth) == 0 {
+		t.Fatal("no ground-truth duplicates generated")
+	}
+	// Parallel relations have identical IDs.
+	if len(d.A.Tuples) != len(d.XA.Tuples) {
+		t.Fatal("A and XA must be parallel")
+	}
+	for i := range d.A.Tuples {
+		if d.A.Tuples[i].ID != d.XA.Tuples[i].ID {
+			t.Fatal("ID mismatch between A and XA")
+		}
+	}
+	// Union keeps every tuple.
+	u := d.Union()
+	if len(u.Tuples) != len(d.XA.Tuples)+len(d.XB.Tuples) {
+		t.Fatal("union size wrong")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthPairsExistInRelations(t *testing.T) {
+	d := Generate(DefaultConfig(100, 3))
+	ids := map[string]bool{}
+	for _, tu := range append(d.A.Tuples, d.B.Tuples...) {
+		ids[tu.ID] = true
+	}
+	for p := range d.Truth {
+		if !ids[p.A] || !ids[p.B] {
+			t.Fatalf("truth pair %v references unknown tuples", p)
+		}
+	}
+}
+
+func TestUncertaintyKnobs(t *testing.T) {
+	// Zero uncertainty produces certain relations.
+	cfg := Config{Entities: 50, DupRate: 0.5, TypoRate: 0.5, Seed: 9}
+	d := Generate(cfg)
+	for _, tu := range d.A.Tuples {
+		if tu.P != 1 {
+			t.Fatalf("MaybeRate=0 but p(t)=%v", tu.P)
+		}
+		for _, a := range tu.Attrs {
+			if !a.IsCertain() {
+				t.Fatalf("UncertainRate=0 but dist=%v", a)
+			}
+		}
+	}
+	// High uncertainty produces uncertain attributes somewhere.
+	cfg2 := DefaultConfig(50, 9)
+	cfg2.UncertainRate = 1.0
+	d2 := Generate(cfg2)
+	foundUncertain := false
+	for _, tu := range d2.A.Tuples {
+		for _, a := range tu.Attrs {
+			if a.Len() > 1 {
+				foundUncertain = true
+			}
+		}
+	}
+	if !foundUncertain {
+		t.Fatal("UncertainRate=1 produced no uncertain attributes")
+	}
+}
+
+func TestTypoAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	words := []string{"machinist", "Tim", "ab", "x", "", "aa", "Hamburg"}
+	for _, w := range words {
+		for i := 0; i < 200; i++ {
+			if got := Typo(rng, w); got == w && len(w) > 1 {
+				t.Fatalf("Typo(%q) returned the input unchanged", w)
+			}
+		}
+	}
+}
+
+func TestXTupleAlternativesGenerated(t *testing.T) {
+	cfg := DefaultConfig(100, 11)
+	cfg.AltRate = 1.0
+	d := Generate(cfg)
+	multi := 0
+	for _, x := range d.XA.Tuples {
+		if len(x.Alts) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("AltRate=1 produced no multi-alternative x-tuples")
+	}
+}

@@ -1,0 +1,68 @@
+package decision
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/avm"
+)
+
+func BenchmarkWeightedSum(b *testing.B) {
+	phi := WeightedSum(0.5, 0.3, 0.2)
+	c := avm.Vector{0.9, 0.4, 0.7}
+	for i := 0; i < b.N; i++ {
+		_ = phi(c)
+	}
+}
+
+func BenchmarkRuleModel(b *testing.B) {
+	rules, err := ParseRules(`
+IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8
+IF name > 0.95 THEN DUPLICATES WITH CERTAINTY=0.9
+`, []string{"name", "job"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := RuleModel{Rules: rules, T: Thresholds{Lambda: 0.7, Mu: 0.7}}
+	c := avm.Vector{0.9, 0.75}
+	for i := 0; i < b.N; i++ {
+		_ = Decide(model, c)
+	}
+}
+
+func BenchmarkFellegiSunterWeight(b *testing.B) {
+	fs, err := NewFellegiSunter(
+		[]float64{0.9, 0.85, 0.8}, []float64{0.1, 0.2, 0.15},
+		Thresholds{Lambda: -2, Mu: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := avm.Vector{0.9, 0.3, 0.8}
+	for i := 0; i < b.N; i++ {
+		_ = Decide(fs, c)
+	}
+}
+
+func BenchmarkEstimateEM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	patterns := make([]Pattern, 2000)
+	for i := range patterns {
+		match := rng.Float64() < 0.2
+		p := make(Pattern, 3)
+		for j := range p {
+			if match {
+				p[j] = rng.Float64() < 0.9
+			} else {
+				p[j] = rng.Float64() < 0.1
+			}
+		}
+		patterns[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateEM(patterns, 3, 50, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

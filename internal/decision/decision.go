@@ -1,0 +1,175 @@
+// Package decision implements the decision models of Sec. III-D: the
+// two-step scheme of Fig. 3 (combination function φ, then threshold
+// classification into matches M, possible matches P and non-matches U),
+// knowledge-based identification rules (Fig. 1), and the probabilistic
+// Fellegi–Sunter theory with m-/u-probabilities and the matching weight
+// R = m(c⃗)/u(c⃗) (Fig. 2), including EM parameter estimation.
+package decision
+
+import (
+	"fmt"
+	"math"
+
+	"probdedup/internal/avm"
+)
+
+// Class is the matching value η(t1,t2) ∈ {m, p, u}.
+type Class int
+
+const (
+	// U : the pair is a non-match (set U).
+	U Class = iota
+	// P : the pair is a possible match requiring clerical review (set P).
+	P
+	// M : the pair is a match (set M).
+	M
+)
+
+// String renders the class as the paper's lowercase letter.
+func (c Class) String() string {
+	switch c {
+	case M:
+		return "m"
+	case P:
+		return "p"
+	default:
+		return "u"
+	}
+}
+
+// Score returns the numeric encoding {m=2, p=1, u=0} used by the
+// expected-matching-result derivation of Sec. IV-B.
+func (c Class) Score() float64 { return float64(int(c)) }
+
+// Combine is a combination function φ: [0,1]ⁿ → ℝ collapsing a comparison
+// vector into a single similarity degree (Eq. 3).
+type Combine func(c avm.Vector) float64
+
+// WeightedSum returns φ(c⃗) = Σ wᵢ·cᵢ. With weights summing to 1 the result
+// is normalized. The paper's example uses φ(c⃗) = 0.8·c1 + 0.2·c2.
+func WeightedSum(weights ...float64) Combine {
+	ws := append([]float64(nil), weights...)
+	return func(c avm.Vector) float64 {
+		s := 0.0
+		for i, w := range ws {
+			if i < len(c) {
+				s += w * c[i]
+			}
+		}
+		return s
+	}
+}
+
+// Average returns the unweighted mean of the comparison vector.
+func Average(c avm.Vector) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range c {
+		s += v
+	}
+	return s / float64(len(c))
+}
+
+// Minimum returns the most pessimistic attribute similarity.
+func Minimum(c avm.Vector) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	m := c[0]
+	for _, v := range c[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Maximum returns the most optimistic attribute similarity.
+func Maximum(c avm.Vector) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	m := c[0]
+	for _, v := range c[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Product returns Π cᵢ, a strict conjunction-like combination.
+func Product(c avm.Vector) float64 {
+	p := 1.0
+	for _, v := range c {
+		p *= v
+	}
+	if len(c) == 0 {
+		return 0
+	}
+	return p
+}
+
+// Thresholds separates similarity degrees into the sets M, P, U. With
+// Lambda == Mu the set P is empty and the model degenerates to the
+// two-class scheme used by most knowledge-based techniques.
+type Thresholds struct {
+	// Lambda is Tλ: below it the pair is a non-match.
+	Lambda float64
+	// Mu is Tμ: above it the pair is a match. Must be ≥ Lambda.
+	Mu float64
+}
+
+// Validate checks Lambda ≤ Mu.
+func (t Thresholds) Validate() error {
+	if math.IsNaN(t.Lambda) || math.IsNaN(t.Mu) {
+		return fmt.Errorf("decision: NaN threshold")
+	}
+	if t.Lambda > t.Mu {
+		return fmt.Errorf("decision: Tλ=%v > Tμ=%v", t.Lambda, t.Mu)
+	}
+	return nil
+}
+
+// Classify assigns a similarity degree to M (sim > Tμ), U (sim < Tλ) or P
+// (otherwise), following Fig. 2.
+func (t Thresholds) Classify(sim float64) Class {
+	switch {
+	case sim > t.Mu:
+		return M
+	case sim < t.Lambda:
+		return U
+	default:
+		return P
+	}
+}
+
+// Model is a decision model in the general two-step representation of
+// Fig. 3: a combination function producing sim(t1,t2) from c⃗, followed by a
+// threshold classification into {M, P, U}.
+type Model interface {
+	// Similarity executes φ(c⃗) (step 1 of Fig. 3).
+	Similarity(c avm.Vector) float64
+	// Classify executes step 2 of Fig. 3.
+	Classify(sim float64) Class
+}
+
+// Decide runs both steps: η(t1,t2) = Classify(φ(c⃗)).
+func Decide(m Model, c avm.Vector) Class {
+	return m.Classify(m.Similarity(c))
+}
+
+// SimpleModel composes an arbitrary combination function with thresholds.
+// It is the natural representation of knowledge-free weighted-sum matching.
+type SimpleModel struct {
+	Phi Combine
+	T   Thresholds
+}
+
+// Similarity implements Model.
+func (s SimpleModel) Similarity(c avm.Vector) float64 { return s.Phi(c) }
+
+// Classify implements Model.
+func (s SimpleModel) Classify(sim float64) Class { return s.T.Classify(sim) }

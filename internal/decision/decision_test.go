@@ -1,0 +1,376 @@
+package decision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probdedup/internal/avm"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestPaperCombinationExample(t *testing.T) {
+	// φ(c⃗) = 0.8·c1 + 0.2·c2 on c⃗=(0.9, 0.59) gives 0.838 (Sec. IV-A).
+	phi := WeightedSum(0.8, 0.2)
+	if got := phi(avm.Vector{0.9, 0.59}); !almost(got, 0.838) {
+		t.Errorf("φ = %v, want 0.838", got)
+	}
+	// With the unrounded job similarity 53/90 the exact value is 0.8·0.9 +
+	// 0.2·(53/90).
+	exact := 0.8*0.9 + 0.2*(53.0/90)
+	if got := phi(avm.Vector{0.9, 53.0 / 90}); !almost(got, exact) {
+		t.Errorf("φ exact = %v, want %v", got, exact)
+	}
+}
+
+func TestCombineFunctions(t *testing.T) {
+	c := avm.Vector{0.2, 0.8, 0.5}
+	if got := Average(c); !almost(got, 0.5) {
+		t.Errorf("Average = %v", got)
+	}
+	if got := Minimum(c); !almost(got, 0.2) {
+		t.Errorf("Minimum = %v", got)
+	}
+	if got := Maximum(c); !almost(got, 0.8) {
+		t.Errorf("Maximum = %v", got)
+	}
+	if got := Product(c); !almost(got, 0.08) {
+		t.Errorf("Product = %v", got)
+	}
+	// Empty vectors.
+	for name, f := range map[string]Combine{"avg": Average, "min": Minimum, "max": Maximum, "prod": Product} {
+		if got := f(nil); got != 0 {
+			t.Errorf("%s(nil) = %v, want 0", name, got)
+		}
+	}
+	// Missing weights treat absent attributes as 0 contribution.
+	if got := WeightedSum(1, 1)(avm.Vector{0.5}); !almost(got, 0.5) {
+		t.Errorf("short vector = %v", got)
+	}
+}
+
+func TestThresholdsClassify(t *testing.T) {
+	th := Thresholds{Lambda: 0.4, Mu: 0.7}
+	cases := []struct {
+		sim  float64
+		want Class
+	}{
+		{0.39, U}, {0.4, P}, {0.5, P}, {0.7, P}, {0.71, M},
+	}
+	for _, c := range cases {
+		if got := th.Classify(c.sim); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.sim, got, c.want)
+		}
+	}
+	// Degenerate two-class model.
+	two := Thresholds{Lambda: 0.5, Mu: 0.5}
+	if two.Classify(0.6) != M || two.Classify(0.4) != U || two.Classify(0.5) != P {
+		t.Error("degenerate thresholds broken")
+	}
+	if err := (Thresholds{Lambda: 0.8, Mu: 0.2}).Validate(); err == nil {
+		t.Error("want Tλ>Tμ error")
+	}
+	if err := (Thresholds{Lambda: math.NaN(), Mu: 1}).Validate(); err == nil {
+		t.Error("want NaN error")
+	}
+}
+
+func TestClassStringAndScore(t *testing.T) {
+	if M.String() != "m" || P.String() != "p" || U.String() != "u" {
+		t.Error("class strings wrong")
+	}
+	// The η encoding of Sec. IV-B: m=2, p=1, u=0.
+	if M.Score() != 2 || P.Score() != 1 || U.Score() != 0 {
+		t.Error("class scores wrong")
+	}
+}
+
+func TestSimpleModel(t *testing.T) {
+	m := SimpleModel{Phi: WeightedSum(0.8, 0.2), T: Thresholds{Lambda: 0.4, Mu: 0.7}}
+	if got := Decide(m, avm.Vector{0.9, 0.59}); got != M {
+		t.Errorf("0.838 must be a match, got %v", got)
+	}
+	if got := Decide(m, avm.Vector{0.1, 0.1}); got != U {
+		t.Errorf("low sim must be U, got %v", got)
+	}
+	if got := Decide(m, avm.Vector{0.6, 0.5}); got != P {
+		t.Errorf("mid sim must be P, got %v", got)
+	}
+}
+
+func TestRuleFiresAndModel(t *testing.T) {
+	// Fig. 1: IF name > θ1 AND job > θ2 THEN DUPLICATES with certainty 0.8.
+	rule := Rule{
+		Conditions: []Condition{{Attr: 0, Threshold: 0.8}, {Attr: 1, Threshold: 0.5}},
+		Certainty:  0.8,
+	}
+	if !rule.Fires(avm.Vector{0.9, 0.59}) {
+		t.Error("rule must fire on (0.9, 0.59)")
+	}
+	if rule.Fires(avm.Vector{0.8, 0.59}) {
+		t.Error("condition is strict >")
+	}
+	if rule.Fires(avm.Vector{0.9}) {
+		t.Error("short vector must not fire")
+	}
+	model := RuleModel{Rules: []Rule{rule}, T: Thresholds{Lambda: 0.7, Mu: 0.7}}
+	if got := model.Similarity(avm.Vector{0.9, 0.59}); !almost(got, 0.8) {
+		t.Errorf("certainty = %v", got)
+	}
+	if got := Decide(model, avm.Vector{0.9, 0.59}); got != M {
+		t.Errorf("pair must be duplicate, got %v", got)
+	}
+	if got := Decide(model, avm.Vector{0.1, 0.1}); got != U {
+		t.Errorf("no rule fires → certainty 0 → U, got %v", got)
+	}
+	// Maximum certainty wins among firing rules.
+	model.Rules = append(model.Rules, Rule{
+		Conditions: []Condition{{Attr: 0, Threshold: 0.5}},
+		Certainty:  0.9,
+	})
+	if got := model.Similarity(avm.Vector{0.9, 0.59}); !almost(got, 0.9) {
+		t.Errorf("max certainty = %v", got)
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	schema := []string{"name", "job"}
+	r, err := ParseRule("IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Conditions) != 2 || !almost(r.Certainty, 0.8) {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Conditions[0].Attr != 0 || !almost(r.Conditions[0].Threshold, 0.8) {
+		t.Fatalf("cond0 %+v", r.Conditions[0])
+	}
+	if r.Conditions[1].Attr != 1 || !almost(r.Conditions[1].Threshold, 0.7) {
+		t.Fatalf("cond1 %+v", r.Conditions[1])
+	}
+	// Paper's bare form without WITH.
+	if _, err := ParseRule("IF job > 0.5 THEN DUPLICATES CERTAINTY=0.6", schema); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive keywords and attribute names.
+	if _, err := ParseRule("if NAME > 0.1 then duplicates certainty=0.5", schema); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	schema := []string{"name", "job"}
+	bad := []string{
+		"",
+		"name > 0.8 THEN CERTAINTY=0.5",
+		"IF name > 0.8 CERTAINTY=0.5",
+		"IF nothere > 0.8 THEN CERTAINTY=0.5",
+		"IF name < 0.8 THEN CERTAINTY=0.5",
+		"IF name > abc THEN CERTAINTY=0.5",
+		"IF name > 0.8 THEN DUPLICATES",
+		"IF name > 0.8 THEN CERTAINTY=abc",
+		"IF name > 0.8 THEN CERTAINTY=1.5",
+		"IF THEN CERTAINTY=0.5",
+		"IF name > THEN CERTAINTY=0.5",
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src, schema); err == nil {
+			t.Errorf("ParseRule(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	src := `
+# identification rules
+IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8
+
+IF name > 0.95 THEN DUPLICATES WITH CERTAINTY=0.9
+`
+	rules, err := ParseRules(src, []string{"name", "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if _, err := ParseRules("IF x > 1 THEN CERTAINTY=0.5", []string{"name"}); err == nil {
+		t.Fatal("want error with line number")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	c := avm.Vector{0.9, 0.3, 0.6}
+	p := Agreement(c) // default 0.5
+	if !p[0] || p[1] || !p[2] {
+		t.Fatalf("pattern %v", p)
+	}
+	p = Agreement(c, 0.8) // broadcast
+	if !p[0] || p[1] || p[2] {
+		t.Fatalf("broadcast pattern %v", p)
+	}
+	p = Agreement(c, 0.95, 0.2, 0.7) // per-attribute
+	if p[0] || !p[1] || p[2] {
+		t.Fatalf("per-attr pattern %v", p)
+	}
+}
+
+func TestFellegiSunterWeights(t *testing.T) {
+	fs, err := NewFellegiSunter([]float64{0.9, 0.8}, []float64{0.1, 0.2}, Thresholds{Lambda: -1, Mu: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full agreement: log2(9) + log2(4).
+	want := math.Log2(9) + math.Log2(4)
+	if got := fs.LogWeight(Pattern{true, true}); !almost(got, want) {
+		t.Errorf("full agreement weight %v, want %v", got, want)
+	}
+	// Full disagreement: log2(0.1/0.9) + log2(0.2/0.8).
+	want = math.Log2(0.1/0.9) + math.Log2(0.25)
+	if got := fs.LogWeight(Pattern{false, false}); !almost(got, want) {
+		t.Errorf("disagreement weight %v, want %v", got, want)
+	}
+	// Model classification end-to-end.
+	if got := Decide(fs, avm.Vector{0.9, 0.9}); got != M {
+		t.Errorf("agreeing pair: %v", got)
+	}
+	if got := Decide(fs, avm.Vector{0.1, 0.1}); got != U {
+		t.Errorf("disagreeing pair: %v", got)
+	}
+}
+
+func TestNewFellegiSunterErrors(t *testing.T) {
+	if _, err := NewFellegiSunter([]float64{0.9}, []float64{0.1, 0.2}, Thresholds{}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := NewFellegiSunter([]float64{1.0}, []float64{0.1}, Thresholds{}); err == nil {
+		t.Error("m=1 must fail")
+	}
+	if _, err := NewFellegiSunter([]float64{0.9}, []float64{0.0}, Thresholds{}); err == nil {
+		t.Error("u=0 must fail")
+	}
+	if _, err := NewFellegiSunter([]float64{0.9}, []float64{0.1}, Thresholds{Lambda: 2, Mu: 1}); err == nil {
+		t.Error("bad thresholds must fail")
+	}
+}
+
+func TestEstimateFromLabeled(t *testing.T) {
+	matches := []Pattern{{true, true}, {true, false}, {true, true}}
+	nons := []Pattern{{false, false}, {true, false}, {false, false}, {false, true}}
+	m, u, err := EstimateFromLabeled(matches, nons, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m0 = (3+0.5)/4, m1 = (2+0.5)/4, u0 = (1+0.5)/5, u1 = (1+0.5)/5.
+	if !almost(m[0], 3.5/4) || !almost(m[1], 2.5/4) {
+		t.Errorf("m = %v", m)
+	}
+	if !almost(u[0], 1.5/5) || !almost(u[1], 1.5/5) {
+		t.Errorf("u = %v", u)
+	}
+	if _, _, err := EstimateFromLabeled(nil, nons, 2); err == nil {
+		t.Error("want error without matches")
+	}
+}
+
+func TestEstimateEMSeparatesMixture(t *testing.T) {
+	// Generate a synthetic two-class mixture: matches agree with
+	// probability .95/.9, non-matches with .05/.15, 20% match prior.
+	// Latent-class models need at least three indicators to be identifiable,
+	// hence three attributes.
+	rng := rand.New(rand.NewSource(3))
+	var patterns []Pattern
+	trueM := []float64{0.95, 0.9, 0.85}
+	trueU := []float64{0.05, 0.15, 0.1}
+	for i := 0; i < 4000; i++ {
+		var probs []float64
+		if rng.Float64() < 0.2 {
+			probs = trueM
+		} else {
+			probs = trueU
+		}
+		patterns = append(patterns, Pattern{
+			rng.Float64() < probs[0],
+			rng.Float64() < probs[1],
+			rng.Float64() < probs[2],
+		})
+	}
+	res, err := EstimateEM(patterns, 3, 200, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PMatch-0.2) > 0.05 {
+		t.Errorf("PMatch = %v, want ≈0.2", res.PMatch)
+	}
+	for i := range trueM {
+		if math.Abs(res.M[i]-trueM[i]) > 0.07 {
+			t.Errorf("M[%d] = %v, want ≈%v", i, res.M[i], trueM[i])
+		}
+		if math.Abs(res.U[i]-trueU[i]) > 0.07 {
+			t.Errorf("U[%d] = %v, want ≈%v", i, res.U[i], trueU[i])
+		}
+	}
+	if res.Iterations < 2 {
+		t.Errorf("EM stopped suspiciously early: %d", res.Iterations)
+	}
+	if _, err := EstimateEM(nil, 2, 10, 0); err == nil {
+		t.Error("want error on empty input")
+	}
+}
+
+func TestSelectThresholds(t *testing.T) {
+	// Clearly separated weight distributions.
+	matches := []float64{5, 6, 7, 8, 9}
+	nons := []float64{-5, -4, -3, -2, -1}
+	th, err := SelectThresholds(matches, nons, 0.0, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All matches above Tμ, all non-matches below Tλ.
+	for _, w := range matches {
+		if th.Classify(w) != M {
+			t.Errorf("match weight %v classified %v (th=%+v)", w, th.Classify(w), th)
+		}
+	}
+	for _, w := range nons {
+		if th.Classify(w) != U {
+			t.Errorf("non-match weight %v classified %v (th=%+v)", w, th.Classify(w), th)
+		}
+	}
+	// Overlapping distributions with loose bounds still give valid
+	// thresholds.
+	th2, err := SelectThresholds([]float64{0, 1, 2, 3}, []float64{1, 2, 3, 4}, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelectThresholds(nil, nons, 0.1, 0.1); err == nil {
+		t.Error("want error on empty class")
+	}
+}
+
+func TestQuickFSWeightMonotone(t *testing.T) {
+	// Turning a disagreement into an agreement never decreases the weight
+	// when m > u for that attribute.
+	fs, _ := NewFellegiSunter([]float64{0.9, 0.85, 0.7}, []float64{0.1, 0.3, 0.2}, Thresholds{Lambda: 0, Mu: 0})
+	prop := func(b0, b1, b2 bool, idx uint8) bool {
+		p := Pattern{b0, b1, b2}
+		i := int(idx) % 3
+		if p[i] {
+			return true
+		}
+		w0 := fs.LogWeight(p)
+		p[i] = true
+		return fs.LogWeight(p) >= w0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+package decision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"probdedup/internal/avm"
+)
+
+// Pattern is a binary agreement pattern derived from a comparison vector:
+// Pattern[i] is true when attribute i is considered to agree.
+type Pattern []bool
+
+// Agreement converts a comparison vector into a binary agreement pattern
+// using per-attribute agreement thresholds (cᵢ > thresholds[i] means
+// agreement). A single threshold is broadcast to all attributes.
+func Agreement(c avm.Vector, thresholds ...float64) Pattern {
+	p := make(Pattern, len(c))
+	for i, v := range c {
+		t := 0.5
+		switch {
+		case len(thresholds) == 1:
+			t = thresholds[0]
+		case i < len(thresholds):
+			t = thresholds[i]
+		}
+		p[i] = v > t
+	}
+	return p
+}
+
+// FellegiSunter is the probabilistic decision model of Fellegi & Sunter
+// under the usual conditional-independence assumption: each attribute i has
+// an m-probability mᵢ = P(agree | match) and a u-probability
+// uᵢ = P(agree | non-match). The matching weight of a comparison vector is
+//
+//	R = m(c⃗)/u(c⃗) = Π_i (mᵢ/uᵢ)^{agreeᵢ} · ((1−mᵢ)/(1−uᵢ))^{1−agreeᵢ}
+//
+// and the pair is classified against the thresholds Tλ and Tμ (Fig. 2).
+// Similarity reports log₂ R so weights are additive and finite-precision
+// safe; thresholds are therefore also on the log₂ scale.
+type FellegiSunter struct {
+	// M and Agree hold mᵢ and uᵢ per attribute.
+	M []float64
+	U []float64
+	// AgreeThresholds converts similarities into agreement decisions;
+	// empty means 0.5 for every attribute.
+	AgreeThresholds []float64
+	// T are the classification thresholds on the log₂-weight scale.
+	T Thresholds
+}
+
+// NewFellegiSunter validates and builds a model.
+func NewFellegiSunter(m, u []float64, t Thresholds) (*FellegiSunter, error) {
+	if len(m) != len(u) {
+		return nil, fmt.Errorf("decision: m and u lengths differ (%d vs %d)", len(m), len(u))
+	}
+	for i := range m {
+		if m[i] <= 0 || m[i] >= 1 || u[i] <= 0 || u[i] >= 1 {
+			return nil, fmt.Errorf("decision: m[%d]=%v u[%d]=%v must lie in (0,1)", i, m[i], i, u[i])
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &FellegiSunter{M: m, U: u, T: t}, nil
+}
+
+// LogWeight returns log₂ R for an agreement pattern.
+func (fs *FellegiSunter) LogWeight(p Pattern) float64 {
+	w := 0.0
+	for i, agree := range p {
+		if i >= len(fs.M) {
+			break
+		}
+		if agree {
+			w += math.Log2(fs.M[i] / fs.U[i])
+		} else {
+			w += math.Log2((1 - fs.M[i]) / (1 - fs.U[i]))
+		}
+	}
+	return w
+}
+
+// Similarity implements Model: the log₂ matching weight of the comparison
+// vector's agreement pattern. The value is non-normalized, as Sec. III-D
+// notes for probabilistic techniques.
+func (fs *FellegiSunter) Similarity(c avm.Vector) float64 {
+	return fs.LogWeight(Agreement(c, fs.AgreeThresholds...))
+}
+
+// Classify implements Model.
+func (fs *FellegiSunter) Classify(sim float64) Class { return fs.T.Classify(sim) }
+
+// EstimateFromLabeled computes m/u probabilities from labeled agreement
+// patterns using add-half smoothing (so probabilities stay inside (0,1)).
+func EstimateFromLabeled(matches, nonMatches []Pattern, nattrs int) (m, u []float64, err error) {
+	if len(matches) == 0 || len(nonMatches) == 0 {
+		return nil, nil, fmt.Errorf("decision: need labeled matches and non-matches")
+	}
+	m = make([]float64, nattrs)
+	u = make([]float64, nattrs)
+	for i := 0; i < nattrs; i++ {
+		m[i] = (countAgree(matches, i) + 0.5) / (float64(len(matches)) + 1)
+		u[i] = (countAgree(nonMatches, i) + 0.5) / (float64(len(nonMatches)) + 1)
+	}
+	return m, u, nil
+}
+
+func countAgree(ps []Pattern, i int) float64 {
+	n := 0.0
+	for _, p := range ps {
+		if i < len(p) && p[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// EMResult holds the parameters estimated by EstimateEM.
+type EMResult struct {
+	M []float64 // per-attribute m-probabilities
+	U []float64 // per-attribute u-probabilities
+	// PMatch is the estimated prior proportion of matched pairs.
+	PMatch float64
+	// Iterations actually performed.
+	Iterations int
+	// LogLikelihood of the final parameters.
+	LogLikelihood float64
+}
+
+// EstimateEM estimates m/u probabilities and the match prior from
+// *unlabeled* agreement patterns with the EM algorithm of Winkler (1988)
+// under conditional independence. Initial values: m=0.9, u=0.1, p=0.1.
+// Iteration stops when the log-likelihood improves by less than tol or
+// after maxIter iterations.
+func EstimateEM(patterns []Pattern, nattrs, maxIter int, tol float64) (EMResult, error) {
+	if len(patterns) == 0 {
+		return EMResult{}, fmt.Errorf("decision: no patterns")
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	m := make([]float64, nattrs)
+	u := make([]float64, nattrs)
+	for i := range m {
+		m[i], u[i] = 0.9, 0.1
+	}
+	p := 0.1
+	clampP := func(x float64) float64 {
+		const lo, hi = 1e-6, 1 - 1e-6
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	prevLL := math.Inf(-1)
+	res := EMResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		// E-step: responsibility g of the match class per pattern.
+		g := make([]float64, len(patterns))
+		ll := 0.0
+		for k, pat := range patterns {
+			pm, pu := p, 1-p
+			for i := 0; i < nattrs; i++ {
+				agree := i < len(pat) && pat[i]
+				if agree {
+					pm *= m[i]
+					pu *= u[i]
+				} else {
+					pm *= 1 - m[i]
+					pu *= 1 - u[i]
+				}
+			}
+			total := pm + pu
+			if total <= 0 {
+				total = math.SmallestNonzeroFloat64
+			}
+			g[k] = pm / total
+			ll += math.Log(total)
+		}
+		// M-step.
+		sumG := 0.0
+		for _, v := range g {
+			sumG += v
+		}
+		n := float64(len(patterns))
+		p = clampP(sumG / n)
+		for i := 0; i < nattrs; i++ {
+			am, au := 0.0, 0.0
+			for k, pat := range patterns {
+				if i < len(pat) && pat[i] {
+					am += g[k]
+					au += 1 - g[k]
+				}
+			}
+			denomM, denomU := sumG, n-sumG
+			if denomM <= 0 {
+				denomM = math.SmallestNonzeroFloat64
+			}
+			if denomU <= 0 {
+				denomU = math.SmallestNonzeroFloat64
+			}
+			m[i] = clampP(am / denomM)
+			u[i] = clampP(au / denomU)
+		}
+		res = EMResult{M: m, U: u, PMatch: p, Iterations: iter, LogLikelihood: ll}
+		if ll-prevLL < tol && iter > 1 {
+			break
+		}
+		prevLL = ll
+	}
+	// By convention the match class is the one with higher agreement
+	// probabilities; if EM converged to the mirrored labelling, swap.
+	var sm, su float64
+	for i := 0; i < nattrs; i++ {
+		sm += res.M[i]
+		su += res.U[i]
+	}
+	if su > sm {
+		res.M, res.U = res.U, res.M
+		res.PMatch = 1 - res.PMatch
+	}
+	return res, nil
+}
+
+// SelectThresholds picks Tλ and Tμ from labeled log-weights such that the
+// expected false-positive rate among declared matches is at most fpBound
+// and the false-negative rate among declared non-matches is at most fnBound
+// (the error-bound construction of Fellegi & Sunter). Weights of matched
+// and unmatched training pairs must be provided separately.
+func SelectThresholds(matchWeights, nonMatchWeights []float64, fpBound, fnBound float64) (Thresholds, error) {
+	if len(matchWeights) == 0 || len(nonMatchWeights) == 0 {
+		return Thresholds{}, fmt.Errorf("decision: need weights for both classes")
+	}
+	ms := append([]float64(nil), matchWeights...)
+	us := append([]float64(nil), nonMatchWeights...)
+	sort.Float64s(ms)
+	sort.Float64s(us)
+	// Scan candidate thresholds over the union of observed weights:
+	// Tμ is the smallest weight with false-positive fraction ≤ fpBound,
+	// Tλ the largest weight with false-negative fraction ≤ fnBound.
+	cands := append(append([]float64(nil), ms...), us...)
+	sort.Float64s(cands)
+	mu := cands[len(cands)-1] + 1
+	for _, w := range cands {
+		fp := fracAbove(us, w)
+		if fp <= fpBound {
+			mu = w
+			break
+		}
+	}
+	lambda := cands[0] - 1
+	for i := len(cands) - 1; i >= 0; i-- {
+		w := cands[i]
+		fn := fracBelow(ms, w)
+		if fn <= fnBound {
+			lambda = w
+			break
+		}
+	}
+	if lambda > mu {
+		// Bounds conflict: collapse P to empty at the crossing point.
+		mid := (lambda + mu) / 2
+		lambda, mu = mid, mid
+	}
+	return Thresholds{Lambda: lambda, Mu: mu}, nil
+}
+
+// fracAbove returns the fraction of sorted xs strictly greater than w.
+func fracAbove(sorted []float64, w float64) float64 {
+	n := 0
+	for i := len(sorted) - 1; i >= 0 && sorted[i] > w; i-- {
+		n++
+	}
+	return float64(n) / float64(len(sorted))
+}
+
+// fracBelow returns the fraction of sorted xs strictly less than w.
+func fracBelow(sorted []float64, w float64) float64 {
+	n := 0
+	for i := 0; i < len(sorted) && sorted[i] < w; i++ {
+		n++
+	}
+	return float64(n) / float64(len(sorted))
+}

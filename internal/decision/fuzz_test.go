@@ -1,0 +1,31 @@
+package decision
+
+import "testing"
+
+// FuzzParseRule: parsing arbitrary rule text must never panic, and every
+// accepted rule must be well-formed.
+func FuzzParseRule(f *testing.F) {
+	f.Add("IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8")
+	f.Add("IF job > 0.5 THEN CERTAINTY=0.6")
+	f.Add("if NAME > 0.1 then duplicates certainty=0.5")
+	f.Add("IF THEN CERTAINTY=")
+	f.Add("IF name > x THEN CERTAINTY=y")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src, []string{"name", "job"})
+		if err != nil {
+			return
+		}
+		if len(r.Conditions) == 0 {
+			t.Fatal("accepted rule without conditions")
+		}
+		if r.Certainty < 0 || r.Certainty > 1 {
+			t.Fatalf("accepted certainty %v", r.Certainty)
+		}
+		for _, c := range r.Conditions {
+			if c.Attr < 0 || c.Attr > 1 {
+				t.Fatalf("accepted unknown attribute %d", c.Attr)
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package decision
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"probdedup/internal/avm"
+)
+
+// Condition is one conjunct of an identification rule: the similarity of
+// attribute Attr must exceed Threshold.
+type Condition struct {
+	// Attr is the attribute position in the comparison vector.
+	Attr int
+	// Threshold is the similarity the attribute must exceed.
+	Threshold float64
+}
+
+// Rule is a knowledge-based identification rule (Fig. 1): if every
+// condition holds, the tuple pair is a duplicate with the given certainty
+// factor.
+type Rule struct {
+	Conditions []Condition
+	// Certainty is the rule's certainty factor in [0,1].
+	Certainty float64
+}
+
+// Fires reports whether every condition of the rule holds on c⃗.
+func (r Rule) Fires(c avm.Vector) bool {
+	for _, cond := range r.Conditions {
+		if cond.Attr >= len(c) || !(c[cond.Attr] > cond.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleModel is the knowledge-based decision model: domain experts define
+// identification rules; the resulting certainty is the maximum certainty of
+// any firing rule; a final user-defined threshold separates M from U
+// (the set P is usually not considered in these techniques, so Classify
+// uses a single threshold unless TwoThresholds is set).
+type RuleModel struct {
+	Rules []Rule
+	// T holds the user-defined threshold(s). For the classical single
+	// threshold set Lambda == Mu.
+	T Thresholds
+}
+
+// Similarity returns the maximum certainty factor among firing rules
+// (0 if none fires). The result is normalized, as Sec. III-D notes for
+// knowledge-based techniques.
+func (rm RuleModel) Similarity(c avm.Vector) float64 {
+	best := 0.0
+	for _, r := range rm.Rules {
+		if r.Fires(c) && r.Certainty > best {
+			best = r.Certainty
+		}
+	}
+	return best
+}
+
+// Classify implements Model.
+func (rm RuleModel) Classify(sim float64) Class { return rm.T.Classify(sim) }
+
+// ParseRule parses the paper's rule syntax (Fig. 1):
+//
+//	IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8
+//
+// Attribute names are resolved against schema. The CERTAINTY clause also
+// accepts the paper's bare form "CERTAINTY=0.8" without WITH. Parsing is
+// case-insensitive on keywords.
+func ParseRule(src string, schema []string) (Rule, error) {
+	tokens := strings.Fields(src)
+	if len(tokens) < 6 {
+		return Rule{}, fmt.Errorf("decision: rule too short: %q", src)
+	}
+	upper := make([]string, len(tokens))
+	for i, t := range tokens {
+		upper[i] = strings.ToUpper(t)
+	}
+	if upper[0] != "IF" {
+		return Rule{}, fmt.Errorf("decision: rule must start with IF: %q", src)
+	}
+	thenIdx := -1
+	for i, t := range upper {
+		if t == "THEN" {
+			thenIdx = i
+			break
+		}
+	}
+	if thenIdx < 0 {
+		return Rule{}, fmt.Errorf("decision: rule missing THEN: %q", src)
+	}
+
+	var rule Rule
+	// Conditions: attr > num (AND attr > num)*
+	i := 1
+	for i < thenIdx {
+		if upper[i] == "AND" {
+			i++
+			continue
+		}
+		if i+2 >= thenIdx {
+			return Rule{}, fmt.Errorf("decision: incomplete condition at %q", strings.Join(tokens[i:thenIdx], " "))
+		}
+		attrName := tokens[i]
+		op := tokens[i+1]
+		if op != ">" {
+			return Rule{}, fmt.Errorf("decision: unsupported operator %q (only >)", op)
+		}
+		thr, err := strconv.ParseFloat(tokens[i+2], 64)
+		if err != nil {
+			return Rule{}, fmt.Errorf("decision: bad threshold %q: %v", tokens[i+2], err)
+		}
+		attr := -1
+		for k, s := range schema {
+			if strings.EqualFold(s, attrName) {
+				attr = k
+				break
+			}
+		}
+		if attr < 0 {
+			return Rule{}, fmt.Errorf("decision: unknown attribute %q", attrName)
+		}
+		rule.Conditions = append(rule.Conditions, Condition{Attr: attr, Threshold: thr})
+		i += 3
+	}
+	if len(rule.Conditions) == 0 {
+		return Rule{}, fmt.Errorf("decision: rule has no conditions: %q", src)
+	}
+
+	// Consequent: ... CERTAINTY=x (allowing DUPLICATES / WITH noise words).
+	certainty := -1.0
+	for _, t := range tokens[thenIdx+1:] {
+		ut := strings.ToUpper(t)
+		if strings.HasPrefix(ut, "CERTAINTY=") {
+			v, err := strconv.ParseFloat(t[len("CERTAINTY="):], 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("decision: bad certainty in %q: %v", t, err)
+			}
+			certainty = v
+		}
+	}
+	if certainty < 0 {
+		return Rule{}, fmt.Errorf("decision: rule missing CERTAINTY=: %q", src)
+	}
+	if certainty > 1 {
+		return Rule{}, fmt.Errorf("decision: certainty %v outside [0,1]", certainty)
+	}
+	rule.Certainty = certainty
+	return rule, nil
+}
+
+// ParseRules parses one rule per non-empty, non-comment line ('#' starts a
+// comment).
+func ParseRules(src string, schema []string) ([]Rule, error) {
+	var out []Rule
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line, schema)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

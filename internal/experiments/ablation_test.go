@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestA01ConditioningMatters(t *testing.T) {
+	rows, out := A01(80, 42)
+	if len(rows) != 4 {
+		t.Fatalf("A01 rows = %d", len(rows))
+	}
+	byKey := map[string]A01Row{}
+	for _, r := range rows {
+		key := r.Method
+		if r.Conditioned {
+			key += "/cond"
+		} else {
+			key += "/uncond"
+		}
+		byKey[key] = r
+	}
+	// The paper's claim: removing the conditioning lets tuple membership
+	// leak into similarity-based matching and hurts recall badly (maybe
+	// tuples are systematically under-scored).
+	simCond := byKey["similarity-based/cond"]
+	simUncond := byKey["similarity-based/uncond"]
+	if simUncond.Recall >= simCond.Recall {
+		t.Errorf("unconditioned similarity-based should lose recall: %v vs %v",
+			simUncond.Recall, simCond.Recall)
+	}
+	// Structural finding: the decision-based weight P(m)/P(u) is a ratio,
+	// so the per-tuple scale 1/p(t) cancels — it is invariant to
+	// conditioning.
+	decCond := byKey["decision-based/cond"]
+	decUncond := byKey["decision-based/uncond"]
+	if math.Abs(decCond.F1-decUncond.F1) > 1e-9 {
+		t.Errorf("decision-based must be conditioning-invariant: %v vs %v",
+			decCond.F1, decUncond.F1)
+	}
+	if !strings.Contains(out, "conditioning") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestA02NullSemantics(t *testing.T) {
+	rows, out := A02(80, 42)
+	if len(rows) != 6 {
+		t.Fatalf("A02 rows = %d", len(rows))
+	}
+	// Rows 0–2: correlated missingness; rows 3–5: independent.
+	corrPaper, corrAblated := rows[0], rows[1]
+	indepPaper, indepAblated := rows[3], rows[4]
+	// sim(⊥,⊥)=1 must not be worse than sim(⊥,⊥)=0 under either mechanism:
+	// pairs that agree on missingness gain similarity.
+	if corrPaper.F1 < corrAblated.F1-1e-9 {
+		t.Errorf("correlated: paper ⊥ semantics (F1=%v) must beat ablated (F1=%v)",
+			corrPaper.F1, corrAblated.F1)
+	}
+	if indepPaper.F1 < indepAblated.F1-1e-9 {
+		t.Errorf("independent: paper ⊥ semantics (F1=%v) must beat ablated (F1=%v)",
+			indepPaper.F1, indepAblated.F1)
+	}
+	// Under the paper's own reading of ⊥ (correlated, entity-level
+	// missingness) its semantics must do strictly better than under
+	// independent missingness, where true duplicates disagree on coverage.
+	if corrPaper.F1 < indepPaper.F1-1e-9 {
+		t.Errorf("paper semantics should shine with correlated missingness: %v vs %v",
+			corrPaper.F1, indepPaper.F1)
+	}
+	if !strings.Contains(out, "⊥") || !strings.Contains(out, "correlated") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

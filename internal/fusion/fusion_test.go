@@ -1,0 +1,125 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestMostProbableResolveX(t *testing.T) {
+	// t32: alternatives (Tim,mechanic).3, (Jim,mechanic).2, (Jim,baker).4 →
+	// most probable world picks (Jim,baker), as in Fig. 10's key "Jimba".
+	t32 := paperdata.R3().TupleByID("t32")
+	vals := MostProbable{}.ResolveX(t32)
+	if vals[0].S() != "Jim" || vals[1].S() != "baker" {
+		t.Fatalf("resolved %v", vals)
+	}
+}
+
+func TestMostProbableAccountsForAttributeModes(t *testing.T) {
+	// Alternative A has p=0.5 but a 50/50 attribute split (best world 0.25);
+	// alternative B has p=0.4 with a certain value (best world 0.4). The
+	// most probable *world* comes from B.
+	x := pdb.NewXTuple("x",
+		pdb.NewAltDists(0.5, pdb.MustDist(
+			pdb.Alternative{Value: pdb.V("a1"), P: 0.5},
+			pdb.Alternative{Value: pdb.V("a2"), P: 0.5})),
+		pdb.NewAltDists(0.4, pdb.Certain("b")),
+	)
+	if got := (MostProbable{}).ResolveX(x); got[0].S() != "b" {
+		t.Fatalf("MostProbable must pick the most probable world, got %v", got)
+	}
+	// MostProbableAlternative ranks by alternative probability alone.
+	if got := (MostProbableAlternative{}).ResolveX(x); got[0].S() != "a1" && got[0].S() != "a2" {
+		t.Fatalf("MostProbableAlternative must pick alternative A, got %v", got)
+	}
+}
+
+func TestResolveDependencyFree(t *testing.T) {
+	t13 := paperdata.R1().TupleByID("t13")
+	vals := MostProbable{}.Resolve(t13)
+	if vals[0].S() != "Tim" || vals[1].S() != "machinist" {
+		t.Fatalf("resolved %v", vals)
+	}
+	// ⊥ mode survives resolution: t11's job has mode machinist, but a
+	// mostly-null dist resolves to ⊥.
+	tu := pdb.NewTuple("x", 1, pdb.MustDist(pdb.Alternative{Value: pdb.V("v"), P: 0.2}))
+	if got := (MostProbable{}).Resolve(tu); !got[0].IsNull() {
+		t.Fatalf("want ⊥, got %v", got[0])
+	}
+}
+
+func TestResolveRelationMatchesFig10(t *testing.T) {
+	// Fig. 10: most-probable-alternative key creation over ℛ34 gives keys
+	// Jimba(t32), Johpi(t31), Johpi(t41), Seapi(t43), Tomme(t42).
+	r := ResolveRelation(MostProbable{}, paperdata.R34())
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{
+		"t31": {"John", "pilot"},
+		"t32": {"Jim", "baker"},
+		"t41": {"John", "pilot"},
+		"t42": {"Tom", "mechanic"},
+		"t43": {"Sean", "pilot"},
+	}
+	for id, w := range want {
+		tu := r.TupleByID(id)
+		if tu.Attrs[0].String() != w[0] || tu.Attrs[1].String() != w[1] {
+			t.Errorf("%s resolved to (%v,%v), want %v", id, tu.Attrs[0], tu.Attrs[1], w)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (MostProbable{}).Name() == "" || (MostProbableAlternative{}).Name() == "" {
+		t.Fatal("names must be non-empty")
+	}
+	if (MostProbable{}).Name() == (MostProbableAlternative{}).Name() {
+		t.Fatal("names must differ")
+	}
+}
+
+func TestMergeXTuples(t *testing.T) {
+	a := pdb.NewXTuple("a",
+		pdb.NewAlt(0.6, "John", "pilot"),
+		pdb.NewAlt(0.4, "Jon", "pilot"))
+	b := pdb.NewXTuple("b",
+		pdb.NewAlt(0.8, "John", "pilot")) // maybe tuple, p=0.8
+	m, err := MergeXTuples("ab", a, b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// (John,pilot): 0.5·0.6 + 0.5·(0.8/0.8) = 0.8; (Jon,pilot): 0.5·0.4.
+	if len(m.Alts) != 2 {
+		t.Fatalf("merged %d alternatives", len(m.Alts))
+	}
+	if !almost(m.Alts[0].P, 0.8) || !almost(m.Alts[1].P, 0.2) {
+		t.Fatalf("merged probabilities %v, %v", m.Alts[0].P, m.Alts[1].P)
+	}
+	if !almost(m.P(), 1.0) {
+		t.Fatalf("merged p(t) = %v", m.P())
+	}
+	// Weight normalization: (2,1) weights favour a.
+	m2, err := MergeXTuples("ab", a, b, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m2.Alts[1].P, 0.4*2.0/3) {
+		t.Fatalf("weighted merge = %v", m2.Alts[1].P)
+	}
+	// Invalid weights.
+	if _, err := MergeXTuples("x", a, b, 0, 0); err == nil {
+		t.Fatal("want error for zero weights")
+	}
+	if _, err := MergeXTuples("x", a, b, -1, 2); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+}

@@ -1,0 +1,120 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/pdb"
+)
+
+// randomXTuple builds a valid random x-tuple for property tests.
+func randomXTuple(rng *rand.Rand, id string, arity int) *pdb.XTuple {
+	n := 1 + rng.Intn(3)
+	alts := make([]pdb.Alt, 0, n)
+	remaining := 1.0
+	for i := 0; i < n; i++ {
+		p := remaining
+		if i < n-1 {
+			p = rng.Float64() * remaining
+		}
+		if p <= 1e-6 {
+			continue
+		}
+		remaining -= p
+		vals := make([]pdb.Dist, arity)
+		for j := range vals {
+			if rng.Float64() < 0.2 {
+				vals[j] = pdb.CertainNull()
+			} else {
+				vals[j] = pdb.Certain(word(rng))
+			}
+		}
+		alts = append(alts, pdb.Alt{Values: vals, P: p})
+	}
+	if len(alts) == 0 {
+		alts = append(alts, pdb.NewAlt(1, make([]string, arity)...))
+	}
+	return &pdb.XTuple{ID: id, Alts: alts}
+}
+
+func word(rng *rand.Rand) string {
+	b := make([]byte, 1+rng.Intn(4))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return string(b)
+}
+
+// TestQuickMergePreservesMass: merging two x-tuples with any positive
+// weights yields a valid x-tuple whose membership probability is 1 (both
+// sides conditioned) and whose alternatives are a subset of the inputs'
+// value combinations.
+func TestQuickMergePreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a := randomXTuple(rng, "a", 2)
+		b := randomXTuple(rng, "b", 2)
+		wa := 0.1 + rng.Float64()
+		wb := 0.1 + rng.Float64()
+		m, err := MergeXTuples("m", a, b, wa, wb)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := m.Validate(2); err != nil {
+			t.Fatalf("trial %d: %v (merged %v)", trial, err, m)
+		}
+		if p := m.P(); p < 1-1e-6 || p > 1+1e-6 {
+			t.Fatalf("trial %d: merged p(t) = %v, want 1", trial, p)
+		}
+		// Every merged alternative's values come from a or b.
+		keys := map[string]bool{}
+		for _, src := range [][]pdb.Alt{a.Alts, b.Alts} {
+			for _, alt := range src {
+				keys[altKeyString(alt)] = true
+			}
+		}
+		for _, alt := range m.Alts {
+			if !keys[altKeyString(alt)] {
+				t.Fatalf("trial %d: merged alternative not from inputs", trial)
+			}
+		}
+	}
+}
+
+func altKeyString(alt pdb.Alt) string {
+	s := ""
+	for _, d := range alt.Values {
+		s += d.String() + "\x1f"
+	}
+	return s
+}
+
+// TestQuickResolveXPicksExistingWorld: the most probable resolution always
+// corresponds to some concrete alternative's value choices.
+func TestQuickResolveXPicksExistingWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		x := randomXTuple(rng, "x", 3)
+		vals := MostProbable{}.ResolveX(x)
+		if len(vals) != 3 {
+			t.Fatalf("trial %d: arity %d", trial, len(vals))
+		}
+		found := false
+		for _, alt := range x.Alts {
+			match := true
+			for i, v := range vals {
+				if alt.Values[i].P(v) <= 0 {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: resolution %v not realizable by any alternative of %v", trial, vals, x)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package keys
+
+import "testing"
+
+// FuzzParseDef: parsing arbitrary key specs must never panic, and accepted
+// definitions must reference only valid attributes with positive prefixes.
+func FuzzParseDef(f *testing.F) {
+	f.Add("name:3+job:2")
+	f.Add("name")
+	f.Add("name:0")
+	f.Add("+")
+	f.Add("job:2+job:2+name")
+	f.Add("name:-1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		schema := []string{"name", "job"}
+		d, err := ParseDef(src, schema)
+		if err != nil {
+			return
+		}
+		if len(d.Parts) == 0 {
+			t.Fatal("accepted empty definition")
+		}
+		for _, p := range d.Parts {
+			if p.Attr < 0 || p.Attr >= len(schema) {
+				t.Fatalf("accepted attribute %d", p.Attr)
+			}
+			if p.Prefix < 0 {
+				t.Fatalf("accepted prefix %d", p.Prefix)
+			}
+		}
+		// Accepted definitions must round-trip through String.
+		d2, err := ParseDef(d.String(schema), schema)
+		if err != nil {
+			t.Fatalf("String() output failed to parse: %v", err)
+		}
+		if len(d2.Parts) != len(d.Parts) {
+			t.Fatal("String() round trip changed part count")
+		}
+	})
+}

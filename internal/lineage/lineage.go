@@ -1,0 +1,208 @@
+// Package lineage implements a small ULDB-style boolean lineage algebra
+// (Trio's concept, referenced in Sec. VI of the paper): result tuples carry
+// lineage expressions over independent boolean symbols, which makes
+// mutually exclusive sets of tuples representable — the mechanism the paper
+// proposes for modelling uncertainty *arising from duplicate detection
+// itself* ("two tuples are duplicates with only a low confidence") directly
+// in the probabilistic result.
+//
+// Symbols are independent Bernoulli variables. Expressions are built from
+// symbols with And, Or and Not. Probability evaluation enumerates the
+// symbols occurring in the expression (exact; intended for the small
+// per-entity expressions duplicate detection produces — typically one or
+// two symbols each).
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sym is a boolean lineage symbol ("the pair (a,b) is truly a duplicate").
+type Sym struct {
+	// ID identifies the symbol, e.g. "dup(a,b)".
+	ID string
+	// P is the probability that the symbol is true.
+	P float64
+}
+
+// Expr is a boolean lineage expression.
+type Expr interface {
+	// syms collects the IDs of all symbols in the expression.
+	syms(into map[string]bool)
+	// eval evaluates under an assignment.
+	eval(assign map[string]bool) bool
+	// String renders the expression.
+	String() string
+}
+
+// True is the always-true lineage (base tuples).
+var True Expr = truth{}
+
+type truth struct{}
+
+func (truth) syms(map[string]bool)      {}
+func (truth) eval(map[string]bool) bool { return true }
+func (truth) String() string            { return "⊤" }
+
+type symRef struct{ id string }
+
+func (s symRef) syms(into map[string]bool)   { into[s.id] = true }
+func (s symRef) eval(a map[string]bool) bool { return a[s.id] }
+func (s symRef) String() string              { return s.id }
+
+type not struct{ e Expr }
+
+func (n not) syms(into map[string]bool)   { n.e.syms(into) }
+func (n not) eval(a map[string]bool) bool { return !n.e.eval(a) }
+func (n not) String() string              { return "¬" + n.e.String() }
+
+type nary struct {
+	and  bool
+	args []Expr
+}
+
+func (n nary) syms(into map[string]bool) {
+	for _, a := range n.args {
+		a.syms(into)
+	}
+}
+
+func (n nary) eval(a map[string]bool) bool {
+	for _, arg := range n.args {
+		v := arg.eval(a)
+		if n.and && !v {
+			return false
+		}
+		if !n.and && v {
+			return true
+		}
+	}
+	return n.and
+}
+
+func (n nary) String() string {
+	op := " ∨ "
+	if n.and {
+		op = " ∧ "
+	}
+	parts := make([]string, len(n.args))
+	for i, a := range n.args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+// Var references a symbol in an expression.
+func Var(id string) Expr { return symRef{id: id} }
+
+// Not negates an expression.
+func Not(e Expr) Expr { return not{e: e} }
+
+// And conjoins expressions (True for zero arguments).
+func And(es ...Expr) Expr {
+	if len(es) == 0 {
+		return True
+	}
+	if len(es) == 1 {
+		return es[0]
+	}
+	return nary{and: true, args: es}
+}
+
+// Or disjoins expressions (never-true for zero arguments is not needed; Or
+// of one argument is the argument itself).
+func Or(es ...Expr) Expr {
+	if len(es) == 1 {
+		return es[0]
+	}
+	return nary{and: false, args: es}
+}
+
+// Universe is a set of independent symbols with probabilities.
+type Universe struct {
+	syms map[string]float64
+	ids  []string
+}
+
+// NewUniverse creates an empty symbol universe.
+func NewUniverse() *Universe {
+	return &Universe{syms: map[string]float64{}}
+}
+
+// Declare registers a symbol and returns a reference to it. Redeclaring an
+// existing ID overwrites its probability.
+func (u *Universe) Declare(id string, p float64) (Expr, error) {
+	if id == "" {
+		return nil, fmt.Errorf("lineage: empty symbol ID")
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("lineage: symbol %q probability %v outside [0,1]", id, p)
+	}
+	if _, ok := u.syms[id]; !ok {
+		u.ids = append(u.ids, id)
+	}
+	u.syms[id] = p
+	return symRef{id: id}, nil
+}
+
+// Symbols returns the declared symbols in declaration order.
+func (u *Universe) Symbols() []Sym {
+	out := make([]Sym, len(u.ids))
+	for i, id := range u.ids {
+		out[i] = Sym{ID: id, P: u.syms[id]}
+	}
+	return out
+}
+
+// Probability computes P(e true) exactly by enumerating the assignments of
+// the symbols occurring in e. Symbols not declared in the universe are an
+// error. The expression size is expected to be small (duplicate-detection
+// lineage uses one or two symbols per tuple); the cost is O(2^k · |e|) for
+// k distinct symbols.
+func (u *Universe) Probability(e Expr) (float64, error) {
+	present := map[string]bool{}
+	e.syms(present)
+	var ids []string
+	for id := range present {
+		if _, ok := u.syms[id]; !ok {
+			return 0, fmt.Errorf("lineage: undeclared symbol %q", id)
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	total := 0.0
+	n := len(ids)
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make(map[string]bool, n)
+		p := 1.0
+		for i, id := range ids {
+			if mask&(1<<i) != 0 {
+				assign[id] = true
+				p *= u.syms[id]
+			} else {
+				p *= 1 - u.syms[id]
+			}
+		}
+		if p > 0 && e.eval(assign) {
+			total += p
+		}
+	}
+	return total, nil
+}
+
+// MutuallyExclusive reports whether two expressions can never be true
+// together under any assignment of the union of their symbols (used to
+// check the paper's "mutually exclusive sets of tuples" invariant).
+func (u *Universe) MutuallyExclusive(a, b Expr) (bool, error) {
+	p, err := u.Probability(And(a, b))
+	if err != nil {
+		return false, err
+	}
+	// With probabilities strictly inside (0,1) every satisfiable
+	// conjunction has positive probability; clamp symbols at exactly 0/1
+	// are treated as unsatisfiable in that direction, which matches the
+	// world semantics.
+	return p == 0, nil
+}

@@ -1,0 +1,131 @@
+package lineage
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestDeclareAndProbability(t *testing.T) {
+	u := NewUniverse()
+	a, err := u.Declare("a", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := u.Declare("b", 0.5)
+
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{True, 1},
+		{a, 0.3},
+		{Not(a), 0.7},
+		{And(a, b), 0.15},
+		{Or(a, b), 0.3 + 0.5 - 0.15},
+		{And(a, Not(a)), 0},
+		{Or(a, Not(a)), 1},
+		{And(), 1},
+		{And(a), 0.3},
+		{Or(a), 0.3},
+		{Not(And(a, b)), 0.85},
+	}
+	for i, c := range cases {
+		got, err := u.Probability(c.e)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !almost(got, c.want) {
+			t.Errorf("case %d (%s): P = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestSharedSymbolsAreCorrelated(t *testing.T) {
+	// P(a ∧ (a ∨ b)) must be P(a), not P(a)·P(a∨b).
+	u := NewUniverse()
+	a, _ := u.Declare("a", 0.4)
+	b, _ := u.Declare("b", 0.5)
+	got, err := u.Probability(And(a, Or(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.4) {
+		t.Fatalf("P = %v, want 0.4", got)
+	}
+}
+
+func TestDeclareErrors(t *testing.T) {
+	u := NewUniverse()
+	if _, err := u.Declare("", 0.5); err == nil {
+		t.Error("empty ID must fail")
+	}
+	if _, err := u.Declare("x", -0.1); err == nil {
+		t.Error("negative probability must fail")
+	}
+	if _, err := u.Declare("x", 1.1); err == nil {
+		t.Error("probability > 1 must fail")
+	}
+}
+
+func TestUndeclaredSymbol(t *testing.T) {
+	u := NewUniverse()
+	if _, err := u.Probability(Var("ghost")); err == nil {
+		t.Fatal("undeclared symbol must fail")
+	}
+}
+
+func TestRedeclareOverwrites(t *testing.T) {
+	u := NewUniverse()
+	a, _ := u.Declare("a", 0.2)
+	if _, err := u.Declare("a", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := u.Probability(a)
+	if !almost(got, 0.8) {
+		t.Fatalf("P = %v after redeclare", got)
+	}
+	if n := len(u.Symbols()); n != 1 {
+		t.Fatalf("symbols = %d", n)
+	}
+}
+
+func TestMutuallyExclusive(t *testing.T) {
+	u := NewUniverse()
+	a, _ := u.Declare("a", 0.5)
+	b, _ := u.Declare("b", 0.5)
+	ex, err := u.MutuallyExclusive(a, Not(a))
+	if err != nil || !ex {
+		t.Fatalf("a and ¬a must be exclusive (err=%v)", err)
+	}
+	ex, err = u.MutuallyExclusive(a, b)
+	if err != nil || ex {
+		t.Fatalf("independent symbols are not exclusive (err=%v)", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	u := NewUniverse()
+	a, _ := u.Declare("dup(x,y)", 0.5)
+	s := And(a, Not(Var("dup(x,y)"))).String()
+	for _, want := range []string{"dup(x,y)", "¬", "∧"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if True.String() != "⊤" {
+		t.Errorf("True renders %q", True.String())
+	}
+}
+
+func TestSymbolsOrder(t *testing.T) {
+	u := NewUniverse()
+	u.Declare("z", 0.1)
+	u.Declare("a", 0.2)
+	syms := u.Symbols()
+	if syms[0].ID != "z" || syms[1].ID != "a" {
+		t.Fatalf("declaration order lost: %v", syms)
+	}
+}

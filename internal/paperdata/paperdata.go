@@ -1,0 +1,101 @@
+// Package paperdata provides the running-example relations of the paper
+// (Figures 4 and 5) so that tests, examples, and the experiment harness all
+// operate on identical fixtures.
+package paperdata
+
+import "probdedup/internal/pdb"
+
+// R1 returns the probabilistic relation ℛ1 of Fig. 4 (dependency-free
+// model): three person tuples with uncertainty on tuple and attribute level.
+func R1() *pdb.Relation {
+	r := pdb.NewRelation("R1", "name", "job")
+	r.Append(
+		pdb.NewTuple("t11", 1.0,
+			pdb.Certain("Tim"),
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("machinist"), P: 0.7},
+				pdb.Alternative{Value: pdb.V("mechanic"), P: 0.2})),
+		pdb.NewTuple("t12", 1.0,
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("John"), P: 0.5},
+				pdb.Alternative{Value: pdb.V("Johan"), P: 0.5}),
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("baker"), P: 0.7},
+				pdb.Alternative{Value: pdb.V("confectioner"), P: 0.3})),
+		pdb.NewTuple("t13", 0.6,
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("Tim"), P: 0.6},
+				pdb.Alternative{Value: pdb.V("Tom"), P: 0.4}),
+			pdb.Certain("machinist")),
+	)
+	return r
+}
+
+// R2 returns the probabilistic relation ℛ2 of Fig. 4.
+func R2() *pdb.Relation {
+	r := pdb.NewRelation("R2", "name", "job")
+	r.Append(
+		pdb.NewTuple("t21", 1.0,
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("John"), P: 0.7},
+				pdb.Alternative{Value: pdb.V("Jon"), P: 0.3}),
+			pdb.Certain("confectionist")),
+		pdb.NewTuple("t22", 0.8,
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("Tim"), P: 0.7},
+				pdb.Alternative{Value: pdb.V("Kim"), P: 0.3}),
+			pdb.Certain("mechanic")),
+		pdb.NewTuple("t23", 0.7,
+			pdb.Certain("Timothy"),
+			pdb.MustDist(
+				pdb.Alternative{Value: pdb.V("mechanist"), P: 0.8},
+				pdb.Alternative{Value: pdb.V("engineer"), P: 0.2})),
+	)
+	return r
+}
+
+// MuStarJobs is the finite expansion used for the paper's 'mu*' pattern
+// value (a uniform distribution over all jobs starting with "mu"; the paper
+// names "musician" as an example). Fig. 8's world I2 instantiates it as
+// "musician".
+var MuStarJobs = []string{"musician", "muralist"}
+
+// R3 returns the x-relation ℛ3 of Fig. 5.
+func R3() *pdb.XRelation {
+	r := pdb.NewXRelation("R3", "name", "job")
+	r.Append(
+		pdb.NewXTuple("t31",
+			pdb.NewAlt(0.7, "John", "pilot"),
+			pdb.NewAltDists(0.3, pdb.Certain("Johan"), pdb.Uniform(MuStarJobs...))),
+		pdb.NewXTuple("t32",
+			pdb.NewAlt(0.3, "Tim", "mechanic"),
+			pdb.NewAlt(0.2, "Jim", "mechanic"),
+			pdb.NewAlt(0.4, "Jim", "baker")),
+	)
+	return r
+}
+
+// R4 returns the x-relation ℛ4 of Fig. 5.
+func R4() *pdb.XRelation {
+	r := pdb.NewXRelation("R4", "name", "job")
+	r.Append(
+		pdb.NewXTuple("t41",
+			pdb.NewAlt(0.8, "John", "pilot"),
+			pdb.NewAlt(0.2, "Johan", "pianist")),
+		pdb.NewXTuple("t42",
+			pdb.NewAlt(0.8, "Tom", "mechanic")),
+		pdb.NewXTuple("t43",
+			pdb.NewAltDists(0.2, pdb.Certain("John"), pdb.CertainNull()),
+			pdb.NewAlt(0.6, "Sean", "pilot")),
+	)
+	return r
+}
+
+// R34 returns ℛ34 = ℛ3 ∪ ℛ4 used throughout Sec. V.
+func R34() *pdb.XRelation {
+	u, err := R3().Union("R34", R4())
+	if err != nil {
+		panic(err)
+	}
+	return u
+}

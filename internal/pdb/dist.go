@@ -1,0 +1,282 @@
+package pdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Eps is the tolerance used when validating probability sums.
+const Eps = 1e-9
+
+// Alternative is one (value, probability) entry of a Dist.
+type Alternative struct {
+	Value Value
+	P     float64
+}
+
+// Dist is a discrete probability distribution over domain values —
+// the representation of one uncertain attribute value (attribute value
+// level uncertainty, Sec. IV-A).
+//
+// Probability mass not assigned to any explicit alternative implicitly
+// belongs to ⊥ (non-existence). For example the paper's
+// t11.job = {machinist: 0.7, mechanic: 0.2} leaves P(⊥)=0.1: the person is
+// jobless with probability 10%.
+//
+// A Dist never stores an explicit ⊥ alternative; constructors fold explicit
+// ⊥ entries into the implicit remainder. The zero Dist is the certain ⊥.
+type Dist struct {
+	alts []Alternative // existing values only, P>0 each, ΣP ≤ 1
+}
+
+// NewDist builds a distribution from alternatives. Explicit ⊥ entries are
+// folded into the implicit non-existence remainder; zero-probability entries
+// are dropped; duplicate values are merged. It returns an error if any
+// probability is negative, NaN, or the total exceeds 1+Eps.
+func NewDist(alts ...Alternative) (Dist, error) {
+	merged := make(map[string]float64, len(alts))
+	order := make([]string, 0, len(alts))
+	total := 0.0
+	for _, a := range alts {
+		if math.IsNaN(a.P) || math.IsInf(a.P, 0) {
+			return Dist{}, fmt.Errorf("pdb: alternative %v has non-finite probability %v", a.Value, a.P)
+		}
+		if a.P < -Eps {
+			return Dist{}, fmt.Errorf("pdb: alternative %v has negative probability %v", a.Value, a.P)
+		}
+		if a.P <= Eps {
+			continue
+		}
+		total += a.P
+		if a.Value.IsNull() {
+			continue // implicit remainder
+		}
+		if _, ok := merged[a.Value.S()]; !ok {
+			order = append(order, a.Value.S())
+		}
+		merged[a.Value.S()] += a.P
+	}
+	if total > 1+Eps {
+		return Dist{}, fmt.Errorf("pdb: alternative probabilities sum to %v > 1", total)
+	}
+	out := make([]Alternative, 0, len(order))
+	for _, s := range order {
+		out = append(out, Alternative{Value: V(s), P: merged[s]})
+	}
+	return Dist{alts: out}, nil
+}
+
+// MustDist is NewDist but panics on error. Intended for literals in tests
+// and examples.
+func MustDist(alts ...Alternative) Dist {
+	d, err := NewDist(alts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Certain returns the distribution that takes value s with probability 1.
+func Certain(s string) Dist { return Dist{alts: []Alternative{{Value: V(s), P: 1}}} }
+
+// CertainNull returns the distribution that is ⊥ with probability 1.
+func CertainNull() Dist { return Dist{} }
+
+// Uniform returns the uniform distribution over the given values. It is the
+// finite expansion of pattern values such as the paper's 'mu*' (a uniform
+// distribution over all jobs starting with "mu"). Duplicates are merged, so
+// the result is uniform over the distinct values.
+func Uniform(values ...string) Dist {
+	if len(values) == 0 {
+		return Dist{}
+	}
+	seen := make(map[string]bool, len(values))
+	distinct := values[:0:0]
+	for _, s := range values {
+		if !seen[s] {
+			seen[s] = true
+			distinct = append(distinct, s)
+		}
+	}
+	p := 1.0 / float64(len(distinct))
+	alts := make([]Alternative, len(distinct))
+	for i, s := range distinct {
+		alts[i] = Alternative{Value: V(s), P: p}
+	}
+	return Dist{alts: alts}
+}
+
+// Alternatives returns the explicit (existing-value) alternatives in
+// insertion order. The caller must not modify the returned slice.
+func (d Dist) Alternatives() []Alternative { return d.alts }
+
+// Len returns the number of explicit alternatives.
+func (d Dist) Len() int { return len(d.alts) }
+
+// NullP returns the probability of non-existence P(⊥) = 1 − Σ P(alt),
+// clamped to [0,1].
+func (d Dist) NullP() float64 {
+	p := 1.0
+	for _, a := range d.alts {
+		p -= a.P
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// P returns the probability of the given value, including P(⊥) for Null.
+func (d Dist) P(v Value) float64 {
+	if v.IsNull() {
+		return d.NullP()
+	}
+	for _, a := range d.alts {
+		if a.Value.Equal(v) {
+			return a.P
+		}
+	}
+	return 0
+}
+
+// IsCertain reports whether d assigns probability ≥ 1−Eps to a single value
+// (possibly ⊥).
+func (d Dist) IsCertain() bool {
+	if len(d.alts) == 0 {
+		return true // certain ⊥
+	}
+	return len(d.alts) == 1 && d.alts[0].P >= 1-Eps
+}
+
+// Mode returns the most probable value of d (⊥ if non-existence is the most
+// probable outcome) and its probability. Ties are broken in favour of
+// existing values, then by insertion order, making the choice deterministic —
+// the "metadata based deciding strategy" used for certain key creation in
+// Sec. V-A.2.
+func (d Dist) Mode() (Value, float64) {
+	best, bestP := Null, d.NullP()
+	for _, a := range d.alts {
+		if a.P > bestP+Eps || (math.Abs(a.P-bestP) <= Eps && best.IsNull()) {
+			best, bestP = a.Value, a.P
+		}
+	}
+	return best, bestP
+}
+
+// Support returns every outcome of d with positive probability, including ⊥
+// when P(⊥) > Eps. The ⊥ outcome, if present, is last.
+func (d Dist) Support() []Alternative {
+	out := make([]Alternative, 0, len(d.alts)+1)
+	out = append(out, d.alts...)
+	if np := d.NullP(); np > Eps {
+		out = append(out, Alternative{Value: Null, P: np})
+	}
+	return out
+}
+
+// Map returns a new distribution with f applied to every existing value.
+// Values mapped to the same result are merged. ⊥ mass is preserved.
+func (d Dist) Map(f func(string) string) Dist {
+	alts := make([]Alternative, len(d.alts))
+	for i, a := range d.alts {
+		alts[i] = Alternative{Value: V(f(a.Value.S())), P: a.P}
+	}
+	nd, err := NewDist(alts...)
+	if err != nil {
+		// f cannot increase total probability, so NewDist cannot fail.
+		panic(err)
+	}
+	return nd
+}
+
+// Normalized returns d scaled so the explicit alternatives sum to 1,
+// removing all ⊥ mass. Normalizing a certain-⊥ distribution returns the
+// certain-⊥ distribution unchanged.
+func (d Dist) Normalized() Dist {
+	total := 0.0
+	for _, a := range d.alts {
+		total += a.P
+	}
+	if total <= Eps {
+		return Dist{}
+	}
+	alts := make([]Alternative, len(d.alts))
+	for i, a := range d.alts {
+		alts[i] = Alternative{Value: a.Value, P: a.P / total}
+	}
+	return Dist{alts: alts}
+}
+
+// Equal reports whether two distributions assign the same probabilities to
+// the same values within Eps.
+func (d Dist) Equal(o Dist) bool {
+	if len(d.alts) != len(o.alts) {
+		return false
+	}
+	for _, a := range d.alts {
+		if math.Abs(o.P(a.Value)-a.P) > Eps {
+			return false
+		}
+	}
+	return math.Abs(d.NullP()-o.NullP()) <= Eps
+}
+
+// Validate checks internal invariants (positive probabilities, sum ≤ 1,
+// no explicit ⊥, no duplicate values).
+func (d Dist) Validate() error {
+	total := 0.0
+	seen := make(map[string]bool, len(d.alts))
+	for _, a := range d.alts {
+		if a.Value.IsNull() {
+			return fmt.Errorf("pdb: distribution stores explicit ⊥")
+		}
+		if a.P <= 0 || math.IsNaN(a.P) || math.IsInf(a.P, 0) {
+			return fmt.Errorf("pdb: value %q has invalid probability %v", a.Value.S(), a.P)
+		}
+		if seen[a.Value.S()] {
+			return fmt.Errorf("pdb: duplicate value %q", a.Value.S())
+		}
+		seen[a.Value.S()] = true
+		total += a.P
+	}
+	if total > 1+Eps {
+		return fmt.Errorf("pdb: probabilities sum to %v > 1", total)
+	}
+	return nil
+}
+
+// String renders the distribution in the paper's notation, e.g.
+// "{Tim: 0.6, Tom: 0.4}". A certain value renders bare; certain ⊥ renders
+// as "⊥".
+func (d Dist) String() string {
+	if len(d.alts) == 0 {
+		return "⊥"
+	}
+	if d.IsCertain() {
+		return d.alts[0].Value.S()
+	}
+	parts := make([]string, 0, len(d.alts))
+	for _, a := range d.alts {
+		parts = append(parts, fmt.Sprintf("%s: %.4g", a.Value.S(), a.P))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SortedAlternatives returns the alternatives ordered by descending
+// probability, ties broken by value string, without modifying d.
+func (d Dist) SortedAlternatives() []Alternative {
+	out := make([]Alternative, len(d.alts))
+	copy(out, d.alts)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Value.S() < out[j].Value.S()
+	})
+	return out
+}

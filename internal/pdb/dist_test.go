@@ -1,0 +1,287 @@
+package pdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestValueNullSemantics(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be ⊥")
+	}
+	if V("").IsNull() {
+		t.Fatal(`V("") must be an existing empty string, not ⊥`)
+	}
+	if !Null.Equal(Null) {
+		t.Fatal("⊥ must equal ⊥ (same real-world fact)")
+	}
+	if Null.Equal(V("x")) || V("x").Equal(Null) {
+		t.Fatal("⊥ must not equal an existing value")
+	}
+	if !V("a").Equal(V("a")) || V("a").Equal(V("b")) {
+		t.Fatal("value equality broken")
+	}
+	if Null.String() != "⊥" {
+		t.Fatalf("Null string = %q", Null.String())
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be ⊥")
+	}
+}
+
+func TestNewDistBasics(t *testing.T) {
+	d, err := NewDist(Alternative{V("machinist"), 0.7}, Alternative{V("mechanic"), 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.P(V("machinist")); !almost(got, 0.7) {
+		t.Fatalf("P(machinist) = %v", got)
+	}
+	if got := d.NullP(); !almost(got, 0.1) {
+		t.Fatalf("paper: t11 is jobless with 10%%; NullP = %v", got)
+	}
+	if d.IsCertain() {
+		t.Fatal("not certain")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDistFoldsExplicitNull(t *testing.T) {
+	d, err := NewDist(Alternative{V("a"), 0.5}, Alternative{Null, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("explicit ⊥ must fold into remainder, got %d alternatives", d.Len())
+	}
+	if !almost(d.NullP(), 0.5) {
+		t.Fatalf("NullP = %v", d.NullP())
+	}
+}
+
+func TestNewDistMergesDuplicates(t *testing.T) {
+	d, err := NewDist(Alternative{V("a"), 0.3}, Alternative{V("a"), 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || !almost(d.P(V("a")), 0.5) {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestNewDistErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		alts []Alternative
+	}{
+		{"negative", []Alternative{{V("a"), -0.1}}},
+		{"sum>1", []Alternative{{V("a"), 0.7}, {V("b"), 0.4}}},
+		{"nan", []Alternative{{V("a"), math.NaN()}}},
+		{"inf", []Alternative{{V("a"), math.Inf(1)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewDist(c.alts...); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestCertainAndNull(t *testing.T) {
+	c := Certain("Tim")
+	if !c.IsCertain() || !almost(c.P(V("Tim")), 1) || !almost(c.NullP(), 0) {
+		t.Fatalf("Certain broken: %v", c)
+	}
+	n := CertainNull()
+	if !n.IsCertain() || !almost(n.NullP(), 1) {
+		t.Fatalf("CertainNull broken: %v", n)
+	}
+	if n.String() != "⊥" {
+		t.Fatalf("CertainNull string = %q", n.String())
+	}
+	if c.String() != "Tim" {
+		t.Fatalf("Certain string = %q", c.String())
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform("musician", "muralist")
+	if !almost(d.P(V("musician")), 0.5) || !almost(d.P(V("muralist")), 0.5) {
+		t.Fatalf("uniform mu* expansion broken: %v", d)
+	}
+	// Duplicates merge before splitting mass.
+	d2 := Uniform("a", "a", "b")
+	if !almost(d2.P(V("a")), 0.5) || !almost(d2.P(V("b")), 0.5) {
+		t.Fatalf("uniform with duplicates: %v", d2)
+	}
+	if Uniform().Len() != 0 {
+		t.Fatal("empty uniform must be certain ⊥")
+	}
+}
+
+func TestMode(t *testing.T) {
+	cases := []struct {
+		d     Dist
+		want  Value
+		wantP float64
+	}{
+		{MustDist(Alternative{V("Tim"), 0.6}, Alternative{V("Tom"), 0.4}), V("Tim"), 0.6},
+		{MustDist(Alternative{V("x"), 0.2}), Null, 0.8},
+		{CertainNull(), Null, 1},
+		// Tie between existing value and ⊥ favours the existing value.
+		{MustDist(Alternative{V("x"), 0.5}), V("x"), 0.5},
+	}
+	for i, c := range cases {
+		v, p := c.d.Mode()
+		if !v.Equal(c.want) || !almost(p, c.wantP) {
+			t.Errorf("case %d: Mode() = (%v,%v), want (%v,%v)", i, v, p, c.want, c.wantP)
+		}
+	}
+}
+
+func TestSupportIncludesNull(t *testing.T) {
+	d := MustDist(Alternative{V("a"), 0.7}, Alternative{V("b"), 0.2})
+	s := d.Support()
+	if len(s) != 3 {
+		t.Fatalf("support size %d", len(s))
+	}
+	if !s[2].Value.IsNull() || !almost(s[2].P, 0.1) {
+		t.Fatalf("⊥ must be last with P=0.1, got %v", s[2])
+	}
+	total := 0.0
+	for _, a := range s {
+		total += a.P
+	}
+	if !almost(total, 1) {
+		t.Fatalf("support must sum to 1, got %v", total)
+	}
+}
+
+func TestMapMerges(t *testing.T) {
+	d := MustDist(Alternative{V("Tim"), 0.6}, Alternative{V("TIM"), 0.2})
+	m := d.Map(func(s string) string { return "tim" })
+	if m.Len() != 1 || !almost(m.P(V("tim")), 0.8) || !almost(m.NullP(), 0.2) {
+		t.Fatalf("Map merge broken: %v", m)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	d := MustDist(Alternative{V("a"), 0.3}, Alternative{V("b"), 0.3})
+	n := d.Normalized()
+	if !almost(n.P(V("a")), 0.5) || !almost(n.NullP(), 0) {
+		t.Fatalf("Normalized broken: %v", n)
+	}
+	if !CertainNull().Normalized().IsCertain() {
+		t.Fatal("normalizing certain ⊥ must stay certain ⊥")
+	}
+	// Idempotence.
+	if !n.Normalized().Equal(n) {
+		t.Fatal("Normalized must be idempotent")
+	}
+}
+
+func TestDistEqual(t *testing.T) {
+	a := MustDist(Alternative{V("x"), 0.5}, Alternative{V("y"), 0.5})
+	b := MustDist(Alternative{V("y"), 0.5}, Alternative{V("x"), 0.5})
+	if !a.Equal(b) {
+		t.Fatal("order must not matter")
+	}
+	c := MustDist(Alternative{V("x"), 0.5}, Alternative{V("z"), 0.5})
+	if a.Equal(c) {
+		t.Fatal("different supports must differ")
+	}
+}
+
+func TestSortedAlternatives(t *testing.T) {
+	d := MustDist(Alternative{V("b"), 0.2}, Alternative{V("a"), 0.6}, Alternative{V("c"), 0.2})
+	s := d.SortedAlternatives()
+	if s[0].Value.S() != "a" || s[1].Value.S() != "b" || s[2].Value.S() != "c" {
+		t.Fatalf("sorted order wrong: %v", s)
+	}
+}
+
+// randomDist builds a valid random distribution for property tests.
+func randomDist(r *rand.Rand) Dist {
+	n := r.Intn(5)
+	alts := make([]Alternative, 0, n)
+	remaining := 1.0
+	for i := 0; i < n; i++ {
+		p := r.Float64() * remaining
+		if p <= Eps {
+			continue
+		}
+		alts = append(alts, Alternative{V(randWord(r)), p})
+		remaining -= p
+	}
+	d, err := NewDist(alts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func randWord(r *rand.Rand) string {
+	n := 1 + r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestQuickDistInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		d := randomDist(r)
+		if d.Validate() != nil {
+			return false
+		}
+		// Support sums to 1.
+		total := 0.0
+		for _, a := range d.Support() {
+			total += a.P
+		}
+		if !almost(total, 1) {
+			return false
+		}
+		// NullP in [0,1].
+		if d.NullP() < 0 || d.NullP() > 1 {
+			return false
+		}
+		// Normalization idempotent and null-free.
+		n := d.Normalized()
+		if n.Validate() != nil || !n.Normalized().Equal(n) {
+			return false
+		}
+		if n.Len() > 0 && !almost(n.NullP(), 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickModeIsArgmax(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		d := randomDist(r)
+		v, p := d.Mode()
+		for _, a := range d.Support() {
+			if a.P > p+1e-9 {
+				return false
+			}
+		}
+		return almost(d.P(v), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package pdb implements the probabilistic relational data model used
+// throughout the library.
+//
+// The model follows the paper "Duplicate Detection in Probabilistic Data"
+// (Panse, van Keulen, de Keijzer, Ritter; ICDE 2010 workshops) and the
+// ULDB/Trio fragment it builds on. Uncertainty is represented on two levels:
+//
+//   - attribute value level: each attribute value is a discrete probability
+//     distribution (Dist) over domain values, where any unassigned probability
+//     mass denotes non-existence of the value (the paper's ⊥),
+//   - tuple level: each tuple carries a membership probability p(t) ∈ (0,1].
+//
+// Two relation flavours are provided:
+//
+//   - Relation: tuples whose attribute distributions are mutually independent
+//     (the "models without dependencies" of Sec. IV-A),
+//   - XRelation: x-tuples consisting of mutually exclusive alternative tuples
+//     (the Trio x-tuple concept of Sec. IV-B); an x-tuple whose alternative
+//     probabilities sum to less than one is a "maybe" x-tuple.
+//
+// A theoretical probabilistic database is a set of possible worlds with a
+// probability distribution; package worlds enumerates the worlds induced by
+// the succinct representations defined here.
+package pdb

@@ -1,0 +1,138 @@
+package pdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tuple is a probabilistic tuple of the dependency-free model (Sec. IV-A):
+// every attribute value is an independent random variable (a Dist) and the
+// tuple carries a membership probability P (tuple level uncertainty).
+type Tuple struct {
+	// ID identifies the tuple across the pipeline (e.g. "t11"). IDs must be
+	// unique within a relation.
+	ID string
+	// Attrs holds one distribution per schema attribute, by position.
+	Attrs []Dist
+	// P is the tuple membership probability p(t) ∈ (0,1].
+	P float64
+}
+
+// NewTuple builds a tuple with membership probability p.
+func NewTuple(id string, p float64, attrs ...Dist) *Tuple {
+	return &Tuple{ID: id, Attrs: attrs, P: p}
+}
+
+// Validate checks the tuple against the given schema width.
+func (t *Tuple) Validate(nattrs int) error {
+	if t.ID == "" {
+		return fmt.Errorf("pdb: tuple has empty ID")
+	}
+	if len(t.Attrs) != nattrs {
+		return fmt.Errorf("pdb: tuple %s has %d attributes, schema has %d", t.ID, len(t.Attrs), nattrs)
+	}
+	if !(t.P > 0 && t.P <= 1+Eps) || math.IsNaN(t.P) {
+		return fmt.Errorf("pdb: tuple %s has membership probability %v outside (0,1]", t.ID, t.P)
+	}
+	for i, d := range t.Attrs {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("pdb: tuple %s attribute %d: %w", t.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep-enough copy (Dists are immutable, so sharing them is
+// safe; the attribute slice is copied).
+func (t *Tuple) Clone() *Tuple {
+	attrs := make([]Dist, len(t.Attrs))
+	copy(attrs, t.Attrs)
+	return &Tuple{ID: t.ID, Attrs: attrs, P: t.P}
+}
+
+// String renders the tuple in the paper's tabular notation.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Attrs))
+	for i, d := range t.Attrs {
+		parts[i] = d.String()
+	}
+	return fmt.Sprintf("%s(%s | p=%.4g)", t.ID, strings.Join(parts, ", "), t.P)
+}
+
+// Relation is a probabilistic relation of the dependency-free model: a named
+// schema plus a list of probabilistic tuples.
+type Relation struct {
+	Name   string
+	Schema []string
+	Tuples []*Tuple
+}
+
+// NewRelation builds an empty relation with the given schema.
+func NewRelation(name string, schema ...string) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds tuples to the relation and returns it for chaining.
+func (r *Relation) Append(ts ...*Tuple) *Relation {
+	r.Tuples = append(r.Tuples, ts...)
+	return r
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Schema {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TupleByID returns the tuple with the given ID, or nil.
+func (r *Relation) TupleByID(id string) *Tuple {
+	for _, t := range r.Tuples {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Validate checks schema consistency, ID uniqueness and per-tuple invariants.
+func (r *Relation) Validate() error {
+	if len(r.Schema) == 0 {
+		return fmt.Errorf("pdb: relation %s has empty schema", r.Name)
+	}
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		if err := t.Validate(len(r.Schema)); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("pdb: relation %s has duplicate tuple ID %s", r.Name, t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	nr := &Relation{Name: r.Name, Schema: append([]string(nil), r.Schema...)}
+	nr.Tuples = make([]*Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		nr.Tuples[i] = t.Clone()
+	}
+	return nr
+}
+
+// String renders the relation as a small table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s)\n", r.Name, strings.Join(r.Schema, ", "))
+	for _, t := range r.Tuples {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// PaperR1 builds the probabilistic relation ℛ1 of Fig. 4.
+func PaperR1() *Relation {
+	r := NewRelation("R1", "name", "job")
+	r.Append(
+		NewTuple("t11", 1.0, Certain("Tim"),
+			MustDist(Alternative{V("machinist"), 0.7}, Alternative{V("mechanic"), 0.2})),
+		NewTuple("t12", 1.0,
+			MustDist(Alternative{V("John"), 0.5}, Alternative{V("Johan"), 0.5}),
+			MustDist(Alternative{V("baker"), 0.7}, Alternative{V("confectioner"), 0.3})),
+		NewTuple("t13", 0.6,
+			MustDist(Alternative{V("Tim"), 0.6}, Alternative{V("Tom"), 0.4}),
+			Certain("machinist")),
+	)
+	return r
+}
+
+// PaperR2 builds the probabilistic relation ℛ2 of Fig. 4.
+func PaperR2() *Relation {
+	r := NewRelation("R2", "name", "job")
+	r.Append(
+		NewTuple("t21", 1.0,
+			MustDist(Alternative{V("John"), 0.7}, Alternative{V("Jon"), 0.3}),
+			Certain("confectionist")),
+		NewTuple("t22", 0.8,
+			MustDist(Alternative{V("Tim"), 0.7}, Alternative{V("Kim"), 0.3}),
+			Certain("mechanic")),
+		NewTuple("t23", 0.7, Certain("Timothy"),
+			MustDist(Alternative{V("mechanist"), 0.8}, Alternative{V("engineer"), 0.2})),
+	)
+	return r
+}
+
+func TestPaperRelationsValidate(t *testing.T) {
+	for _, r := range []*Relation{PaperR1(), PaperR2()} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	r := PaperR1()
+	if r.AttrIndex("job") != 1 || r.AttrIndex("name") != 0 || r.AttrIndex("zzz") != -1 {
+		t.Fatal("AttrIndex broken")
+	}
+	if r.TupleByID("t12") == nil || r.TupleByID("nope") != nil {
+		t.Fatal("TupleByID broken")
+	}
+}
+
+func TestRelationValidateErrors(t *testing.T) {
+	r := NewRelation("bad", "a")
+	r.Append(NewTuple("t1", 1.0, Certain("x")), NewTuple("t1", 1.0, Certain("y")))
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate tuple ID") {
+		t.Fatalf("want duplicate ID error, got %v", err)
+	}
+
+	r2 := NewRelation("bad2", "a", "b")
+	r2.Append(NewTuple("t1", 1.0, Certain("x")))
+	if err := r2.Validate(); err == nil {
+		t.Fatal("want arity error")
+	}
+
+	r3 := NewRelation("bad3", "a")
+	r3.Append(NewTuple("t1", 0, Certain("x")))
+	if err := r3.Validate(); err == nil {
+		t.Fatal("want p(t)=0 error")
+	}
+
+	r4 := NewRelation("bad4")
+	if err := r4.Validate(); err == nil {
+		t.Fatal("want empty schema error")
+	}
+
+	r5 := NewRelation("bad5", "a")
+	r5.Append(NewTuple("", 1.0, Certain("x")))
+	if err := r5.Validate(); err == nil {
+		t.Fatal("want empty ID error")
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := PaperR1()
+	c := r.Clone()
+	c.Tuples[0].P = 0.123
+	c.Tuples[0].Attrs[0] = Certain("changed")
+	if r.Tuples[0].P != 1.0 || r.Tuples[0].Attrs[0].String() != "Tim" {
+		t.Fatal("Clone must not share mutable state")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := PaperR1().Tuples[0]
+	s := tu.String()
+	for _, want := range []string{"t11", "Tim", "machinist", "p=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tuple string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	s := PaperR1().String()
+	if !strings.Contains(s, "R1(name, job)") || !strings.Contains(s, "t13") {
+		t.Fatalf("relation string missing parts: %q", s)
+	}
+}

@@ -1,0 +1,56 @@
+package pdb
+
+import "fmt"
+
+// Value is a single domain value of an attribute. The zero Value is the
+// non-existence marker ⊥ (Null): it denotes that the corresponding property
+// of the represented real-world object does not exist.
+type Value struct {
+	s      string
+	exists bool
+}
+
+// Null is the non-existence marker ⊥.
+var Null = Value{}
+
+// V returns a regular (existing) domain value.
+func V(s string) Value { return Value{s: s, exists: true} }
+
+// IsNull reports whether v is the non-existence marker ⊥.
+func (v Value) IsNull() bool { return !v.exists }
+
+// S returns the string form of the value. It returns "" for ⊥; use IsNull to
+// distinguish ⊥ from an empty string value created with V("").
+func (v Value) S() string { return v.s }
+
+// Equal reports whether two values denote the same domain element. Two ⊥
+// values are equal: they refer to the same real-world fact, namely that the
+// property does not exist (Sec. IV-A of the paper).
+func (v Value) Equal(w Value) bool {
+	if v.IsNull() || w.IsNull() {
+		return v.IsNull() && w.IsNull()
+	}
+	return v.s == w.s
+}
+
+// String implements fmt.Stringer. ⊥ prints as "⊥".
+func (v Value) String() string {
+	if v.IsNull() {
+		return "⊥"
+	}
+	return v.s
+}
+
+// Format implements fmt.Formatter so that %q quotes the underlying string.
+func (v Value) Format(f fmt.State, verb rune) {
+	switch verb {
+	case 'q':
+		if v.IsNull() {
+			fmt.Fprint(f, "⊥")
+			return
+		}
+		fmt.Fprintf(f, "%q", v.s)
+	default:
+		fmt.Fprint(f, v.String())
+	}
+}

@@ -1,0 +1,205 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// PaperR3 builds the x-relation ℛ3 of Fig. 5. The pattern value 'mu*' of
+// t31's second alternative is expanded to a small uniform distribution as
+// described in Sec. IV-B.
+func PaperR3() *XRelation {
+	r := NewXRelation("R3", "name", "job")
+	r.Append(
+		NewXTuple("t31",
+			NewAlt(0.7, "John", "pilot"),
+			NewAltDists(0.3, Certain("Johan"), Uniform("musician", "muralist"))),
+		NewXTuple("t32",
+			NewAlt(0.3, "Tim", "mechanic"),
+			NewAlt(0.2, "Jim", "mechanic"),
+			NewAlt(0.4, "Jim", "baker")),
+	)
+	return r
+}
+
+// PaperR4 builds the x-relation ℛ4 of Fig. 5.
+func PaperR4() *XRelation {
+	r := NewXRelation("R4", "name", "job")
+	r.Append(
+		NewXTuple("t41",
+			NewAlt(0.8, "John", "pilot"),
+			NewAlt(0.2, "Johan", "pianist")),
+		NewXTuple("t42", NewAlt(0.8, "Tom", "mechanic")),
+		NewXTuple("t43",
+			NewAltDists(0.2, Certain("John"), CertainNull()),
+			NewAlt(0.6, "Sean", "pilot")),
+	)
+	return r
+}
+
+func TestPaperXRelationsValidate(t *testing.T) {
+	for _, r := range []*XRelation{PaperR3(), PaperR4()} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+}
+
+func TestXTupleMembershipAndMaybe(t *testing.T) {
+	r3, r4 := PaperR3(), PaperR4()
+	cases := []struct {
+		x     *XTuple
+		p     float64
+		maybe bool
+	}{
+		{r3.TupleByID("t31"), 1.0, false},
+		{r3.TupleByID("t32"), 0.9, true}, // marked '?' in Fig. 5
+		{r4.TupleByID("t41"), 1.0, false},
+		{r4.TupleByID("t42"), 0.8, true},
+		{r4.TupleByID("t43"), 0.8, true},
+	}
+	for _, c := range cases {
+		if !almost(c.x.P(), c.p) {
+			t.Errorf("%s: p(t)=%v want %v", c.x.ID, c.x.P(), c.p)
+		}
+		if c.x.Maybe() != c.maybe {
+			t.Errorf("%s: maybe=%v want %v", c.x.ID, c.x.Maybe(), c.maybe)
+		}
+	}
+}
+
+func TestNormalizedAltP(t *testing.T) {
+	// Conditioning of Sec. IV-B: p(t¹32)/p(t32) = 0.3/0.9.
+	t32 := PaperR3().TupleByID("t32")
+	want := []float64{0.3 / 0.9, 0.2 / 0.9, 0.4 / 0.9}
+	total := 0.0
+	for i, w := range want {
+		got := t32.NormalizedAltP(i)
+		if !almost(got, w) {
+			t.Errorf("alt %d: %v want %v", i, got, w)
+		}
+		total += got
+	}
+	if !almost(total, 1) {
+		t.Errorf("normalized probabilities must sum to 1, got %v", total)
+	}
+}
+
+func TestMostProbableAlt(t *testing.T) {
+	t32 := PaperR3().TupleByID("t32")
+	if got := t32.MostProbableAlt(); got != 2 {
+		t.Fatalf("most probable alternative of t32 is (Jim,baker)=index 2, got %d", got)
+	}
+	t41 := PaperR4().TupleByID("t41")
+	if got := t41.MostProbableAlt(); got != 0 {
+		t.Fatalf("most probable alternative of t41 is index 0, got %d", got)
+	}
+}
+
+func TestXTupleValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		x    *XTuple
+	}{
+		{"no alts", NewXTuple("t")},
+		{"empty id", NewXTuple("", NewAlt(1, "a", "b"))},
+		{"sum>1", NewXTuple("t", NewAlt(0.7, "a", "b"), NewAlt(0.6, "c", "d"))},
+		{"zero p", NewXTuple("t", NewAlt(0, "a", "b"))},
+		{"arity", NewXTuple("t", NewAlt(1, "a"))},
+	}
+	for _, c := range cases {
+		if err := c.x.Validate(2); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestXRelationUnion(t *testing.T) {
+	u, err := PaperR3().Union("R34", PaperR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Tuples) != 5 {
+		t.Fatalf("|R34| = %d, want 5", len(u.Tuples))
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Union with mismatched width fails.
+	bad := NewXRelation("w", "only")
+	if _, err := PaperR3().Union("x", bad); err == nil {
+		t.Fatal("want width mismatch error")
+	}
+}
+
+func TestXTupleClone(t *testing.T) {
+	x := PaperR3().TupleByID("t32")
+	c := x.Clone()
+	c.Alts[0].P = 0.99
+	c.Alts[0].Values[0] = Certain("changed")
+	if x.Alts[0].P != 0.3 || x.Alts[0].Values[0].String() != "Tim" {
+		t.Fatal("Clone must not share mutable state")
+	}
+}
+
+func TestXTupleString(t *testing.T) {
+	s := PaperR3().TupleByID("t32").String()
+	if !strings.Contains(s, "?") {
+		t.Fatalf("maybe x-tuple must print '?': %q", s)
+	}
+	if !strings.Contains(s, "Tim") || !strings.Contains(s, "baker") {
+		t.Fatalf("x-tuple string missing values: %q", s)
+	}
+}
+
+func TestToXRelation(t *testing.T) {
+	xr := PaperR1().ToXRelation()
+	if err := xr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(xr.Tuples) != 3 {
+		t.Fatalf("len=%d", len(xr.Tuples))
+	}
+	x := xr.TupleByID("t13")
+	if len(x.Alts) != 1 || !almost(x.Alts[0].P, 0.6) {
+		t.Fatalf("lifting must keep p(t): %v", x)
+	}
+	if !almost(x.Alts[0].Values[0].P(V("Tim")), 0.6) {
+		t.Fatal("lifting must keep attribute distributions")
+	}
+}
+
+func TestExpandAlternatives(t *testing.T) {
+	// t11: name certain Tim, job {machinist .7, mechanic .2, ⊥ .1}
+	tu := PaperR1().TupleByID("t11")
+	x := tu.ExpandAlternatives()
+	if len(x.Alts) != 3 {
+		t.Fatalf("expected 3 combinations, got %d", len(x.Alts))
+	}
+	if !almost(x.P(), 1.0) {
+		t.Fatalf("expansion must preserve p(t): %v", x.P())
+	}
+	// Combination probabilities are products.
+	var pm, pc, pn float64
+	for _, a := range x.Alts {
+		switch {
+		case a.Values[1].String() == "machinist":
+			pm = a.P
+		case a.Values[1].String() == "mechanic":
+			pc = a.P
+		case a.Values[1].String() == "⊥":
+			pn = a.P
+		}
+	}
+	if !almost(pm, 0.7) || !almost(pc, 0.2) || !almost(pn, 0.1) {
+		t.Fatalf("combination probabilities wrong: %v %v %v", pm, pc, pn)
+	}
+	// p(t) scaling: t13 has p=0.6 and two name values.
+	x13 := PaperR1().TupleByID("t13").ExpandAlternatives()
+	if !almost(x13.P(), 0.6) {
+		t.Fatalf("p(t13) expansion = %v", x13.P())
+	}
+	if err := x13.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}

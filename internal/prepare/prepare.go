@@ -1,0 +1,118 @@
+// Package prepare implements the data preparation step (Sec. III-A):
+// standardization of conventions and cleaning, lifted to probabilistic data
+// by mapping every transformation pointwise over the alternatives of each
+// attribute distribution (values mapped to the same representative merge,
+// concentrating probability mass).
+package prepare
+
+import (
+	"strings"
+	"unicode"
+
+	"probdedup/internal/pdb"
+)
+
+// Transform rewrites a single certain value.
+type Transform func(string) string
+
+// Chain composes transforms left to right.
+func Chain(ts ...Transform) Transform {
+	return func(s string) string {
+		for _, t := range ts {
+			s = t(s)
+		}
+		return s
+	}
+}
+
+// LowerCase folds the value to lower case.
+func LowerCase(s string) string { return strings.ToLower(s) }
+
+// TrimSpace removes surrounding whitespace and collapses inner runs of
+// whitespace to single spaces.
+func TrimSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// StripPunct removes all punctuation and symbol runes.
+func StripPunct(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsPunct(r) || unicode.IsSymbol(r) {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Dictionary rewrites whole values through a lookup table (after lower
+// casing the probe), leaving unknown values untouched. Use it for
+// abbreviation expansion ("dr" → "doctor") and nickname canonicalization
+// ("bob" → "robert").
+func Dictionary(mapping map[string]string) Transform {
+	return func(s string) string {
+		if r, ok := mapping[strings.ToLower(s)]; ok {
+			return r
+		}
+		return s
+	}
+}
+
+// TokenDictionary rewrites each whitespace token through the mapping.
+func TokenDictionary(mapping map[string]string) Transform {
+	return func(s string) string {
+		fields := strings.Fields(s)
+		for i, f := range fields {
+			if r, ok := mapping[strings.ToLower(f)]; ok {
+				fields[i] = r
+			}
+		}
+		return strings.Join(fields, " ")
+	}
+}
+
+// Standardizer applies one transform per attribute (nil entries leave the
+// attribute untouched).
+type Standardizer struct {
+	// ByAttr holds a transform per schema position.
+	ByAttr []Transform
+}
+
+// NewStandardizer builds a Standardizer.
+func NewStandardizer(byAttr ...Transform) *Standardizer {
+	return &Standardizer{ByAttr: byAttr}
+}
+
+// Dist transforms one attribute distribution: the transform maps each
+// existing value; equal results merge. ⊥ mass is untouched.
+func (s *Standardizer) Dist(attr int, d pdb.Dist) pdb.Dist {
+	if attr >= len(s.ByAttr) || s.ByAttr[attr] == nil {
+		return d
+	}
+	return d.Map(s.ByAttr[attr])
+}
+
+// Relation returns a standardized deep copy of a dependency-free relation.
+func (s *Standardizer) Relation(r *pdb.Relation) *pdb.Relation {
+	out := r.Clone()
+	for _, t := range out.Tuples {
+		for i := range t.Attrs {
+			t.Attrs[i] = s.Dist(i, t.Attrs[i])
+		}
+	}
+	return out
+}
+
+// XRelation returns a standardized deep copy of an x-relation.
+func (s *Standardizer) XRelation(r *pdb.XRelation) *pdb.XRelation {
+	out := r.Clone()
+	for _, x := range out.Tuples {
+		for ai := range x.Alts {
+			for i := range x.Alts[ai].Values {
+				x.Alts[ai].Values[i] = s.Dist(i, x.Alts[ai].Values[i])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package prepare
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestTransforms(t *testing.T) {
+	cases := []struct {
+		f        Transform
+		in, want string
+	}{
+		{LowerCase, "TiM", "tim"},
+		{TrimSpace, "  a   b  ", "a b"},
+		{StripPunct, "O'Brien-Smith!", "OBrienSmith"},
+		{Dictionary(map[string]string{"dr": "doctor"}), "Dr", "doctor"},
+		{Dictionary(map[string]string{"dr": "doctor"}), "nurse", "nurse"},
+		{TokenDictionary(map[string]string{"st": "street"}), "main ST 5", "main street 5"},
+		{Chain(LowerCase, StripPunct), "A.B", "ab"},
+	}
+	for i, c := range cases {
+		if got := c.f(c.in); got != c.want {
+			t.Errorf("case %d: %q → %q, want %q", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestStandardizerMergesMass(t *testing.T) {
+	// Lowercasing merges "Tim" and "TIM" into one alternative.
+	s := NewStandardizer(LowerCase)
+	d := pdb.MustDist(
+		pdb.Alternative{Value: pdb.V("Tim"), P: 0.5},
+		pdb.Alternative{Value: pdb.V("TIM"), P: 0.3},
+	)
+	got := s.Dist(0, d)
+	if got.Len() != 1 || !almost(got.P(pdb.V("tim")), 0.8) {
+		t.Fatalf("merged dist = %v", got)
+	}
+	if !almost(got.NullP(), 0.2) {
+		t.Fatalf("⊥ mass must survive: %v", got.NullP())
+	}
+}
+
+func TestStandardizerRelation(t *testing.T) {
+	s := NewStandardizer(LowerCase, nil) // only name standardized
+	r := paperdata.R1()
+	out := s.Relation(r)
+	if out.TupleByID("t11").Attrs[0].String() != "tim" {
+		t.Fatalf("name not lowered: %v", out.TupleByID("t11").Attrs[0])
+	}
+	// job untouched.
+	if out.TupleByID("t11").Attrs[1].P(pdb.V("machinist")) != 0.7 {
+		t.Fatal("nil transform must leave attribute unchanged")
+	}
+	// Original unmodified.
+	if r.TupleByID("t11").Attrs[0].String() != "Tim" {
+		t.Fatal("input mutated")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardizerXRelation(t *testing.T) {
+	s := NewStandardizer(LowerCase, LowerCase)
+	xr := paperdata.R3()
+	out := s.XRelation(xr)
+	if out.TupleByID("t31").Alts[0].Values[0].String() != "john" {
+		t.Fatal("x-relation standardization broken")
+	}
+	if xr.TupleByID("t31").Alts[0].Values[0].String() != "John" {
+		t.Fatal("input mutated")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Attribute index beyond ByAttr is untouched.
+	s2 := NewStandardizer(LowerCase)
+	out2 := s2.XRelation(xr)
+	if out2.TupleByID("t31").Alts[0].Values[1].String() != "pilot" {
+		t.Fatal("out-of-range transform applied")
+	}
+}

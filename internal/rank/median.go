@@ -1,0 +1,72 @@
+package rank
+
+import "sort"
+
+// MedianKey returns the item's median key value: the smallest key at which
+// the cumulative (conditioned) key probability reaches one half. Unlike the
+// expected rank, the median is robust against low-probability outlier
+// alternatives — a tuple with 60% of its mass on "Joh…" keeps the median
+// "Joh…" even if the remaining 40% scatters across the alphabet. The
+// EXPERIMENTS.md S02 ablation motivates this variant: expected-position
+// orderings collapse on multi-modal key distributions with independent
+// noise.
+func MedianKey(it Item) string {
+	if len(it.Keys) == 0 {
+		return ""
+	}
+	sorted := append([]keyProb(nil), toKeyProbs(it)...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].key < sorted[b].key })
+	total := 0.0
+	for _, kp := range sorted {
+		total += kp.p
+	}
+	if total <= 0 {
+		return sorted[0].key
+	}
+	acc := 0.0
+	for _, kp := range sorted {
+		acc += kp.p
+		if acc >= total/2 {
+			return kp.key
+		}
+	}
+	return sorted[len(sorted)-1].key
+}
+
+type keyProb struct {
+	key string
+	p   float64
+}
+
+func toKeyProbs(it Item) []keyProb {
+	out := make([]keyProb, len(it.Keys))
+	for i, kp := range it.Keys {
+		out[i] = keyProb{key: kp.Key, p: kp.P}
+	}
+	return out
+}
+
+// MedianOrder sorts item indices by median key (ties by most probable key,
+// then ID). It shares the O(N log N) complexity of Order.
+func MedianOrder(items []Item) []int {
+	medians := make([]string, len(items))
+	for i, it := range items {
+		medians[i] = MedianKey(it)
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if medians[ia] != medians[ib] {
+			return medians[ia] < medians[ib]
+		}
+		ka, kb := topKey(items[ia]), topKey(items[ib])
+		if ka != kb {
+			return ka < kb
+		}
+		return items[ia].ID < items[ib].ID
+	})
+	return idx
+}

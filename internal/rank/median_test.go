@@ -1,0 +1,64 @@
+package rank
+
+import (
+	"testing"
+
+	"probdedup/internal/keys"
+)
+
+func TestMedianKey(t *testing.T) {
+	cases := []struct {
+		name string
+		item Item
+		want string
+	}{
+		{"certain", Item{ID: "a", Keys: []keys.KeyProb{{Key: "k", P: 1}}}, "k"},
+		{"majority", Item{ID: "a", Keys: []keys.KeyProb{
+			{Key: "zzz", P: 0.4}, {Key: "aaa", P: 0.6}}}, "aaa"},
+		{"outlier-robust", Item{ID: "a", Keys: []keys.KeyProb{
+			{Key: "Joh", P: 0.6}, {Key: "Zzz", P: 0.2}, {Key: "Aaa", P: 0.2}}}, "Joh"},
+		{"empty", Item{ID: "a"}, ""},
+		{"exact-half", Item{ID: "a", Keys: []keys.KeyProb{
+			{Key: "a", P: 0.5}, {Key: "b", P: 0.5}}}, "a"},
+	}
+	for _, c := range cases {
+		if got := MedianKey(c.item); got != c.want {
+			t.Errorf("%s: MedianKey = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMedianOrderRobustAgainstOutliers(t *testing.T) {
+	// Two duplicates share 60% mass on "Joh…" but have independent noise
+	// alternatives at opposite ends of the key space. Expected-rank
+	// ordering pulls them apart; median ordering keeps them adjacent.
+	items := []Item{
+		{ID: "dup1", Keys: []keys.KeyProb{{Key: "Johpi", P: 0.6}, {Key: "Aaaaa", P: 0.4}}},
+		{ID: "dup2", Keys: []keys.KeyProb{{Key: "Johpi", P: 0.6}, {Key: "Zzzzz", P: 0.4}}},
+		{ID: "x1", Keys: []keys.KeyProb{{Key: "Bbbbb", P: 1}}},
+		{ID: "x2", Keys: []keys.KeyProb{{Key: "Ccccc", P: 1}}},
+		{ID: "x3", Keys: []keys.KeyProb{{Key: "Ddddd", P: 1}}},
+		{ID: "x4", Keys: []keys.KeyProb{{Key: "Eeeee", P: 1}}},
+		{ID: "x5", Keys: []keys.KeyProb{{Key: "Fffff", P: 1}}},
+	}
+	med := MedianOrder(items)
+	pos := map[string]int{}
+	for i, idx := range med {
+		pos[items[idx].ID] = i
+	}
+	if d := pos["dup1"] - pos["dup2"]; d != 1 && d != -1 {
+		t.Fatalf("median order separates the duplicates: %v", med)
+	}
+}
+
+func TestMedianOrderIsPermutation(t *testing.T) {
+	items := r34Items()
+	order := MedianOrder(items)
+	seen := map[int]bool{}
+	for _, i := range order {
+		if seen[i] || i < 0 || i >= len(items) {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[i] = true
+	}
+}

@@ -1,0 +1,148 @@
+// Package rank orders tuples by uncertain key values, the fourth
+// sorted-neighborhood approach of Sec. V-A: instead of forcing certain key
+// values, tuples are sorted with a ranking function for probabilistic data.
+//
+// The implemented ranking is the expected-rank semantics (Cormode, Li, Yi;
+// ICDE 2009, the paper's ref [35]), computed exactly in O(N log N) where N
+// is the total number of key alternatives — matching the O(n·log n)
+// complexity the paper cites for PRF^e-style ranking functions [37]:
+//
+//	E[rank(t)] = Σ over t's key values k of P(key_t = k) ·
+//	             Σ_{s≠t} ( P(key_s < k) + ½·P(key_s = k) )
+//
+// Key distributions are conditioned on tuple membership so that every
+// tuple's key mass sums to one (membership must not influence detection).
+package rank
+
+import (
+	"sort"
+
+	"probdedup/internal/keys"
+)
+
+// Item is a tuple identifier with its (conditioned) probabilistic key value.
+type Item struct {
+	ID   string
+	Keys []keys.KeyProb
+}
+
+// ExpectedRanks computes E[rank] for every item. The expectation treats
+// ties as contributing half a position, the standard convention.
+func ExpectedRanks(items []Item) []float64 {
+	// Gather the global key-mass table: for every distinct key string, the
+	// total probability mass across all items, plus per-item mass.
+	type entry struct {
+		key  string
+		item int
+		p    float64
+	}
+	var entries []entry
+	for i, it := range items {
+		for _, kp := range it.Keys {
+			entries = append(entries, entry{kp.Key, i, kp.P})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+
+	// Distinct keys with cumulative mass strictly below each key.
+	type keyInfo struct {
+		key    string
+		total  float64 // total mass at this key over all items
+		below  float64 // total mass strictly below this key
+		perIdx map[int]float64
+	}
+	var infos []keyInfo
+	for i := 0; i < len(entries); {
+		j := i
+		ki := keyInfo{key: entries[i].key, perIdx: map[int]float64{}}
+		for j < len(entries) && entries[j].key == ki.key {
+			ki.total += entries[j].p
+			ki.perIdx[entries[j].item] += entries[j].p
+			j++
+		}
+		infos = append(infos, ki)
+		i = j
+	}
+	running := 0.0
+	for i := range infos {
+		infos[i].below = running
+		running += infos[i].total
+	}
+	byKey := make(map[string]*keyInfo, len(infos))
+	for i := range infos {
+		byKey[infos[i].key] = &infos[i]
+	}
+
+	out := make([]float64, len(items))
+	for i, it := range items {
+		// Mass of item i strictly below each of its own keys is needed to
+		// exclude self-comparison.
+		// ownBelow(k) = Σ of item i's mass at keys < k.
+		ownSorted := append([]keys.KeyProb(nil), it.Keys...)
+		sort.Slice(ownSorted, func(a, b int) bool { return ownSorted[a].Key < ownSorted[b].Key })
+		ownBelow := map[string]float64{}
+		acc := 0.0
+		for _, kp := range ownSorted {
+			ownBelow[kp.Key] = acc
+			acc += kp.P
+		}
+		e := 0.0
+		for _, kp := range it.Keys {
+			ki := byKey[kp.Key]
+			othersBelow := ki.below - ownBelow[kp.Key]
+			othersAt := ki.total - ki.perIdx[i]
+			e += kp.P * (othersBelow + 0.5*othersAt)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Order returns the item indices sorted by expected rank (ascending), ties
+// broken by most probable key string, then by ID for determinism. This is
+// the tuple order the uncertain-key sorted neighborhood method uses
+// (Fig. 13 right).
+func Order(items []Item) []int {
+	ranks := ExpectedRanks(items)
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if ranks[ia] != ranks[ib] {
+			return ranks[ia] < ranks[ib]
+		}
+		ka, kb := topKey(items[ia]), topKey(items[ib])
+		if ka != kb {
+			return ka < kb
+		}
+		return items[ia].ID < items[ib].ID
+	})
+	return idx
+}
+
+func topKey(it Item) string {
+	if len(it.Keys) == 0 {
+		return ""
+	}
+	return it.Keys[0].Key
+}
+
+// ModeOrder is the baseline that sorts by each item's most probable key
+// value only (ties by ID) — equivalent to resolving uncertainty before
+// sorting and therefore blind to low-probability key values.
+func ModeOrder(items []Item) []int {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := topKey(items[idx[a]]), topKey(items[idx[b]])
+		if ka != kb {
+			return ka < kb
+		}
+		return items[idx[a]].ID < items[idx[b]].ID
+	})
+	return idx
+}

@@ -1,0 +1,204 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/paperdata"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// r34Items builds the ranking input of Fig. 13: the conditioned key
+// distributions of ℛ34 under the paper's key name:3+job:2.
+func r34Items() []Item {
+	def := keys.NewDef(keys.Part{Attr: 0, Prefix: 3}, keys.Part{Attr: 1, Prefix: 2})
+	r := paperdata.R34()
+	items := make([]Item, 0, len(r.Tuples))
+	for _, x := range r.Tuples {
+		items = append(items, Item{ID: x.ID, Keys: def.XTupleKeyDist(x, true)})
+	}
+	return items
+}
+
+func TestE08Fig13RankedOrder(t *testing.T) {
+	// Fig. 13 (right): ranking by the uncertain key values orders ℛ34 as
+	// t32, t31, t41, t43, t42.
+	items := r34Items()
+	order := Order(items)
+	got := make([]string, len(order))
+	for i, idx := range order {
+		got[i] = items[idx].ID
+	}
+	want := []string{"t32", "t31", "t41", "t43", "t42"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpectedRanksAgainstBruteForce(t *testing.T) {
+	// Exact expected rank by enumerating all key-assignment combinations.
+	items := []Item{
+		{ID: "a", Keys: []keys.KeyProb{{Key: "b", P: 0.5}, {Key: "d", P: 0.5}}},
+		{ID: "b", Keys: []keys.KeyProb{{Key: "c", P: 1.0}}},
+		{ID: "c", Keys: []keys.KeyProb{{Key: "a", P: 0.3}, {Key: "e", P: 0.7}}},
+	}
+	got := ExpectedRanks(items)
+	want := bruteForceExpectedRanks(items)
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("item %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExpectedRanksWithTies(t *testing.T) {
+	// Two items sharing a certain key: each expects half a position from
+	// the other.
+	items := []Item{
+		{ID: "a", Keys: []keys.KeyProb{{Key: "k", P: 1}}},
+		{ID: "b", Keys: []keys.KeyProb{{Key: "k", P: 1}}},
+		{ID: "c", Keys: []keys.KeyProb{{Key: "z", P: 1}}},
+	}
+	got := ExpectedRanks(items)
+	if !almost(got[0], 0.5) || !almost(got[1], 0.5) || !almost(got[2], 2) {
+		t.Fatalf("ranks = %v", got)
+	}
+}
+
+func bruteForceExpectedRanks(items []Item) []float64 {
+	n := len(items)
+	exp := make([]float64, n)
+	var rec func(i int, assign []string, p float64)
+	rec = func(i int, assign []string, p float64) {
+		if i == n {
+			for a := 0; a < n; a++ {
+				r := 0.0
+				for b := 0; b < n; b++ {
+					if b == a {
+						continue
+					}
+					if assign[b] < assign[a] {
+						r++
+					} else if assign[b] == assign[a] {
+						r += 0.5
+					}
+				}
+				exp[a] += p * r
+			}
+			return
+		}
+		for _, kp := range items[i].Keys {
+			assign[i] = kp.Key
+			rec(i+1, assign, p*kp.P)
+		}
+	}
+	rec(0, make([]string, n), 1)
+	return exp
+}
+
+func TestQuickExpectedRanksMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	letters := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		items := make([]Item, n)
+		for i := range items {
+			k := 1 + rng.Intn(3)
+			rem := 1.0
+			var kps []keys.KeyProb
+			seen := map[string]bool{}
+			for j := 0; j < k; j++ {
+				key := letters[rng.Intn(len(letters))]
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				p := rem
+				if j < k-1 {
+					p = rng.Float64() * rem
+				}
+				rem -= p
+				if p > 1e-9 {
+					kps = append(kps, keys.KeyProb{Key: key, P: p})
+				}
+			}
+			if len(kps) == 0 {
+				kps = []keys.KeyProb{{Key: "a", P: 1}}
+			}
+			// Renormalize to 1 so brute force interprets them as exhaustive.
+			total := 0.0
+			for _, kp := range kps {
+				total += kp.P
+			}
+			for j := range kps {
+				kps[j].P /= total
+			}
+			items[i] = Item{ID: string(rune('A' + i)), Keys: kps}
+		}
+		got := ExpectedRanks(items)
+		want := bruteForceExpectedRanks(items)
+		for i := range want {
+			if !almost(got[i], want[i]) {
+				t.Fatalf("trial %d item %d: got %v want %v (items=%v)", trial, i, got[i], want[i], items)
+			}
+		}
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	items := r34Items()
+	order := Order(items)
+	if len(order) != len(items) {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if i < 0 || i >= len(items) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+	}
+}
+
+func TestModeOrder(t *testing.T) {
+	items := r34Items()
+	order := ModeOrder(items)
+	// Mode keys: t31→Johpi, t32→Jimba, t41→Johpi, t42→Tomme, t43→Seapi.
+	got := make([]string, len(order))
+	for i, idx := range order {
+		got[i] = items[idx].ID
+	}
+	want := []string{"t32", "t31", "t41", "t43", "t42"} // Jimba,Johpi,Johpi,Seapi,Tomme
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mode order %v, want %v", got, want)
+		}
+	}
+	// Mode order must be sorted by mode key.
+	ks := make([]string, len(order))
+	for i, idx := range order {
+		ks[i] = items[idx].Keys[0].Key
+	}
+	if !sort.StringsAreSorted(ks) {
+		t.Fatalf("mode keys not sorted: %v", ks)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := ExpectedRanks(nil); len(got) != 0 {
+		t.Fatal("nil items")
+	}
+	single := []Item{{ID: "a", Keys: []keys.KeyProb{{Key: "x", P: 1}}}}
+	if got := ExpectedRanks(single); !almost(got[0], 0) {
+		t.Fatalf("single item rank %v", got[0])
+	}
+	if got := Order(single); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single order %v", got)
+	}
+}

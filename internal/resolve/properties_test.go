@@ -1,0 +1,81 @@
+package resolve
+
+import (
+	"testing"
+
+	"probdedup/internal/core"
+	"probdedup/internal/dataset"
+	"probdedup/internal/decision"
+	"probdedup/internal/strsim"
+	"probdedup/internal/xmatch"
+)
+
+// TestQuickResolveOnRandomCorpora checks the structural invariants of the
+// resolution on randomly generated corpora: entities partition the source
+// tuples, fused tuples validate, lineage is exclusive, and confidences are
+// probabilities.
+func TestQuickResolveOnRandomCorpora(t *testing.T) {
+	final := decision.Thresholds{Lambda: 0.6, Mu: 0.8}
+	for seed := int64(0); seed < 6; seed++ {
+		d := dataset.Generate(dataset.DefaultConfig(20, seed))
+		u := d.Union()
+		res, err := core.Detect(u, core.Options{
+			Compare:    []strsim.Func{strsim.Levenshtein, strsim.Levenshtein, strsim.Levenshtein},
+			AltModel:   decision.SimpleModel{Phi: decision.WeightedSum(0.4, 0.3, 0.3), T: final},
+			Derivation: xmatch.SimilarityBased{Conditioned: true},
+			Final:      final,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r, err := Resolve(u, res, final, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Partition.
+		seen := map[string]int{}
+		for _, e := range r.Entities {
+			if err := e.Tuple.Validate(len(u.Schema)); err != nil {
+				t.Fatalf("seed %d entity %s: %v", seed, e.ID, err)
+			}
+			for _, m := range e.Members {
+				seen[m]++
+			}
+		}
+		for _, x := range u.Tuples {
+			if seen[x.ID] != 1 {
+				t.Fatalf("seed %d: tuple %s in %d entities", seed, x.ID, seen[x.ID])
+			}
+		}
+		// Lineage invariants.
+		if err := r.CheckExclusive(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, lt := range r.Tuples {
+			p, err := r.Confidence(lt)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if p < -1e-9 || p > 1+1e-9 {
+				t.Fatalf("seed %d: confidence %v", seed, p)
+			}
+		}
+		// Uncertain duplicates reference existing entities and carry
+		// calibrated probabilities strictly inside (0,1).
+		entityIDs := map[string]bool{}
+		for _, e := range r.Entities {
+			entityIDs[e.ID] = true
+		}
+		for _, ud := range r.Uncertain {
+			if !entityIDs[ud.A] || !entityIDs[ud.B] {
+				t.Fatalf("seed %d: uncertain pair references missing entity", seed)
+			}
+			if ud.P <= 0 || ud.P >= 1 {
+				t.Fatalf("seed %d: calibrated P = %v", seed, ud.P)
+			}
+			if err := ud.Merged.Validate(len(u.Schema)); err != nil {
+				t.Fatalf("seed %d merged %s: %v", seed, ud.Merged.ID, err)
+			}
+		}
+	}
+}

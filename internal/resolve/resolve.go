@@ -1,0 +1,304 @@
+// Package resolve turns pairwise duplicate decisions into an integrated
+// probabilistic result — the entity-resolution / data-fusion step the
+// paper's Sec. VI sketches:
+//
+//   - declared matches (set M) are grouped into entities by transitive
+//     closure and fused into single probabilistic x-tuples,
+//   - possible matches (set P) across entities are kept as *uncertain
+//     duplicates*: the result contains both the merged representation and
+//     the separate representations as mutually exclusive sets of tuples,
+//     wired up with ULDB-style lineage over a "dup(a,b)" symbol whose
+//     probability is calibrated from the pair's similarity.
+package resolve
+
+import (
+	"fmt"
+	"sort"
+
+	"probdedup/internal/core"
+	"probdedup/internal/decision"
+	"probdedup/internal/fusion"
+	"probdedup/internal/lineage"
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+)
+
+// Calibration maps a derived similarity to the probability that the pair
+// is truly a duplicate (used for possible matches). It must return values
+// in [0,1].
+type Calibration func(sim float64) float64
+
+// LinearCalibration interpolates linearly between the thresholds: sim ≤ Tλ
+// maps to lo, sim ≥ Tμ maps to hi. The default for Resolve uses lo=0.1 and
+// hi=0.9 — a possible match near Tμ is an almost-certain duplicate.
+func LinearCalibration(t decision.Thresholds, lo, hi float64) Calibration {
+	return func(sim float64) float64 {
+		switch {
+		case t.Mu == t.Lambda && sim == t.Lambda:
+			return (lo + hi) / 2
+		case sim <= t.Lambda:
+			return lo
+		case sim >= t.Mu:
+			return hi
+		default:
+			frac := (sim - t.Lambda) / (t.Mu - t.Lambda)
+			return lo + frac*(hi-lo)
+		}
+	}
+}
+
+// Entity is one resolved real-world entity.
+type Entity struct {
+	// ID is the fused tuple ID (member IDs joined with '+').
+	ID string
+	// Members are the source tuple IDs merged into this entity.
+	Members []string
+	// Tuple is the fused probabilistic representation.
+	Tuple *pdb.XTuple
+}
+
+// UncertainDuplicate is a possible match between two resolved entities.
+type UncertainDuplicate struct {
+	// A and B are entity IDs.
+	A, B string
+	// Sym is the lineage symbol "dup(A,B)".
+	Sym string
+	// P is the calibrated duplicate probability.
+	P float64
+	// Merged is the fused representation valid when Sym is true.
+	Merged *pdb.XTuple
+}
+
+// LTuple is a result tuple with lineage.
+type LTuple struct {
+	Tuple   *pdb.XTuple
+	Lineage lineage.Expr
+}
+
+// Resolution is the integrated probabilistic result.
+type Resolution struct {
+	// Entities are the fused certain-duplicate groups.
+	Entities []Entity
+	// Uncertain lists the possible matches retained as uncertainty in the
+	// result.
+	Uncertain []UncertainDuplicate
+	// Universe holds the lineage symbols (one per uncertain duplicate).
+	Universe *lineage.Universe
+	// Tuples is the lineage-annotated result relation: entities unaffected
+	// by uncertain duplicates carry lineage ⊤; an uncertain pair (A,B)
+	// contributes merged(A,B) with lineage dup(A,B) and A, B each with
+	// lineage ¬dup(A,B).
+	Tuples []LTuple
+}
+
+// Resolve builds the integrated result from a detection run on the given
+// x-relation. cal may be nil (LinearCalibration over opts' final
+// thresholds with lo=0.1, hi=0.9 is used).
+func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal Calibration) (*Resolution, error) {
+	if cal == nil {
+		cal = LinearCalibration(final, 0.1, 0.9)
+	}
+	byID := make(map[string]*pdb.XTuple, len(xr.Tuples))
+	order := make(map[string]int, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		byID[x.ID] = x
+		order[x.ID] = i
+	}
+
+	// 1. Transitive closure over declared matches.
+	uf := newUnionFind()
+	for _, x := range xr.Tuples {
+		uf.add(x.ID)
+	}
+	for p := range res.Matches {
+		uf.union(p.A, p.B)
+	}
+	groups := map[string][]string{}
+	for _, x := range xr.Tuples {
+		root := uf.find(x.ID)
+		groups[root] = append(groups[root], x.ID)
+	}
+
+	// 2. Fuse each group into one entity (deterministic member order).
+	r := &Resolution{Universe: lineage.NewUniverse()}
+	entityOf := map[string]*Entity{} // source tuple ID → entity
+	var roots []string
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return order[groups[roots[i]][0]] < order[groups[roots[j]][0]] })
+	for _, root := range roots {
+		members := groups[root]
+		sort.Slice(members, func(i, j int) bool { return order[members[i]] < order[members[j]] })
+		fused, err := fuseAll(members, byID)
+		if err != nil {
+			return nil, err
+		}
+		e := Entity{ID: fused.ID, Members: members, Tuple: fused}
+		r.Entities = append(r.Entities, e)
+		for _, m := range members {
+			entityOf[m] = &r.Entities[len(r.Entities)-1]
+		}
+	}
+
+	// 3. Possible matches across distinct entities become uncertain
+	// duplicates with lineage. Multiple P pairs between the same two
+	// entities collapse to the strongest one.
+	strongest := map[verify.Pair]core.Match{}
+	for p := range res.Possible {
+		ea, eb := entityOf[p.A], entityOf[p.B]
+		if ea == nil || eb == nil || ea.ID == eb.ID {
+			continue
+		}
+		key := verify.NewPair(ea.ID, eb.ID)
+		m := res.ByPair[p]
+		if cur, ok := strongest[key]; !ok || m.Sim > cur.Sim {
+			strongest[key] = m
+		}
+	}
+	var keys []verify.Pair
+	for k := range strongest {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	uncertainEntity := map[string]lineage.Expr{} // entity ID → ¬dup ∧ ¬dup …
+	for _, key := range keys {
+		m := strongest[key]
+		ea, eb := key.A, key.B
+		symID := fmt.Sprintf("dup(%s,%s)", ea, eb)
+		p := cal(m.Sim)
+		sym, err := r.Universe.Declare(symID, p)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := fusion.MergeXTuples(ea+"+"+eb, entityByID(r, ea).Tuple, entityByID(r, eb).Tuple, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		r.Uncertain = append(r.Uncertain, UncertainDuplicate{
+			A: ea, B: eb, Sym: symID, P: p, Merged: merged,
+		})
+		r.Tuples = append(r.Tuples, LTuple{Tuple: merged, Lineage: sym})
+		for _, eid := range []string{ea, eb} {
+			neg := lineage.Not(lineage.Var(symID))
+			if ex, ok := uncertainEntity[eid]; ok {
+				uncertainEntity[eid] = lineage.And(ex, neg)
+			} else {
+				uncertainEntity[eid] = neg
+			}
+		}
+	}
+
+	// 4. Entity tuples: lineage ⊤ unless touched by an uncertain duplicate.
+	for i := range r.Entities {
+		e := &r.Entities[i]
+		lin, ok := uncertainEntity[e.ID]
+		if !ok {
+			lin = lineage.True
+		}
+		r.Tuples = append(r.Tuples, LTuple{Tuple: e.Tuple, Lineage: lin})
+	}
+	return r, nil
+}
+
+func entityByID(r *Resolution, id string) *Entity {
+	for i := range r.Entities {
+		if r.Entities[i].ID == id {
+			return &r.Entities[i]
+		}
+	}
+	return nil
+}
+
+// fuseAll merges the member tuples pairwise with equal source weights.
+func fuseAll(members []string, byID map[string]*pdb.XTuple) (*pdb.XTuple, error) {
+	cur := byID[members[0]].Clone()
+	if len(members) == 1 {
+		return cur, nil
+	}
+	weight := 1.0
+	for _, m := range members[1:] {
+		next, err := fusion.MergeXTuples(cur.ID+"+"+m, cur, byID[m], weight, 1)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		weight++
+	}
+	return cur, nil
+}
+
+// Confidence returns P(tuple in result) for a lineage-annotated tuple.
+func (r *Resolution) Confidence(t LTuple) (float64, error) {
+	return r.Universe.Probability(t.Lineage)
+}
+
+// CheckExclusive verifies the Sec. VI invariant: for every uncertain
+// duplicate, the merged tuple and each separate entity tuple are mutually
+// exclusive.
+func (r *Resolution) CheckExclusive() error {
+	byTupleID := map[string]LTuple{}
+	for _, t := range r.Tuples {
+		byTupleID[t.Tuple.ID] = t
+	}
+	for _, ud := range r.Uncertain {
+		merged := byTupleID[ud.Merged.ID]
+		for _, eid := range []string{ud.A, ud.B} {
+			sep, ok := byTupleID[eid]
+			if !ok {
+				return fmt.Errorf("resolve: entity %s missing from result", eid)
+			}
+			ex, err := r.Universe.MutuallyExclusive(merged.Lineage, sep.Lineage)
+			if err != nil {
+				return err
+			}
+			if !ex {
+				return fmt.Errorf("resolve: %s and %s are not mutually exclusive", ud.Merged.ID, eid)
+			}
+		}
+	}
+	return nil
+}
+
+// unionFind is a tiny disjoint-set structure over string IDs.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, rank: map[string]int{}}
+}
+
+func (u *unionFind) add(id string) {
+	if _, ok := u.parent[id]; !ok {
+		u.parent[id] = id
+	}
+}
+
+func (u *unionFind) find(id string) string {
+	for u.parent[id] != id {
+		u.parent[id] = u.parent[u.parent[id]]
+		id = u.parent[id]
+	}
+	return id
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

@@ -1,0 +1,254 @@
+package resolve
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/core"
+	"probdedup/internal/decision"
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// detectR34 runs the paper pipeline on ℛ34 and returns union + result.
+func detectR34(t *testing.T) (*pdb.XRelation, *core.Result, decision.Thresholds) {
+	t.Helper()
+	xr := paperdata.R34()
+	final := decision.Thresholds{Lambda: 0.4, Mu: 0.7}
+	res, err := core.Detect(xr, core.Options{
+		Compare: []strsim.Func{strsim.NormalizedHamming, strsim.NormalizedHamming},
+		AltModel: decision.SimpleModel{
+			Phi: decision.WeightedSum(0.8, 0.2),
+			T:   final,
+		},
+		Derivation: xmatch.SimilarityBased{Conditioned: true},
+		Final:      final,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xr, res, final
+}
+
+func TestResolvePaperR34(t *testing.T) {
+	xr, res, final := detectR34(t)
+	r, err := Resolve(xr, res, final, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every source tuple belongs to exactly one entity.
+	seen := map[string]int{}
+	for _, e := range r.Entities {
+		for _, m := range e.Members {
+			seen[m]++
+		}
+	}
+	for _, x := range xr.Tuples {
+		if seen[x.ID] != 1 {
+			t.Fatalf("tuple %s in %d entities", x.ID, seen[x.ID])
+		}
+	}
+	// Matches imply co-membership.
+	entityOf := map[string]string{}
+	for _, e := range r.Entities {
+		for _, m := range e.Members {
+			entityOf[m] = e.ID
+		}
+	}
+	for p := range res.Matches {
+		if entityOf[p.A] != entityOf[p.B] {
+			t.Fatalf("matched pair %v split across entities", p)
+		}
+	}
+	// Lineage invariant (Sec. VI): merged vs separate mutually exclusive.
+	if err := r.CheckExclusive(); err != nil {
+		t.Fatal(err)
+	}
+	// Fused entity tuples validate.
+	for _, e := range r.Entities {
+		if err := e.Tuple.Validate(len(xr.Schema)); err != nil {
+			t.Fatalf("entity %s: %v", e.ID, err)
+		}
+	}
+}
+
+func TestResolveUncertainDuplicates(t *testing.T) {
+	// Craft a result with one match and one possible match.
+	xr := pdb.NewXRelation("X", "name", "job").Append(
+		pdb.NewXTuple("a", pdb.NewAlt(1, "John", "pilot")),
+		pdb.NewXTuple("b", pdb.NewAlt(1, "John", "pilot")),
+		pdb.NewXTuple("c", pdb.NewAlt(1, "Johan", "pilot")),
+	)
+	final := decision.Thresholds{Lambda: 0.4, Mu: 0.7}
+	res := &core.Result{
+		Matches:  verify.NewPairSet(verify.Pair{A: "a", B: "b"}),
+		Possible: verify.NewPairSet(verify.Pair{A: "b", B: "c"}),
+		ByPair: map[verify.Pair]core.Match{
+			verify.NewPair("b", "c"): {Pair: verify.NewPair("b", "c"), Sim: 0.55, Class: decision.P},
+		},
+		Compared:   []verify.Pair{verify.NewPair("a", "b"), verify.NewPair("b", "c")},
+		TotalPairs: 3,
+	}
+	r, err := Resolve(xr, res, final, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entities) != 2 {
+		t.Fatalf("entities = %d, want 2 (a+b, c)", len(r.Entities))
+	}
+	if len(r.Uncertain) != 1 {
+		t.Fatalf("uncertain = %d", len(r.Uncertain))
+	}
+	ud := r.Uncertain[0]
+	// Calibration: 0.55 halfway between 0.4 and 0.7 → 0.1 + 0.5·0.8 = 0.5.
+	if !almost(ud.P, 0.5) {
+		t.Fatalf("calibrated P = %v", ud.P)
+	}
+	// Result contains merged + two separates with correct confidences.
+	confidences := map[string]float64{}
+	for _, lt := range r.Tuples {
+		p, err := r.Confidence(lt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		confidences[lt.Tuple.ID] = p
+	}
+	if !almost(confidences[ud.Merged.ID], 0.5) {
+		t.Fatalf("merged confidence = %v", confidences[ud.Merged.ID])
+	}
+	if !almost(confidences[ud.A], 0.5) || !almost(confidences[ud.B], 0.5) {
+		t.Fatalf("separate confidences = %v, %v", confidences[ud.A], confidences[ud.B])
+	}
+	if err := r.CheckExclusive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveTransitiveClosure(t *testing.T) {
+	xr := pdb.NewXRelation("X", "a").Append(
+		pdb.NewXTuple("1", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("2", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("3", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("4", pdb.NewAlt(1, "y")),
+	)
+	res := &core.Result{
+		Matches: verify.NewPairSet(
+			verify.Pair{A: "1", B: "2"},
+			verify.Pair{A: "2", B: "3"},
+		),
+		Possible: verify.PairSet{},
+		ByPair:   map[verify.Pair]core.Match{},
+	}
+	r, err := Resolve(xr, res, decision.Thresholds{Lambda: 0.4, Mu: 0.7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entities) != 2 {
+		t.Fatalf("entities = %d, want {1,2,3} and {4}", len(r.Entities))
+	}
+	var big Entity
+	for _, e := range r.Entities {
+		if len(e.Members) == 3 {
+			big = e
+		}
+	}
+	if big.ID == "" {
+		t.Fatal("transitive group missing")
+	}
+	if !almost(big.Tuple.P(), 1.0) {
+		t.Fatalf("fused p(t) = %v", big.Tuple.P())
+	}
+}
+
+func TestResolvePossibleInsideEntityIgnored(t *testing.T) {
+	// A possible match between two tuples already merged by M must not
+	// create an uncertain duplicate.
+	xr := pdb.NewXRelation("X", "a").Append(
+		pdb.NewXTuple("1", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("2", pdb.NewAlt(1, "x")),
+	)
+	res := &core.Result{
+		Matches:  verify.NewPairSet(verify.Pair{A: "1", B: "2"}),
+		Possible: verify.NewPairSet(verify.Pair{A: "1", B: "2"}),
+		ByPair: map[verify.Pair]core.Match{
+			verify.NewPair("1", "2"): {Sim: 0.5, Class: decision.P},
+		},
+	}
+	r, err := Resolve(xr, res, decision.Thresholds{Lambda: 0.4, Mu: 0.7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Uncertain) != 0 {
+		t.Fatalf("uncertain = %d, want 0", len(r.Uncertain))
+	}
+	if len(r.Tuples) != 1 || r.Tuples[0].Lineage != nil && r.Tuples[0].Lineage.String() != "⊤" {
+		t.Fatalf("result tuples %v", r.Tuples)
+	}
+}
+
+func TestLinearCalibration(t *testing.T) {
+	cal := LinearCalibration(decision.Thresholds{Lambda: 0.4, Mu: 0.8}, 0.1, 0.9)
+	cases := []struct{ sim, want float64 }{
+		{0.0, 0.1}, {0.4, 0.1}, {0.6, 0.5}, {0.8, 0.9}, {1.0, 0.9},
+	}
+	for _, c := range cases {
+		if got := cal(c.sim); !almost(got, c.want) {
+			t.Errorf("cal(%v) = %v, want %v", c.sim, got, c.want)
+		}
+	}
+	// Degenerate thresholds.
+	deg := LinearCalibration(decision.Thresholds{Lambda: 0.5, Mu: 0.5}, 0, 1)
+	if got := deg(0.5); !almost(got, 0.5) {
+		t.Errorf("degenerate cal = %v", got)
+	}
+}
+
+func TestResolveEntityWithTwoUncertainDuplicates(t *testing.T) {
+	xr := pdb.NewXRelation("X", "a").Append(
+		pdb.NewXTuple("a", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("b", pdb.NewAlt(1, "x")),
+		pdb.NewXTuple("c", pdb.NewAlt(1, "x")),
+	)
+	res := &core.Result{
+		Matches: verify.PairSet{},
+		Possible: verify.NewPairSet(
+			verify.Pair{A: "a", B: "b"},
+			verify.Pair{A: "a", B: "c"},
+		),
+		ByPair: map[verify.Pair]core.Match{
+			verify.NewPair("a", "b"): {Sim: 0.5, Class: decision.P},
+			verify.NewPair("a", "c"): {Sim: 0.6, Class: decision.P},
+		},
+	}
+	r, err := Resolve(xr, res, decision.Thresholds{Lambda: 0.4, Mu: 0.7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Uncertain) != 2 {
+		t.Fatalf("uncertain = %d", len(r.Uncertain))
+	}
+	if err := r.CheckExclusive(); err != nil {
+		t.Fatal(err)
+	}
+	// Entity a's separate tuple requires both dup symbols false:
+	// confidence (1-p1)(1-p2).
+	var aConf float64
+	for _, lt := range r.Tuples {
+		if lt.Tuple.ID == "a" {
+			aConf, err = r.Confidence(lt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p1 := LinearCalibration(decision.Thresholds{Lambda: 0.4, Mu: 0.7}, 0.1, 0.9)(0.5)
+	p2 := LinearCalibration(decision.Thresholds{Lambda: 0.4, Mu: 0.7}, 0.1, 0.9)(0.6)
+	if !almost(aConf, (1-p1)*(1-p2)) {
+		t.Fatalf("a confidence = %v, want %v", aConf, (1-p1)*(1-p2))
+	}
+}

@@ -1,0 +1,140 @@
+package ssr
+
+import (
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+)
+
+// RankStrategy selects the ordering used by SNMRanked.
+type RankStrategy int
+
+const (
+	// ExpectedRank orders by the expected-rank semantics (the default; the
+	// paper's ranking-function approach, Fig. 13).
+	ExpectedRank RankStrategy = iota
+	// MedianKey orders by the median key value — robust against
+	// low-probability outlier alternatives (see the EXPERIMENTS.md S02
+	// ablation).
+	MedianKey
+	// ModeKey orders by the most probable key value only.
+	ModeKey
+)
+
+// String names the strategy.
+func (s RankStrategy) String() string {
+	switch s {
+	case MedianKey:
+		return "median"
+	case ModeKey:
+		return "mode"
+	default:
+		return "expected"
+	}
+}
+
+// Pruning is the length-filter pruning heuristic Sec. III-B lists alongside
+// SNM and blocking: a pair survives only if, for every configured
+// attribute, some pair of alternative values has a rune-length difference
+// of at most MaxDiff. Length difference lower-bounds the edit distance, so
+// for normalized Levenshtein-style comparisons the pruned pairs provably
+// cannot reach high similarity. Uncertainty-aware: an x-tuple's attribute
+// contributes the lengths of every alternative value (a pair is kept if
+// *any* world could make it similar).
+type Pruning struct {
+	// MaxDiff[attr] is the maximum admissible rune-length difference for
+	// the attribute; attributes missing from the map are unconstrained.
+	MaxDiff map[int]int
+}
+
+// Name implements Method.
+func (p Pruning) Name() string { return "pruning-length" }
+
+// Candidates implements Method.
+func (p Pruning) Candidates(xr *pdb.XRelation) verify.PairSet {
+	// Precompute per tuple and constrained attribute the set of observed
+	// rune lengths (small ints).
+	perTuple := make([]map[int]map[int]bool, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		perTuple[i] = map[int]map[int]bool{}
+		for attr := range p.MaxDiff {
+			ls := map[int]bool{}
+			for _, alt := range x.Alts {
+				if attr >= len(alt.Values) {
+					continue
+				}
+				for _, a := range alt.Values[attr].Alternatives() {
+					ls[strsim.RuneLen(a.Value.S())] = true
+				}
+				if alt.Values[attr].NullP() > pdb.Eps {
+					ls[0] = true
+				}
+			}
+			perTuple[i][attr] = ls
+		}
+	}
+	out := verify.PairSet{}
+	for i := 0; i < len(xr.Tuples); i++ {
+		for j := i + 1; j < len(xr.Tuples); j++ {
+			if compatibleLengths(p.MaxDiff, perTuple[i], perTuple[j]) {
+				out.Add(xr.Tuples[i].ID, xr.Tuples[j].ID)
+			}
+		}
+	}
+	return out
+}
+
+func compatibleLengths(maxDiff map[int]int, a, b map[int]map[int]bool) bool {
+	for attr, diff := range maxDiff {
+		ok := false
+		for la := range a[attr] {
+			for lb := range b[attr] {
+				d := la - lb
+				if d < 0 {
+					d = -d
+				}
+				if d <= diff {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter wraps another reduction method and intersects its candidates with
+// the pruning filter — the composition the paper's Sec. III-B implies
+// (heuristics can be stacked).
+type Filter struct {
+	Inner  Method
+	Prune  Pruning
+	suffix string
+}
+
+// NewFilter composes a reduction method with length pruning.
+func NewFilter(inner Method, prune Pruning) Filter {
+	return Filter{Inner: inner, Prune: prune, suffix: "+pruned"}
+}
+
+// Name implements Method.
+func (f Filter) Name() string { return f.Inner.Name() + f.suffix }
+
+// Candidates implements Method.
+func (f Filter) Candidates(xr *pdb.XRelation) verify.PairSet {
+	inner := f.Inner.Candidates(xr)
+	allowed := f.Prune.Candidates(xr)
+	out := verify.PairSet{}
+	for p := range inner {
+		if allowed[p] {
+			out[p] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+// Package ssr implements the search-space reduction methods of Sec. V,
+// adapted to probabilistic data. Every method consumes an x-relation (a
+// dependency-free relation is lifted first) and emits the set of candidate
+// tuple pairs that the decision model should compare.
+//
+// Sorted neighborhood (Sec. V-A):
+//
+//  1. SNMMultiPass    — one pass per possible world (all, top-k probable, or
+//     greedily dissimilar worlds), union of the per-world matchings.
+//  2. SNMCertain      — certain key values via a conflict resolution
+//     strategy (most probable alternative ≡ most probable world).
+//  3. SNMAlternatives — one key value per tuple alternative; neighboring
+//     same-tuple keys are omitted; an executed-matching matrix prevents
+//     duplicate matchings (Figs. 11–12).
+//  4. SNMRanked       — uncertain key values ranked with an expected-rank
+//     function in O(n log n) (Fig. 13).
+//
+// Blocking (Sec. V-B):
+//
+//  5. BlockingCertain      — conflict-resolved certain keys, classical
+//     blocking.
+//  6. BlockingAlternatives — an x-tuple joins the block of every
+//     alternative key value (Fig. 14).
+//  7. BlockingCluster      — clustering of uncertain key values (UK-means).
+//
+// CrossProduct is the no-reduction baseline.
+package ssr
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"probdedup/internal/cluster"
+	"probdedup/internal/fusion"
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/rank"
+	"probdedup/internal/verify"
+	"probdedup/internal/worlds"
+)
+
+// Method reduces the search space of an x-relation to candidate pairs.
+type Method interface {
+	// Name identifies the method in reports and benchmarks.
+	Name() string
+	// Candidates returns the set of tuple pairs to compare.
+	Candidates(xr *pdb.XRelation) verify.PairSet
+}
+
+// AllPairs returns every unordered tuple pair of the relation (the
+// universe against which reduction is measured).
+func AllPairs(xr *pdb.XRelation) []verify.Pair {
+	var out []verify.Pair
+	for i := 0; i < len(xr.Tuples); i++ {
+		for j := i + 1; j < len(xr.Tuples); j++ {
+			out = append(out, verify.NewPair(xr.Tuples[i].ID, xr.Tuples[j].ID))
+		}
+	}
+	return out
+}
+
+// CrossProduct is the exhaustive baseline: compare everything with
+// everything.
+type CrossProduct struct{}
+
+// Name implements Method.
+func (CrossProduct) Name() string { return "cross-product" }
+
+// Candidates implements Method.
+func (CrossProduct) Candidates(xr *pdb.XRelation) verify.PairSet {
+	s := verify.PairSet{}
+	for _, p := range AllPairs(xr) {
+		s[p] = true
+	}
+	return s
+}
+
+// windowPairs slides a window of the given size over ordered tuple IDs and
+// emits all pairs of IDs co-occurring in a window (each entry is paired
+// with its window-1 predecessors). Same-ID pairs are skipped.
+func windowPairs(ids []string, window int, into verify.PairSet) {
+	if window < 2 {
+		window = 2
+	}
+	for i := range ids {
+		lo := i - (window - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			if ids[j] != ids[i] {
+				into.Add(ids[j], ids[i])
+			}
+		}
+	}
+}
+
+// sortedIDsByKey sorts the tuples of a certain relation by their key value
+// (stable on insertion order) and returns the tuple IDs in sorted order —
+// the core of the classical sorted neighborhood method.
+func sortedIDsByKey(r *pdb.Relation, def keys.Def) []string {
+	type ent struct {
+		key string
+		id  string
+	}
+	ents := make([]ent, len(r.Tuples))
+	for i, t := range r.Tuples {
+		ents[i] = ent{key: def.FromCertainTuple(t), id: t.ID}
+	}
+	sort.SliceStable(ents, func(a, b int) bool { return ents[a].key < ents[b].key })
+	ids := make([]string, len(ents))
+	for i, e := range ents {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// WorldSelection chooses which possible worlds a multi-pass method visits.
+type WorldSelection int
+
+const (
+	// AllWorlds enumerates every possible world (guarded by MaxWorlds).
+	AllWorlds WorldSelection = iota
+	// TopWorlds takes the K most probable worlds.
+	TopWorlds
+	// DissimilarWorlds takes K highly probable, pairwise dissimilar worlds
+	// (Sec. V-A.1's careful selection).
+	DissimilarWorlds
+)
+
+// SNMMultiPass is approach V-A.1: one sorted-neighborhood pass per selected
+// possible world. Only worlds containing all tuples are considered (tuple
+// membership must not influence detection), which the conditioned world
+// space guarantees.
+type SNMMultiPass struct {
+	Key    keys.Def
+	Window int
+	// Select picks the world subset; K bounds TopWorlds/DissimilarWorlds.
+	Select WorldSelection
+	K      int
+	// MaxWorlds guards full enumeration (default 100000).
+	MaxWorlds int
+}
+
+// Name implements Method.
+func (m SNMMultiPass) Name() string {
+	switch m.Select {
+	case TopWorlds:
+		return "snm-multipass-top"
+	case DissimilarWorlds:
+		return "snm-multipass-dissimilar"
+	default:
+		return "snm-multipass-all"
+	}
+}
+
+// Candidates implements Method.
+func (m SNMMultiPass) Candidates(xr *pdb.XRelation) verify.PairSet {
+	out := verify.PairSet{}
+	var ws []worlds.World
+	switch m.Select {
+	case TopWorlds:
+		ws = worlds.TopK(xr, true, m.K)
+	case DissimilarWorlds:
+		ws = worlds.Dissimilar(xr, true, m.K, 4*m.K)
+	default:
+		limit := m.MaxWorlds
+		if limit <= 0 {
+			limit = 100_000
+		}
+		all, err := worlds.Enumerate(xr, true, limit)
+		if err != nil {
+			// Fall back to the most probable worlds when enumeration is
+			// infeasible; the method stays total.
+			all = worlds.TopK(xr, true, 1024)
+		}
+		ws = all
+	}
+	for _, w := range ws {
+		r := worlds.Materialize(xr, w)
+		windowPairs(sortedIDsByKey(r, m.Key), m.Window, out)
+	}
+	return out
+}
+
+// SNMCertain is approach V-A.2: create certain key values by conflict
+// resolution, then run the classical single-pass sorted neighborhood
+// method. With the MostProbable strategy this equals a single pass over the
+// most probable world, so its matchings are a subset of SNMMultiPass's.
+type SNMCertain struct {
+	Key      keys.Def
+	Window   int
+	Strategy fusion.Strategy
+}
+
+// Name implements Method.
+func (m SNMCertain) Name() string { return "snm-certain" }
+
+// Candidates implements Method.
+func (m SNMCertain) Candidates(xr *pdb.XRelation) verify.PairSet {
+	strategy := m.Strategy
+	if strategy == nil {
+		strategy = fusion.MostProbable{}
+	}
+	r := fusion.ResolveRelation(strategy, xr)
+	out := verify.PairSet{}
+	windowPairs(sortedIDsByKey(r, m.Key), m.Window, out)
+	return out
+}
+
+// SNMAlternatives is approach V-A.3 (Figs. 11–12): every tuple contributes
+// one key value per alternative (identical key values of one tuple merge);
+// the combined entry list is sorted; of neighboring entries referencing the
+// same tuple all but one are omitted; the window then slides over the
+// remaining entries while an executed-matching set prevents matching a pair
+// twice.
+type SNMAlternatives struct {
+	Key    keys.Def
+	Window int
+}
+
+// Name implements Method.
+func (m SNMAlternatives) Name() string { return "snm-alternatives" }
+
+// SortedEntries exposes the sorted (key, tupleID) list after the
+// same-tuple-neighbor omission — the right-hand side of Fig. 11 — mainly
+// for tests and the experiment harness.
+func (m SNMAlternatives) SortedEntries(xr *pdb.XRelation) []KeyEntry {
+	var ents []KeyEntry
+	for _, x := range xr.Tuples {
+		for _, kp := range m.Key.XTupleKeyDist(x, false) {
+			ents = append(ents, KeyEntry{Key: kp.Key, ID: x.ID})
+		}
+	}
+	sort.SliceStable(ents, func(a, b int) bool { return ents[a].Key < ents[b].Key })
+	// Omit entries whose predecessor references the same tuple.
+	kept := ents[:0]
+	for _, e := range ents {
+		if n := len(kept); n > 0 && kept[n-1].ID == e.ID {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return kept
+}
+
+// Candidates implements Method.
+func (m SNMAlternatives) Candidates(xr *pdb.XRelation) verify.PairSet {
+	kept := m.SortedEntries(xr)
+	ids := make([]string, len(kept))
+	for i, e := range kept {
+		ids[i] = e.ID
+	}
+	out := verify.PairSet{}
+	windowPairs(ids, m.Window, out)
+	return out
+}
+
+// KeyEntry is one (key value, tuple) row of the sorting-alternatives
+// relation.
+type KeyEntry struct {
+	Key string
+	ID  string
+}
+
+// SNMRanked is approach V-A.4 (Fig. 13): keep the key values uncertain and
+// order the tuples with a probabilistic ranking function (expected rank,
+// O(n log n)), then window as usual. Each tuple occurs exactly once in the
+// sorted sequence.
+type SNMRanked struct {
+	Key    keys.Def
+	Window int
+	// Strategy selects the ordering: ExpectedRank (default, the paper's
+	// ranking-function approach), MedianKey (robust variant) or ModeKey.
+	Strategy RankStrategy
+}
+
+// Name implements Method.
+func (m SNMRanked) Name() string {
+	if m.Strategy == ExpectedRank {
+		return "snm-ranked"
+	}
+	return "snm-ranked-" + m.Strategy.String()
+}
+
+// RankedIDs returns the tuple IDs in rank order (Fig. 13 right for the
+// default expected-rank strategy).
+func (m SNMRanked) RankedIDs(xr *pdb.XRelation) []string {
+	items := make([]rank.Item, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		items[i] = rank.Item{ID: x.ID, Keys: m.Key.XTupleKeyDist(x, true)}
+	}
+	var order []int
+	switch m.Strategy {
+	case MedianKey:
+		order = rank.MedianOrder(items)
+	case ModeKey:
+		order = rank.ModeOrder(items)
+	default:
+		order = rank.Order(items)
+	}
+	ids := make([]string, len(order))
+	for i, idx := range order {
+		ids[i] = items[idx].ID
+	}
+	return ids
+}
+
+// Candidates implements Method.
+func (m SNMRanked) Candidates(xr *pdb.XRelation) verify.PairSet {
+	out := verify.PairSet{}
+	windowPairs(m.RankedIDs(xr), m.Window, out)
+	return out
+}
+
+// BlockingCertain is classical blocking over conflict-resolved certain key
+// values (Sec. V-B).
+type BlockingCertain struct {
+	Key      keys.Def
+	Strategy fusion.Strategy
+}
+
+// Name implements Method.
+func (m BlockingCertain) Name() string { return "blocking-certain" }
+
+// Candidates implements Method.
+func (m BlockingCertain) Candidates(xr *pdb.XRelation) verify.PairSet {
+	strategy := m.Strategy
+	if strategy == nil {
+		strategy = fusion.MostProbable{}
+	}
+	r := fusion.ResolveRelation(strategy, xr)
+	blocks := map[string][]string{}
+	for _, t := range r.Tuples {
+		k := m.Key.FromCertainTuple(t)
+		blocks[k] = append(blocks[k], t.ID)
+	}
+	return pairsWithinBlocks(blocks)
+}
+
+// BlockingAlternatives inserts an x-tuple into the block of every key value
+// of every alternative (Fig. 14). Multiple insertions of one tuple into the
+// same block collapse to one.
+type BlockingAlternatives struct {
+	Key keys.Def
+}
+
+// Name implements Method.
+func (m BlockingAlternatives) Name() string { return "blocking-alternatives" }
+
+// Blocks exposes the block structure (key value → member tuple IDs, each
+// member once) for tests and the experiment harness.
+func (m BlockingAlternatives) Blocks(xr *pdb.XRelation) map[string][]string {
+	blocks := map[string][]string{}
+	seen := map[string]map[string]bool{}
+	for _, x := range xr.Tuples {
+		for _, kp := range m.Key.XTupleKeyDist(x, false) {
+			if seen[kp.Key] == nil {
+				seen[kp.Key] = map[string]bool{}
+			}
+			if seen[kp.Key][x.ID] {
+				continue
+			}
+			seen[kp.Key][x.ID] = true
+			blocks[kp.Key] = append(blocks[kp.Key], x.ID)
+		}
+	}
+	return blocks
+}
+
+// Candidates implements Method.
+func (m BlockingAlternatives) Candidates(xr *pdb.XRelation) verify.PairSet {
+	return pairsWithinBlocks(m.Blocks(xr))
+}
+
+// BlockingCluster partitions tuples into K blocks by clustering their
+// uncertain key values (UK-means over expected key positions), the
+// clustering option of Sec. V-B.
+type BlockingCluster struct {
+	Key keys.Def
+	// K is the number of blocks (default: n/8, at least 2).
+	K int
+	// Seed makes the clustering deterministic.
+	Seed int64
+}
+
+// Name implements Method.
+func (m BlockingCluster) Name() string { return "blocking-cluster" }
+
+// Candidates implements Method.
+func (m BlockingCluster) Candidates(xr *pdb.XRelation) verify.PairSet {
+	items := make([]cluster.Item, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		items[i] = cluster.Item{ID: x.ID, Keys: m.Key.XTupleKeyDist(x, true)}
+	}
+	k := m.K
+	if k <= 0 {
+		k = len(items) / 8
+		if k < 2 {
+			k = 2
+		}
+	}
+	c := cluster.UKMeans(items, k, 0, rand.New(rand.NewSource(m.Seed)))
+	blocks := map[string][]string{}
+	for i, b := range c.Assign {
+		label := "b" + strconv.Itoa(b)
+		blocks[label] = append(blocks[label], items[i].ID)
+	}
+	return pairsWithinBlocks(blocks)
+}
+
+func pairsWithinBlocks(blocks map[string][]string) verify.PairSet {
+	out := verify.PairSet{}
+	for _, members := range blocks {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[i] != members[j] {
+					out.Add(members[i], members[j])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Measure computes the reduction quality of a method against ground truth.
+func Measure(m Method, xr *pdb.XRelation, truth verify.PairSet) verify.Reduction {
+	cands := m.Candidates(xr)
+	all := AllPairs(xr)
+	trueIn := 0
+	for p := range cands {
+		if truth[p] {
+			trueIn++
+		}
+	}
+	return verify.Reduction{
+		CandidatePairs:   len(cands),
+		TotalPairs:       len(all),
+		TrueInCandidates: trueIn,
+		TrueTotal:        len(truth),
+	}
+}

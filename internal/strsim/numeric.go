@@ -1,0 +1,49 @@
+package strsim
+
+import (
+	"math"
+	"strconv"
+)
+
+// NumericAbs returns a comparison function for numeric attribute values:
+// sim(a,b) = max(0, 1 − |a−b|/scale). Values that fail to parse as floats
+// fall back to Exact, so mixed domains degrade gracefully. The scale must
+// be positive; it is the difference at which similarity reaches zero
+// (e.g. 5.0 for stellar magnitudes, 10 for ages).
+func NumericAbs(scale float64) Func {
+	if scale <= 0 || math.IsNaN(scale) {
+		scale = 1
+	}
+	return func(a, b string) float64 {
+		fa, errA := strconv.ParseFloat(a, 64)
+		fb, errB := strconv.ParseFloat(b, 64)
+		if errA != nil || errB != nil {
+			return Exact(a, b)
+		}
+		d := math.Abs(fa-fb) / scale
+		if d >= 1 {
+			return 0
+		}
+		return 1 - d
+	}
+}
+
+// NumericRelative returns a comparison function using relative difference:
+// sim(a,b) = max(0, 1 − |a−b|/max(|a|,|b|)). Two zeros are fully similar;
+// non-numeric values fall back to Exact.
+func NumericRelative(a, b string) float64 {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil {
+		return Exact(a, b)
+	}
+	den := math.Max(math.Abs(fa), math.Abs(fb))
+	if den == 0 {
+		return 1
+	}
+	d := math.Abs(fa-fb) / den
+	if d >= 1 {
+		return 0
+	}
+	return 1 - d
+}

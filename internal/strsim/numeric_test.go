@@ -1,0 +1,69 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNumericAbs(t *testing.T) {
+	f := NumericAbs(10)
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"5", "5", 1},
+		{"5", "10", 0.5},
+		{"0", "10", 0},
+		{"0", "25", 0},
+		{"-5", "5", 0},
+		{"1.5", "2.5", 0.9},
+		{"abc", "abc", 1}, // fallback Exact
+		{"abc", "abd", 0}, // fallback Exact
+		{"5", "abc", 0},   // mixed → Exact
+	}
+	for _, c := range cases {
+		if got := f(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NumericAbs(10)(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Bad scale falls back to 1.
+	g := NumericAbs(-3)
+	if got := g("1", "1.5"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("bad scale handling: %v", got)
+	}
+}
+
+func TestNumericRelative(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"100", "110", 1 - 10.0/110},
+		{"0", "0", 1},
+		{"0", "5", 0},
+		{"-10", "10", 0},
+		{"x", "x", 1},
+	}
+	for _, c := range cases {
+		if got := NumericRelative(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NumericRelative(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNumericContracts(t *testing.T) {
+	for _, f := range []Func{NumericAbs(7), NumericRelative} {
+		for _, pair := range [][2]string{{"3", "9"}, {"1.5", "-2"}, {"a", "3"}} {
+			if math.Abs(f(pair[0], pair[1])-f(pair[1], pair[0])) > 1e-9 {
+				t.Errorf("asymmetric on %v", pair)
+			}
+			s := f(pair[0], pair[1])
+			if s < 0 || s > 1 {
+				t.Errorf("out of range on %v: %v", pair, s)
+			}
+			if f(pair[0], pair[0]) != 1 {
+				t.Errorf("identity broken for %q", pair[0])
+			}
+		}
+	}
+}

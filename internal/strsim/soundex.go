@@ -1,0 +1,107 @@
+package strsim
+
+import "strings"
+
+// SoundexCode returns the four-character American Soundex code of s
+// ("Robert" → "R163"). Non-letter runes are ignored; an empty or letterless
+// input yields "0000".
+func SoundexCode(s string) string {
+	s = strings.ToUpper(s)
+	var letters []byte
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			letters = append(letters, byte(r))
+		}
+	}
+	if len(letters) == 0 {
+		return "0000"
+	}
+	code := []byte{letters[0]}
+	prev := soundexDigit(letters[0])
+	for _, c := range letters[1:] {
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// Vowels and H/W/Y: H and W do not reset the previous digit in
+			// classic Soundex only for 'H'/'W'; vowels do reset it.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code = append(code, byte('0'+d))
+			prev = d
+		}
+		if len(code) == 4 {
+			break
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(c byte) int {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	}
+	return 0
+}
+
+// Soundex returns the fraction of agreeing positions of the two Soundex
+// codes (1 for identical codes, 0.25 steps otherwise). This gives a crude
+// phonetic ("semantic") similarity usable as a comparison function.
+func Soundex(a, b string) float64 {
+	ca, cb := SoundexCode(a), SoundexCode(b)
+	match := 0
+	for i := 0; i < 4; i++ {
+		if ca[i] == cb[i] {
+			match++
+		}
+	}
+	return float64(match) / 4
+}
+
+// Glossary is a semantic comparison function backed by synonym groups: two
+// values in the same group are fully similar (Sec. III-C's "semantic means",
+// e.g. glossaries or ontologies). Lookup is case-insensitive. Values not
+// covered by the glossary fall back to the provided comparison function.
+type Glossary struct {
+	group    map[string]int
+	fallback Func
+}
+
+// NewGlossary builds a glossary from synonym groups.
+func NewGlossary(fallback Func, groups ...[]string) *Glossary {
+	g := &Glossary{group: make(map[string]int), fallback: fallback}
+	for i, grp := range groups {
+		for _, w := range grp {
+			g.group[strings.ToLower(w)] = i + 1
+		}
+	}
+	return g
+}
+
+// Sim is the comparison function of the glossary.
+func (g *Glossary) Sim(a, b string) float64 {
+	ga := g.group[strings.ToLower(a)]
+	gb := g.group[strings.ToLower(b)]
+	if ga != 0 && ga == gb {
+		return 1
+	}
+	if g.fallback != nil {
+		return g.fallback(a, b)
+	}
+	return Exact(a, b)
+}

@@ -1,0 +1,364 @@
+// Package strsim provides normalized comparison functions for certain
+// (non-probabilistic) string values, the building blocks of attribute value
+// matching (Sec. III-C of the paper). Every function returns a similarity in
+// [0,1] with sim(x,x)=1 and sim symmetric.
+//
+// The paper's running examples use the normalized Hamming similarity
+// (e.g. sim(Tim,Kim)=2/3, sim(machinist,mechanic)=5/9, sim(Jim,Tom)=1/3),
+// implemented here as NormalizedHamming.
+package strsim
+
+import (
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// Func is a normalized comparison function on certain values.
+// Implementations must be symmetric, return values in [0,1], and return 1
+// for equal inputs.
+type Func func(a, b string) float64
+
+// Exact returns 1 if the strings are identical and 0 otherwise.
+func Exact(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// NormalizedHamming returns the fraction of positions (over the longer
+// string's rune length) holding identical runes. Positions beyond the
+// shorter string count as mismatches. This is the comparison function used
+// in the paper's worked examples.
+func NormalizedHamming(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	matches := 0
+	for i := 0; i < len(ra) && i < len(rb); i++ {
+		if ra[i] == rb[i] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(n)
+}
+
+// Levenshtein returns 1 − editDistance/maxLen, where editDistance counts
+// unit-cost insertions, deletions and substitutions.
+func Levenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	d := levenshteinDistance(ra, rb)
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	return 1 - float64(d)/float64(n)
+}
+
+func levenshteinDistance(a, b []rune) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// DamerauLevenshtein returns 1 − distance/maxLen where the distance
+// additionally allows transposition of two adjacent runes (the
+// optimal-string-alignment variant).
+func DamerauLevenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	d := osaDistance(ra, rb)
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	return 1 - float64(d)/float64(n)
+}
+
+func osaDistance(a, b []rune) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	rows := make([][]int, la+1)
+	for i := range rows {
+		rows[i] = make([]int, lb+1)
+		rows[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		rows[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			rows[i][j] = min3(rows[i][j-1]+1, rows[i-1][j]+1, rows[i-1][j-1]+cost)
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := rows[i-2][j-2] + 1; t < rows[i][j] {
+					rows[i][j] = t
+				}
+			}
+		}
+	}
+	return rows[la][lb]
+}
+
+// Jaro returns the Jaro similarity.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi >= lb {
+			hi = lb - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i] = true
+				matchedB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity with the standard prefix
+// scale 0.1 over at most 4 common leading runes.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	s := j + float64(prefix)*0.1*(1-j)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// QGramDice returns a Func computing the Dice coefficient over q-gram
+// multisets: 2·|common| / (|Qa|+|Qb|). Strings shorter than q are padded on
+// both sides with q−1 occurrences of '#' so single-rune strings still
+// produce grams.
+func QGramDice(q int) Func {
+	return func(a, b string) float64 {
+		ga, gb := qgrams(a, q), qgrams(b, q)
+		if len(ga) == 0 && len(gb) == 0 {
+			return 1
+		}
+		if len(ga) == 0 || len(gb) == 0 {
+			return 0
+		}
+		common := multisetIntersection(ga, gb)
+		return 2 * float64(common) / float64(len(ga)+len(gb))
+	}
+}
+
+// QGramJaccard returns a Func computing the Jaccard coefficient over q-gram
+// multisets: |common| / (|Qa|+|Qb|−|common|).
+func QGramJaccard(q int) Func {
+	return func(a, b string) float64 {
+		ga, gb := qgrams(a, q), qgrams(b, q)
+		if len(ga) == 0 && len(gb) == 0 {
+			return 1
+		}
+		if len(ga) == 0 || len(gb) == 0 {
+			return 0
+		}
+		common := multisetIntersection(ga, gb)
+		return float64(common) / float64(len(ga)+len(gb)-common)
+	}
+}
+
+func qgrams(s string, q int) []string {
+	if q < 1 {
+		q = 1
+	}
+	if s == "" {
+		return nil
+	}
+	pad := strings.Repeat("#", q-1)
+	r := []rune(pad + s + pad)
+	if len(r) < q {
+		return nil
+	}
+	out := make([]string, 0, len(r)-q+1)
+	for i := 0; i+q <= len(r); i++ {
+		out = append(out, string(r[i:i+q]))
+	}
+	return out
+}
+
+func multisetIntersection(a, b []string) int {
+	counts := make(map[string]int, len(a))
+	for _, g := range a {
+		counts[g]++
+	}
+	common := 0
+	for _, g := range b {
+		if counts[g] > 0 {
+			counts[g]--
+			common++
+		}
+	}
+	return common
+}
+
+// LongestCommonSubstring returns |lcs(a,b)| / maxLen, the length of the
+// longest contiguous shared substring normalized by the longer string.
+func LongestCommonSubstring(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	best := 0
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	n := max2(len(ra), len(rb))
+	return float64(best) / float64(n)
+}
+
+// CommonPrefix returns |commonPrefix| / maxLen.
+func CommonPrefix(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	n := max2(len(ra), len(rb))
+	p := 0
+	for p < len(ra) && p < len(rb) && ra[p] == rb[p] {
+		p++
+	}
+	return float64(p) / float64(n)
+}
+
+// Clamp wraps f so results are forced into [0,1] and NaN becomes 0. Useful
+// when composing third-party comparison functions.
+func Clamp(f Func) Func {
+	return func(a, b string) float64 {
+		v := f(a, b)
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// RuneLen reports the rune length of s; exposed for key specs that cut
+// prefixes of uncertain values.
+func RuneLen(s string) int { return utf8.RuneCountInString(s) }
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package strsim
+
+import (
+	"math"
+	"strings"
+)
+
+// TokenJaccard returns the Jaccard coefficient over whitespace-separated
+// token sets.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := tokenSet(a), tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range ta {
+		if tb[tok] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(ta)+len(tb)-inter)
+}
+
+// TokenCosine returns the cosine similarity over whitespace-separated token
+// count vectors.
+func TokenCosine(a, b string) float64 {
+	ca, cb := tokenCounts(a), tokenCounts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for tok, na := range ca {
+		if nb, ok := cb[tok]; ok {
+			dot += float64(na * nb)
+		}
+	}
+	return dot / (l2(ca) * l2(cb))
+}
+
+// MongeElkan returns a Func computing the Monge–Elkan similarity: the mean,
+// over tokens of the first string, of the best inner similarity against any
+// token of the second string, symmetrized by averaging both directions.
+func MongeElkan(inner Func) Func {
+	oneWay := func(a, b string) float64 {
+		ta, tb := strings.Fields(a), strings.Fields(b)
+		if len(ta) == 0 && len(tb) == 0 {
+			return 1
+		}
+		if len(ta) == 0 || len(tb) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, x := range ta {
+			best := 0.0
+			for _, y := range tb {
+				if s := inner(x, y); s > best {
+					best = s
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(ta))
+	}
+	return func(a, b string) float64 {
+		return (oneWay(a, b) + oneWay(b, a)) / 2
+	}
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, tok := range strings.Fields(s) {
+		out[tok] = true
+	}
+	return out
+}
+
+func tokenCounts(s string) map[string]int {
+	out := make(map[string]int)
+	for _, tok := range strings.Fields(s) {
+		out[tok]++
+	}
+	return out
+}
+
+func l2(c map[string]int) float64 {
+	sum := 0.0
+	for _, n := range c {
+		sum += float64(n * n)
+	}
+	return math.Sqrt(sum)
+}

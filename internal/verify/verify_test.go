@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestNewPairCanonical(t *testing.T) {
+	if NewPair("b", "a") != NewPair("a", "b") {
+		t.Fatal("pair must canonicalize order")
+	}
+	s := PairSet{}
+	s.Add("x", "a")
+	if !s.Has("a", "x") || !s.Has("x", "a") {
+		t.Fatal("Has must be order-insensitive")
+	}
+}
+
+func TestPairSetSorted(t *testing.T) {
+	s := NewPairSet(Pair{"c", "d"}, Pair{"b", "a"}, Pair{"a", "c"})
+	got := s.Sorted()
+	want := []Pair{{"a", "b"}, {"a", "c"}, {"c", "d"}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	truth := NewPairSet(Pair{"a", "b"}, Pair{"c", "d"}, Pair{"e", "f"})
+	matches := NewPairSet(Pair{"a", "b"}, Pair{"x", "y"}) // 1 TP, 1 FP
+	possible := NewPairSet(Pair{"c", "d"})                // 1 possible dup
+	universe := []Pair{
+		{"a", "b"}, {"c", "d"}, {"e", "f"}, {"x", "y"}, {"p", "q"},
+	}
+	r := Evaluate(matches, possible, truth, universe)
+	if r.TP != 1 || r.FP != 1 || r.FN != 1 || r.TN != 1 || r.Possible != 1 || r.PossibleDuplicates != 1 {
+		t.Fatalf("report %+v", r)
+	}
+	if !almost(r.Precision(), 0.5) || !almost(r.Recall(), 0.5) || !almost(r.F1(), 0.5) {
+		t.Fatalf("P=%v R=%v F1=%v", r.Precision(), r.Recall(), r.F1())
+	}
+	if !almost(r.FalsePositivePct(), 0.5) || !almost(r.FalseNegativePct(), 0.5) {
+		t.Fatalf("FP%%=%v FN%%=%v", r.FalsePositivePct(), r.FalseNegativePct())
+	}
+	if !strings.Contains(r.String(), "precision=0.5000") {
+		t.Fatalf("String: %s", r)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	// No declarations at all → precision 1 (vacuous), recall 0 if dups
+	// exist.
+	truth := NewPairSet(Pair{"a", "b"})
+	r := Evaluate(PairSet{}, PairSet{}, truth, []Pair{{"a", "b"}})
+	if !almost(r.Precision(), 1) || !almost(r.Recall(), 0) || !almost(r.F1(), 0) {
+		t.Fatalf("%+v: P=%v R=%v", r, r.Precision(), r.Recall())
+	}
+	// No true duplicates → recall 1, FN% 0.
+	r2 := Evaluate(PairSet{}, PairSet{}, PairSet{}, []Pair{{"a", "b"}})
+	if !almost(r2.Recall(), 1) || !almost(r2.FalseNegativePct(), 0) {
+		t.Fatalf("recall=%v", r2.Recall())
+	}
+}
+
+func TestReductionMeasures(t *testing.T) {
+	r := Reduction{CandidatePairs: 10, TotalPairs: 100, TrueInCandidates: 4, TrueTotal: 5}
+	if !almost(r.ReductionRatio(), 0.9) {
+		t.Errorf("RR = %v", r.ReductionRatio())
+	}
+	if !almost(r.PairsCompleteness(), 0.8) {
+		t.Errorf("PC = %v", r.PairsCompleteness())
+	}
+	if !almost(r.PairQuality(), 0.4) {
+		t.Errorf("PQ = %v", r.PairQuality())
+	}
+	if !strings.Contains(r.String(), "RR=0.9000") {
+		t.Errorf("String: %s", r)
+	}
+	// Degenerate cases.
+	zero := Reduction{}
+	if !almost(zero.PairsCompleteness(), 1) || !almost(zero.PairQuality(), 1) || !almost(zero.ReductionRatio(), 0) {
+		t.Error("degenerate reduction measures")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("method", "precision", "n")
+	tab.AddRow("snm", 0.91234, 100)
+	tab.AddRow("blocking-with-long-name", 1.0, 2)
+	s := tab.String()
+	if !strings.Contains(s, "method") || !strings.Contains(s, "0.9123") || !strings.Contains(s, "blocking-with-long-name") {
+		t.Fatalf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,48 @@
+package worlds
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/paperdata"
+)
+
+func BenchmarkEnumerateR34(b *testing.B) {
+	xr := paperdata.R34()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(xr, true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMostProbable(b *testing.B) {
+	xr := paperdata.R34()
+	for i := 0; i < b.N; i++ {
+		_ = MostProbable(xr, true)
+	}
+}
+
+func BenchmarkTopK16(b *testing.B) {
+	xr := paperdata.R34()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TopK(xr, true, 16)
+	}
+}
+
+func BenchmarkDissimilar4(b *testing.B) {
+	xr := paperdata.R34()
+	for i := 0; i < b.N; i++ {
+		_ = Dissimilar(xr, true, 4, 16)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	xr := paperdata.R34()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = Sample(xr, false, rng)
+	}
+}

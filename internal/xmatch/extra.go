@@ -1,0 +1,97 @@
+package xmatch
+
+import (
+	"math"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+)
+
+// The paper notes that "further adequate derivation functions are possible"
+// beyond the two presented (Sec. IV-B). This file provides two such
+// derivations used by the ablation benchmarks.
+
+// MostProbableWorld derives the x-tuple similarity from the single most
+// probable alternative pair: ϑ = sim(tⁱ*, tʲ*) where i*, j* maximize the
+// (conditioned) alternative probabilities. It is the derivation analogue of
+// the conflict-resolution key strategy (Sec. V-A.2): cheap, but blind to
+// all other worlds.
+type MostProbableWorld struct {
+	Conditioned bool
+}
+
+// Name implements Derivation.
+func (d MostProbableWorld) Name() string {
+	if !d.Conditioned {
+		return "most-probable-world(unconditioned)"
+	}
+	return "most-probable-world"
+}
+
+// Sim implements Derivation.
+func (d MostProbableWorld) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	i := argmaxAlt(x1)
+	j := argmaxAlt(x2)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return model.Similarity(mat.At(i, j))
+}
+
+func argmaxAlt(x *pdb.XTuple) int {
+	best, bestP := -1, math.Inf(-1)
+	for i, a := range x.Alts {
+		if a.P > bestP+pdb.Eps {
+			best, bestP = i, a.P
+		}
+	}
+	return best
+}
+
+// MaxSim derives the x-tuple similarity as the maximum alternative-pair
+// similarity, optionally damped by the joint (conditioned) probability of
+// that pair when Weighted is set. The undamped variant is the most
+// optimistic derivation: two x-tuples are as similar as their most similar
+// interpretation — useful as a high-recall pre-filter, but prone to false
+// positives, which the S01 ablation quantifies.
+type MaxSim struct {
+	Conditioned bool
+	// Weighted multiplies the maximum by the joint probability of the
+	// maximizing pair.
+	Weighted bool
+}
+
+// Name implements Derivation.
+func (d MaxSim) Name() string {
+	name := "max-sim"
+	if d.Weighted {
+		name = "max-sim-weighted"
+	}
+	if !d.Conditioned {
+		name += "(unconditioned)"
+	}
+	return name
+}
+
+// Sim implements Derivation.
+func (d MaxSim) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	w1 := altWeights(x1, d.Conditioned)
+	w2 := altWeights(x2, d.Conditioned)
+	best := math.Inf(-1)
+	for i := 0; i < mat.K; i++ {
+		for j := 0; j < mat.L; j++ {
+			s := model.Similarity(mat.At(i, j))
+			if d.Weighted {
+				s *= w1[i] * w2[j]
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}

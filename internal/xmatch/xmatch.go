@@ -1,0 +1,203 @@
+// Package xmatch implements the decision models adapted to the x-tuple
+// concept (Sec. IV-B, Fig. 6). The similarity of two x-tuples t1 = {t¹1..tᵏ1}
+// and t2 = {t¹2..tˡ2} is derived from their k×l alternative tuple pairs by a
+// derivation function ϑ:
+//
+//   - similarity-based derivation (Fig. 6 left): ϑ maps the similarity
+//     vector s⃗ ∈ ℝᵏˣˡ of all alternative pairs to one similarity; the
+//     canonical instance is the conditional expectation of Eq. 6,
+//   - decision-based derivation (Fig. 6 right): every alternative pair is
+//     first classified into {m,p,u}; ϑ maps the matching vector η⃗ to a
+//     similarity; the canonical instance is the matching weight
+//     P(m)/P(u) of Eq. 7–9,
+//   - expected matching result: ϑ = E(η(tⁱ1,tʲ2)|B) with {m=2, p=1, u=0},
+//     the further decision-based derivation the paper mentions.
+//
+// All derivations condition alternative probabilities on tuple membership
+// (p(tⁱ)/p(t)), because membership must not influence duplicate detection;
+// the Conditioned flag exists as an ablation hook.
+package xmatch
+
+import (
+	"math"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+)
+
+// Derivation is the function ϑ of Fig. 6 step 2, generalized over both
+// approaches: it sees the x-tuple pair, the comparison matrix, and the
+// per-alternative decision model.
+type Derivation interface {
+	// Name identifies the derivation in reports and benchmarks.
+	Name() string
+	// Sim derives sim(t1,t2) ∈ ℝ.
+	Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64
+}
+
+// altWeights returns the per-alternative probabilities, conditioned
+// (p(tⁱ)/p(t)) unless cond is false (ablation).
+func altWeights(x *pdb.XTuple, cond bool) []float64 {
+	w := make([]float64, len(x.Alts))
+	for i, a := range x.Alts {
+		w[i] = a.P
+	}
+	if cond {
+		pt := x.P()
+		if pt > pdb.Eps {
+			for i := range w {
+				w[i] /= pt
+			}
+		}
+	}
+	return w
+}
+
+// SimilarityBased is the similarity-based derivation: the conditional
+// expectation of the alternative pair similarities (Eq. 6),
+//
+//	sim(t1,t2) = Σᵢ Σⱼ p(tⁱ1)/p(t1) · p(tʲ2)/p(t2) · sim(tⁱ1,tʲ2).
+//
+// As the paper notes it suits knowledge-based techniques: with a normalized
+// φ the expectation is normalized too, whereas unbounded matching weights
+// can make the expectation unrepresentative.
+type SimilarityBased struct {
+	// Conditioned applies the p(tⁱ)/p(t) normalization (the paper's
+	// definition). Disabling it is an ablation that lets tuple membership
+	// leak into the similarity.
+	Conditioned bool
+}
+
+// Name implements Derivation.
+func (d SimilarityBased) Name() string {
+	if !d.Conditioned {
+		return "similarity-based(unconditioned)"
+	}
+	return "similarity-based"
+}
+
+// Sim implements Derivation.
+func (d SimilarityBased) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	w1 := altWeights(x1, d.Conditioned)
+	w2 := altWeights(x2, d.Conditioned)
+	total := 0.0
+	for i := 0; i < mat.K; i++ {
+		for j := 0; j < mat.L; j++ {
+			total += w1[i] * w2[j] * model.Similarity(mat.At(i, j))
+		}
+	}
+	return total
+}
+
+// DecisionBased is the decision-based derivation of Eq. 7–9: classify every
+// alternative pair, then
+//
+//	sim(t1,t2) = P(m)/P(u)
+//
+// where P(m) (resp. P(u)) is the total conditioned probability of the
+// alternative pairs — equivalently of the possible worlds — declared
+// matches (resp. non-matches). The result is non-normalized; if P(u) = 0
+// while P(m) > 0 the similarity is +Inf, and 0 when both are 0.
+type DecisionBased struct {
+	Conditioned bool
+}
+
+// Name implements Derivation.
+func (d DecisionBased) Name() string {
+	if !d.Conditioned {
+		return "decision-based(unconditioned)"
+	}
+	return "decision-based"
+}
+
+// Sim implements Derivation.
+func (d DecisionBased) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	pm, pu := d.Probabilities(x1, x2, mat, model)
+	switch {
+	case pu > 0:
+		return pm / pu
+	case pm > 0:
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}
+
+// Probabilities returns P(m) and P(u) (Eq. 8 and 9).
+func (d DecisionBased) Probabilities(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) (pm, pu float64) {
+	w1 := altWeights(x1, d.Conditioned)
+	w2 := altWeights(x2, d.Conditioned)
+	for i := 0; i < mat.K; i++ {
+		for j := 0; j < mat.L; j++ {
+			switch decision.Decide(model, mat.At(i, j)) {
+			case decision.M:
+				pm += w1[i] * w2[j]
+			case decision.U:
+				pu += w1[i] * w2[j]
+			}
+		}
+	}
+	return pm, pu
+}
+
+// ExpectedEta is the further decision-based derivation mentioned at the end
+// of Sec. IV-B: ϑ = E(η(tⁱ1,tʲ2)|B) with the encoding {m=2, p=1, u=0}.
+// The result lies in [0,2].
+type ExpectedEta struct {
+	Conditioned bool
+}
+
+// Name implements Derivation.
+func (d ExpectedEta) Name() string {
+	if !d.Conditioned {
+		return "expected-eta(unconditioned)"
+	}
+	return "expected-eta"
+}
+
+// Sim implements Derivation.
+func (d ExpectedEta) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	w1 := altWeights(x1, d.Conditioned)
+	w2 := altWeights(x2, d.Conditioned)
+	total := 0.0
+	for i := 0; i < mat.K; i++ {
+		for j := 0; j < mat.L; j++ {
+			total += w1[i] * w2[j] * decision.Decide(model, mat.At(i, j)).Score()
+		}
+	}
+	return total
+}
+
+// Comparer runs the complete adapted decision model of Fig. 6 on x-tuple
+// pairs: attribute value matching (comparison matrix), per-alternative
+// combination/classification, derivation ϑ, and final classification.
+type Comparer struct {
+	// Matcher builds comparison matrices.
+	Matcher *avm.Matcher
+	// AltModel is the decision model applied to alternative tuple pairs
+	// (φ in step 1, and for decision-based derivations the per-pair
+	// classification of step 1.2).
+	AltModel decision.Model
+	// Derive is the derivation function ϑ of step 2.
+	Derive Derivation
+	// Final are the thresholds of step 3 classifying sim(t1,t2).
+	Final decision.Thresholds
+}
+
+// Result is the outcome of comparing one x-tuple pair.
+type Result struct {
+	// ID1, ID2 are the x-tuple IDs.
+	ID1, ID2 string
+	// Sim is sim(t1,t2) as produced by the derivation function.
+	Sim float64
+	// Class is η(t1,t2) ∈ {m,p,u}.
+	Class decision.Class
+}
+
+// Compare executes the full pipeline of Fig. 6 on one x-tuple pair.
+func (c *Comparer) Compare(x1, x2 *pdb.XTuple) Result {
+	mat := c.Matcher.CompareXTuples(x1, x2)
+	sim := c.Derive.Sim(x1, x2, mat, c.AltModel)
+	return Result{ID1: x1.ID, ID2: x2.ID, Sim: sim, Class: c.Final.Classify(sim)}
+}

@@ -1,0 +1,224 @@
+package xmatch
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// paperSetup returns the matcher and per-alternative model used by the
+// paper's Sec. IV-B examples: normalized Hamming on both attributes and
+// φ(c⃗) = 0.8·c1 + 0.2·c2.
+func paperSetup() (*avm.Matcher, decision.Model) {
+	m := avm.NewMatcher(strsim.NormalizedHamming, strsim.NormalizedHamming)
+	model := decision.SimpleModel{
+		Phi: decision.WeightedSum(0.8, 0.2),
+		T:   decision.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+	return m, model
+}
+
+func t32t42() (*pdb.XTuple, *pdb.XTuple) {
+	return paperdata.R3().TupleByID("t32"), paperdata.R4().TupleByID("t42")
+}
+
+func TestAlternativePairSimilarities(t *testing.T) {
+	// The paper's step-1 values: sim(t¹32,t42)=11/15, sim(t²32,t42)=7/15,
+	// sim(t³32,t42)=4/15.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	mat := m.CompareXTuples(x1, x2)
+	want := []float64{11.0 / 15, 7.0 / 15, 4.0 / 15}
+	for i, w := range want {
+		got := model.Similarity(mat.At(i, 0))
+		if !almost(got, w) {
+			t.Errorf("sim(t%d32,t42) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestE03SimilarityBasedDerivation(t *testing.T) {
+	// Eq. 6 example: sim(t32,t42) = 7/15.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	mat := m.CompareXTuples(x1, x2)
+	d := SimilarityBased{Conditioned: true}
+	if got := d.Sim(x1, x2, mat, model); !almost(got, 7.0/15) {
+		t.Fatalf("sim(t32,t42) = %v, want 7/15", got)
+	}
+}
+
+func TestE04DecisionBasedDerivation(t *testing.T) {
+	// Eq. 7–9 example with Tλ=0.4, Tμ=0.7: P(m)=3/9, P(u)=4/9, sim=0.75.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	mat := m.CompareXTuples(x1, x2)
+	d := DecisionBased{Conditioned: true}
+	pm, pu := d.Probabilities(x1, x2, mat, model)
+	if !almost(pm, 3.0/9) {
+		t.Errorf("P(m) = %v, want 3/9", pm)
+	}
+	if !almost(pu, 4.0/9) {
+		t.Errorf("P(u) = %v, want 4/9", pu)
+	}
+	if got := d.Sim(x1, x2, mat, model); !almost(got, 0.75) {
+		t.Fatalf("sim(t32,t42) = %v, want 0.75", got)
+	}
+}
+
+func TestExpectedEtaDerivation(t *testing.T) {
+	// η values of the three worlds: m(2)·3/9 + p(1)·2/9 + u(0)·4/9 = 8/9.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	mat := m.CompareXTuples(x1, x2)
+	d := ExpectedEta{Conditioned: true}
+	if got := d.Sim(x1, x2, mat, model); !almost(got, 8.0/9) {
+		t.Fatalf("E(η) = %v, want 8/9", got)
+	}
+}
+
+func TestConditioningMatters(t *testing.T) {
+	// t42 has p=0.8; unconditioned similarity-based derivation scales by
+	// 0.9·0.8 = 0.72, leaking membership into the similarity.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	mat := m.CompareXTuples(x1, x2)
+	cond := SimilarityBased{Conditioned: true}.Sim(x1, x2, mat, model)
+	uncond := SimilarityBased{Conditioned: false}.Sim(x1, x2, mat, model)
+	if !almost(uncond, cond*0.9*0.8) {
+		t.Fatalf("unconditioned %v, conditioned %v: expected factor p(t32)·p(t42)", uncond, cond)
+	}
+}
+
+func TestMembershipInvariance(t *testing.T) {
+	// Scaling all alternative probabilities of an x-tuple by a constant
+	// (changing p(t) only) must not change any conditioned derivation.
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	scaled := x1.Clone()
+	for i := range scaled.Alts {
+		scaled.Alts[i].P *= 0.5
+	}
+	mat1 := m.CompareXTuples(x1, x2)
+	mat2 := m.CompareXTuples(scaled, x2)
+	for _, d := range []Derivation{
+		SimilarityBased{Conditioned: true},
+		DecisionBased{Conditioned: true},
+		ExpectedEta{Conditioned: true},
+	} {
+		a := d.Sim(x1, x2, mat1, model)
+		b := d.Sim(scaled, x2, mat2, model)
+		if !almost(a, b) {
+			t.Errorf("%s: membership leaked (%v vs %v)", d.Name(), a, b)
+		}
+	}
+}
+
+func TestDecisionBasedEdgeCases(t *testing.T) {
+	m, model := paperSetup()
+	d := DecisionBased{Conditioned: true}
+	// Identical certain x-tuples: every pair matches → P(u)=0 → +Inf.
+	a := pdb.NewXTuple("a", pdb.NewAlt(1, "Tim", "mechanic"))
+	b := pdb.NewXTuple("b", pdb.NewAlt(1, "Tim", "mechanic"))
+	mat := m.CompareXTuples(a, b)
+	if got := d.Sim(a, b, mat, model); !math.IsInf(got, 1) {
+		t.Errorf("all-match must be +Inf, got %v", got)
+	}
+	// Completely dissimilar: P(m)=0 → 0/positive = 0.
+	c := pdb.NewXTuple("c", pdb.NewAlt(1, "zzzz", "qqqq"))
+	mat = m.CompareXTuples(a, c)
+	if got := d.Sim(a, c, mat, model); !almost(got, 0) {
+		t.Errorf("all-unmatch = %v, want 0", got)
+	}
+	// Only possible matches: P(m)=P(u)=0 → 0.
+	pOnly := decision.SimpleModel{Phi: decision.Average, T: decision.Thresholds{Lambda: 0, Mu: 1.5}}
+	mat = m.CompareXTuples(a, b)
+	if got := (DecisionBased{Conditioned: true}).Sim(a, b, mat, pOnly); !almost(got, 0) {
+		t.Errorf("all-possible = %v, want 0", got)
+	}
+}
+
+func TestComparerEndToEnd(t *testing.T) {
+	m, model := paperSetup()
+	x1, x2 := t32t42()
+	c := &Comparer{
+		Matcher:  m,
+		AltModel: model,
+		Derive:   DecisionBased{Conditioned: true},
+		// Matching-weight scale: weight > 1 means m-worlds outweigh
+		// u-worlds.
+		Final: decision.Thresholds{Lambda: 0.5, Mu: 1.0},
+	}
+	res := c.Compare(x1, x2)
+	if res.ID1 != "t32" || res.ID2 != "t42" {
+		t.Fatalf("IDs %s,%s", res.ID1, res.ID2)
+	}
+	if !almost(res.Sim, 0.75) {
+		t.Fatalf("sim = %v", res.Sim)
+	}
+	if res.Class != decision.P {
+		t.Fatalf("0.75 ∈ [0.5,1.0] must be a possible match, got %v", res.Class)
+	}
+}
+
+func TestSimilarityBasedNormalizedRange(t *testing.T) {
+	// With a normalized φ the similarity-based derivation stays in [0,1]
+	// for every pair of paper x-tuples.
+	m, model := paperSetup()
+	all := append(paperdata.R3().Tuples, paperdata.R4().Tuples...)
+	d := SimilarityBased{Conditioned: true}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			mat := m.CompareXTuples(all[i], all[j])
+			s := d.Sim(all[i], all[j], mat, model)
+			if s < -1e-9 || s > 1+1e-9 {
+				t.Errorf("sim(%s,%s) = %v outside [0,1]", all[i].ID, all[j].ID, s)
+			}
+		}
+	}
+}
+
+func TestDerivationNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, d := range []Derivation{
+		SimilarityBased{Conditioned: true}, SimilarityBased{},
+		DecisionBased{Conditioned: true}, DecisionBased{},
+		ExpectedEta{Conditioned: true}, ExpectedEta{},
+	} {
+		if d.Name() == "" || names[d.Name()] {
+			t.Errorf("duplicate or empty name %q", d.Name())
+		}
+		names[d.Name()] = true
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// sim(t1,t2) == sim(t2,t1) for all derivations on all paper pairs.
+	m, model := paperSetup()
+	all := append(paperdata.R3().Tuples, paperdata.R4().Tuples...)
+	for _, d := range []Derivation{
+		SimilarityBased{Conditioned: true},
+		DecisionBased{Conditioned: true},
+		ExpectedEta{Conditioned: true},
+	} {
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				m12 := m.CompareXTuples(all[i], all[j])
+				m21 := m.CompareXTuples(all[j], all[i])
+				a := d.Sim(all[i], all[j], m12, model)
+				b := d.Sim(all[j], all[i], m21, model)
+				if !(almost(a, b) || (math.IsInf(a, 1) && math.IsInf(b, 1))) {
+					t.Errorf("%s: sim(%s,%s)=%v but sim(%s,%s)=%v",
+						d.Name(), all[i].ID, all[j].ID, a, all[j].ID, all[i].ID, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package probdedup is a library for duplicate detection in probabilistic
+// data, implementing Panse, van Keulen, de Keijzer and Ritter: "Duplicate
+// Detection in Probabilistic Data" (ICDE 2010 workshops).
+//
+// The library models probabilistic relations with uncertainty on tuple
+// level (membership probability p(t)) and attribute value level (discrete
+// distributions including non-existence ⊥), both with and without the
+// Trio-style x-tuple concept, and provides:
+//
+//   - attribute value matching for uncertain values (expected similarity,
+//     Eq. 4/5 of the paper),
+//   - decision models: knowledge-based identification rules and the
+//     probabilistic Fellegi–Sunter theory (with EM parameter estimation),
+//   - x-tuple decision models: similarity-based, decision-based, and
+//     expected-matching-result derivations (Fig. 6, Eq. 6–9),
+//   - search-space reduction adapted to probabilistic data: four sorted
+//     neighborhood variants and three blocking variants (Sec. V),
+//   - verification metrics, a synthetic dataset generator, and a text
+//     codec for probabilistic relations.
+//
+// Quickstart:
+//
+//	r1, r2 := ... // *probdedup.Relation with probabilistic values
+//	res, err := probdedup.DetectRelations(r1, r2, probdedup.Options{
+//	    Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+//	})
+//	for p := range res.Matches { fmt.Println(p.A, "duplicates", p.B) }
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the mapping to the paper.
+package probdedup
+
+import (
+	"probdedup/internal/avm"
+	"probdedup/internal/cluster"
+	"probdedup/internal/codec"
+	"probdedup/internal/core"
+	"probdedup/internal/dataset"
+	"probdedup/internal/decision"
+	"probdedup/internal/fusion"
+	"probdedup/internal/keys"
+	"probdedup/internal/lineage"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/rank"
+	"probdedup/internal/resolve"
+	"probdedup/internal/ssr"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+	"probdedup/internal/worlds"
+	"probdedup/internal/xmatch"
+)
+
+// ---- Probabilistic data model ----
+
+type (
+	// Value is a single domain value; the zero Value is ⊥ (non-existence).
+	Value = pdb.Value
+	// Alternative is one (value, probability) entry of a distribution.
+	Alternative = pdb.Alternative
+	// Dist is a discrete distribution over attribute values; unassigned
+	// mass is ⊥.
+	Dist = pdb.Dist
+	// Tuple is a probabilistic tuple of the dependency-free model.
+	Tuple = pdb.Tuple
+	// Relation is a probabilistic relation of the dependency-free model.
+	Relation = pdb.Relation
+	// Alt is one alternative of an x-tuple.
+	Alt = pdb.Alt
+	// XTuple is a Trio-style x-tuple of mutually exclusive alternatives.
+	XTuple = pdb.XTuple
+	// XRelation is a relation of x-tuples.
+	XRelation = pdb.XRelation
+)
+
+// Null is the non-existence marker ⊥.
+var Null = pdb.Null
+
+// V returns an existing domain value.
+func V(s string) Value { return pdb.V(s) }
+
+// NewDist builds a distribution from alternatives (remaining mass is ⊥).
+func NewDist(alts ...Alternative) (Dist, error) { return pdb.NewDist(alts...) }
+
+// MustDist is NewDist that panics on error; for literals.
+func MustDist(alts ...Alternative) Dist { return pdb.MustDist(alts...) }
+
+// Certain returns a distribution concentrated on one value.
+func Certain(s string) Dist { return pdb.Certain(s) }
+
+// CertainNull returns the certainly-⊥ distribution.
+func CertainNull() Dist { return pdb.CertainNull() }
+
+// Uniform returns a uniform distribution over the given values (the finite
+// expansion of pattern values like the paper's 'mu*').
+func Uniform(values ...string) Dist { return pdb.Uniform(values...) }
+
+// NewTuple builds a probabilistic tuple with membership probability p.
+func NewTuple(id string, p float64, attrs ...Dist) *Tuple { return pdb.NewTuple(id, p, attrs...) }
+
+// NewRelation builds an empty relation with the given schema.
+func NewRelation(name string, schema ...string) *Relation { return pdb.NewRelation(name, schema...) }
+
+// NewAlt builds an x-tuple alternative from certain values.
+func NewAlt(p float64, values ...string) Alt { return pdb.NewAlt(p, values...) }
+
+// NewAltDists builds an x-tuple alternative with uncertain values.
+func NewAltDists(p float64, values ...Dist) Alt { return pdb.NewAltDists(p, values...) }
+
+// NewXTuple builds an x-tuple from alternatives.
+func NewXTuple(id string, alts ...Alt) *XTuple { return pdb.NewXTuple(id, alts...) }
+
+// NewXRelation builds an empty x-relation with the given schema.
+func NewXRelation(name string, schema ...string) *XRelation {
+	return pdb.NewXRelation(name, schema...)
+}
+
+// ---- Comparison functions (Sec. III-C) ----
+
+type (
+	// CompareFunc is a normalized similarity on certain strings.
+	CompareFunc = strsim.Func
+	// Glossary is a synonym-group ("semantic") comparison function.
+	Glossary = strsim.Glossary
+)
+
+// Comparison functions re-exported from the strsim package.
+var (
+	Exact                  = strsim.Exact
+	NormalizedHamming      = strsim.NormalizedHamming
+	Levenshtein            = strsim.Levenshtein
+	DamerauLevenshtein     = strsim.DamerauLevenshtein
+	Jaro                   = strsim.Jaro
+	JaroWinkler            = strsim.JaroWinkler
+	LongestCommonSubstring = strsim.LongestCommonSubstring
+	CommonPrefix           = strsim.CommonPrefix
+	TokenJaccard           = strsim.TokenJaccard
+	TokenCosine            = strsim.TokenCosine
+	Soundex                = strsim.Soundex
+)
+
+// NumericAbs returns an absolute-difference numeric comparison function.
+func NumericAbs(scale float64) CompareFunc { return strsim.NumericAbs(scale) }
+
+// NumericRelative is the relative-difference numeric comparison function.
+var NumericRelative = strsim.NumericRelative
+
+// QGramDice returns the Dice q-gram comparison function.
+func QGramDice(q int) CompareFunc { return strsim.QGramDice(q) }
+
+// QGramJaccard returns the Jaccard q-gram comparison function.
+func QGramJaccard(q int) CompareFunc { return strsim.QGramJaccard(q) }
+
+// MongeElkan returns the token-level Monge–Elkan composition of inner.
+func MongeElkan(inner CompareFunc) CompareFunc { return strsim.MongeElkan(inner) }
+
+// NewGlossary builds a semantic comparison function from synonym groups.
+func NewGlossary(fallback CompareFunc, groups ...[]string) *Glossary {
+	return strsim.NewGlossary(fallback, groups...)
+}
+
+// ---- Attribute value matching (Sec. IV-A) ----
+
+// AttrSim computes the expected similarity of two uncertain attribute
+// values (Eq. 5), with sim(⊥,⊥)=1 and sim(a,⊥)=0.
+func AttrSim(f CompareFunc, a1, a2 Dist) float64 { return avm.Sim(f, a1, a2) }
+
+// EqualitySim computes the probability that two uncertain values are equal
+// (Eq. 4).
+func EqualitySim(a1, a2 Dist) float64 { return avm.EqualitySim(a1, a2) }
+
+// ---- Decision models (Sec. III-D) ----
+
+type (
+	// Class is the matching value η ∈ {m,p,u}.
+	Class = decision.Class
+	// Thresholds separate similarities into M, P, U.
+	Thresholds = decision.Thresholds
+	// Model is a two-step decision model (combination + classification).
+	Model = decision.Model
+	// SimpleModel pairs a combination function with thresholds.
+	SimpleModel = decision.SimpleModel
+	// Rule is a knowledge-based identification rule.
+	Rule = decision.Rule
+	// RuleModel is the knowledge-based decision model.
+	RuleModel = decision.RuleModel
+	// FellegiSunter is the probabilistic decision model.
+	FellegiSunter = decision.FellegiSunter
+	// Combine is a combination function φ.
+	Combine = decision.Combine
+	// Pattern is a binary agreement pattern.
+	Pattern = decision.Pattern
+	// EMResult is the outcome of EM parameter estimation.
+	EMResult = decision.EMResult
+)
+
+// Matching classes.
+const (
+	ClassU = decision.U
+	ClassP = decision.P
+	ClassM = decision.M
+)
+
+// WeightedSum returns φ(c⃗) = Σ wᵢcᵢ.
+func WeightedSum(weights ...float64) Combine { return decision.WeightedSum(weights...) }
+
+// ParseRules parses identification rules in the paper's IF-THEN syntax.
+func ParseRules(src string, schema []string) ([]Rule, error) {
+	return decision.ParseRules(src, schema)
+}
+
+// NewFellegiSunter builds a Fellegi–Sunter model from m/u probabilities.
+func NewFellegiSunter(m, u []float64, t Thresholds) (*FellegiSunter, error) {
+	return decision.NewFellegiSunter(m, u, t)
+}
+
+// EstimateEM estimates m/u probabilities from unlabeled agreement patterns.
+func EstimateEM(patterns []Pattern, nattrs, maxIter int, tol float64) (EMResult, error) {
+	return decision.EstimateEM(patterns, nattrs, maxIter, tol)
+}
+
+// ---- X-tuple derivations (Sec. IV-B) ----
+
+type (
+	// Derivation is the x-tuple derivation function ϑ.
+	Derivation = xmatch.Derivation
+	// SimilarityBased is the conditional-expectation derivation (Eq. 6).
+	SimilarityBased = xmatch.SimilarityBased
+	// DecisionBased is the P(m)/P(u) matching-weight derivation (Eq. 7–9).
+	DecisionBased = xmatch.DecisionBased
+	// ExpectedEta is the expected-matching-result derivation.
+	ExpectedEta = xmatch.ExpectedEta
+	// MostProbableWorldDerivation uses only the most probable alternative
+	// pair.
+	MostProbableWorldDerivation = xmatch.MostProbableWorld
+	// MaxSimDerivation is the optimistic maximum-similarity derivation.
+	MaxSimDerivation = xmatch.MaxSim
+)
+
+// ---- Keys, ranking and search space reduction (Sec. V) ----
+
+type (
+	// KeyDef is a sorting/blocking key definition.
+	KeyDef = keys.Def
+	// KeyPart is one component of a key definition.
+	KeyPart = keys.Part
+	// ReductionMethod is a search-space reduction method.
+	ReductionMethod = ssr.Method
+	// SNMMultiPass is the multi-pass-over-worlds sorted neighborhood.
+	SNMMultiPass = ssr.SNMMultiPass
+	// SNMCertain is sorted neighborhood over conflict-resolved keys.
+	SNMCertain = ssr.SNMCertain
+	// SNMAlternatives is sorted neighborhood over per-alternative keys.
+	SNMAlternatives = ssr.SNMAlternatives
+	// SNMRanked is sorted neighborhood over ranked uncertain keys.
+	SNMRanked = ssr.SNMRanked
+	// BlockingCertain is blocking over conflict-resolved keys.
+	BlockingCertain = ssr.BlockingCertain
+	// BlockingAlternatives is blocking with per-alternative keys.
+	BlockingAlternatives = ssr.BlockingAlternatives
+	// BlockingCluster is blocking by clustering uncertain keys.
+	BlockingCluster = ssr.BlockingCluster
+	// CrossProduct is the no-reduction baseline.
+	CrossProduct = ssr.CrossProduct
+	// Pruning is the length-filter pruning heuristic.
+	Pruning = ssr.Pruning
+	// ReductionFilter composes a reduction method with pruning.
+	ReductionFilter = ssr.Filter
+	// RankStrategy selects the SNMRanked ordering.
+	RankStrategy = ssr.RankStrategy
+)
+
+// Ranking strategies for SNMRanked.
+const (
+	ExpectedRankStrategy = ssr.ExpectedRank
+	MedianKeyStrategy    = ssr.MedianKey
+	ModeKeyStrategy      = ssr.ModeKey
+)
+
+// NewReductionFilter composes a reduction method with length pruning.
+func NewReductionFilter(inner ReductionMethod, prune Pruning) ReductionFilter {
+	return ssr.NewFilter(inner, prune)
+}
+
+// World selection strategies for SNMMultiPass.
+const (
+	AllWorlds        = ssr.AllWorlds
+	TopWorlds        = ssr.TopWorlds
+	DissimilarWorlds = ssr.DissimilarWorlds
+)
+
+// NewKeyDef builds a key definition from (attribute, prefix) parts.
+func NewKeyDef(parts ...KeyPart) KeyDef { return keys.NewDef(parts...) }
+
+// ParseKeyDef parses "name:3+job:2" against a schema.
+func ParseKeyDef(src string, schema []string) (KeyDef, error) {
+	return keys.ParseDef(src, schema)
+}
+
+// ExpectedRanks exposes the expected-rank computation used by SNMRanked.
+func ExpectedRanks(items []rank.Item) []float64 { return rank.ExpectedRanks(items) }
+
+// ---- Fusion and preparation ----
+
+type (
+	// FusionStrategy resolves probabilistic tuples into certain ones.
+	FusionStrategy = fusion.Strategy
+	// MostProbableStrategy picks the most probable world per tuple.
+	MostProbableStrategy = fusion.MostProbable
+	// Standardizer is the data-preparation step.
+	Standardizer = prepare.Standardizer
+	// Transform rewrites one certain value during preparation.
+	Transform = prepare.Transform
+)
+
+// NewStandardizer builds a Standardizer with one transform per attribute.
+func NewStandardizer(byAttr ...Transform) *Standardizer {
+	return prepare.NewStandardizer(byAttr...)
+}
+
+// MergeXTuples fuses two matched x-tuples into one probabilistic x-tuple.
+func MergeXTuples(id string, a, b *XTuple, wa, wb float64) (*XTuple, error) {
+	return fusion.MergeXTuples(id, a, b, wa, wb)
+}
+
+// Preparation transforms re-exported from the prepare package.
+var (
+	LowerCase  = prepare.LowerCase
+	TrimSpace  = prepare.TrimSpace
+	StripPunct = prepare.StripPunct
+)
+
+// ---- Possible worlds ----
+
+type (
+	// World is one possible world of an x-relation.
+	World = worlds.World
+	// WorldChoice is one x-tuple's contribution to a world.
+	WorldChoice = worlds.Choice
+)
+
+// EnumerateWorlds materializes the possible worlds of an x-relation
+// (cond=true conditions on every tuple being present).
+func EnumerateWorlds(xr *XRelation, cond bool, limit int) ([]World, error) {
+	return worlds.Enumerate(xr, cond, limit)
+}
+
+// MostProbableWorld returns the most probable world without enumeration.
+func MostProbableWorld(xr *XRelation, cond bool) World { return worlds.MostProbable(xr, cond) }
+
+// TopKWorlds returns the k most probable worlds.
+func TopKWorlds(xr *XRelation, cond bool, k int) []World { return worlds.TopK(xr, cond, k) }
+
+// MaterializeWorld converts a world into a certain relation.
+func MaterializeWorld(xr *XRelation, w World) *Relation { return worlds.Materialize(xr, w) }
+
+// ---- Pipeline (Sec. III) ----
+
+type (
+	// Options configures a detection run.
+	Options = core.Options
+	// Result is the outcome of a detection run.
+	Result = core.Result
+	// PairMatch is one compared pair with similarity and class.
+	PairMatch = core.Match
+	// Pair is an unordered tuple-ID pair.
+	Pair = verify.Pair
+	// PairSet is a set of unordered pairs.
+	PairSet = verify.PairSet
+	// Report holds precision/recall/F1 and the other Sec. III-E measures.
+	Report = verify.Report
+	// Reduction holds search-space reduction quality measures.
+	Reduction = verify.Reduction
+)
+
+// NewPair canonicalizes a tuple-ID pair.
+func NewPair(a, b string) Pair { return verify.NewPair(a, b) }
+
+// Detect runs the full pipeline on an x-relation.
+func Detect(xr *XRelation, opts Options) (*Result, error) { return core.Detect(xr, opts) }
+
+// DetectRelations lifts two dependency-free relations, unions them, and
+// runs Detect.
+func DetectRelations(r1, r2 *Relation, opts Options) (*Result, error) {
+	return core.DetectRelations(r1, r2, opts)
+}
+
+// ---- Entity resolution with lineage (Sec. VI outlook) ----
+
+type (
+	// Resolution is the integrated probabilistic result: fused entities,
+	// uncertain duplicates, and lineage-annotated result tuples.
+	Resolution = resolve.Resolution
+	// Entity is one resolved real-world entity.
+	Entity = resolve.Entity
+	// UncertainDuplicate is a possible match kept as result uncertainty.
+	UncertainDuplicate = resolve.UncertainDuplicate
+	// LineageTuple is a result tuple with a lineage expression.
+	LineageTuple = resolve.LTuple
+	// Calibration maps similarities to duplicate probabilities.
+	Calibration = resolve.Calibration
+	// LineageExpr is a boolean lineage expression (ULDB-style).
+	LineageExpr = lineage.Expr
+	// LineageUniverse holds independent lineage symbols.
+	LineageUniverse = lineage.Universe
+)
+
+// Resolve builds the integrated probabilistic result from a detection run:
+// matches fuse into entities; possible matches become mutually exclusive
+// merged/separate representations with lineage (the paper's Sec. VI).
+func Resolve(xr *XRelation, res *Result, final Thresholds, cal Calibration) (*Resolution, error) {
+	return resolve.Resolve(xr, res, final, cal)
+}
+
+// LinearCalibration interpolates duplicate probability linearly between the
+// thresholds.
+func LinearCalibration(t Thresholds, lo, hi float64) Calibration {
+	return resolve.LinearCalibration(t, lo, hi)
+}
+
+// ---- Dataset generation and IO ----
+
+type (
+	// DatasetConfig controls synthetic dataset generation.
+	DatasetConfig = dataset.Config
+	// Dataset is a generated two-source corpus with ground truth.
+	Dataset = dataset.Dataset
+	// ClusterItem pairs a tuple ID with its uncertain key for clustering.
+	ClusterItem = cluster.Item
+)
+
+// GenerateDataset builds a synthetic probabilistic corpus with ground
+// truth.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return dataset.Generate(cfg) }
+
+// DefaultDatasetConfig returns a medium-difficulty generator configuration.
+func DefaultDatasetConfig(entities int, seed int64) DatasetConfig {
+	return dataset.DefaultConfig(entities, seed)
+}
+
+// Codec functions re-exported from the codec package (text and JSON
+// formats).
+var (
+	EncodeRelation      = codec.EncodeRelation
+	DecodeRelation      = codec.DecodeRelation
+	EncodeXRelation     = codec.EncodeXRelation
+	DecodeXRelation     = codec.DecodeXRelation
+	EncodeRelationJSON  = codec.EncodeRelationJSON
+	DecodeRelationJSON  = codec.DecodeRelationJSON
+	EncodeXRelationJSON = codec.EncodeXRelationJSON
+	DecodeXRelationJSON = codec.DecodeXRelationJSON
+)
