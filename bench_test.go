@@ -122,6 +122,83 @@ func BenchmarkA02NullSemantics(b *testing.B) {
 	}
 }
 
+// ---- Streaming vs. materialized pipeline ----
+
+// blockingBenchSetup builds a corpus large enough that the seed path's
+// O(n²) cross-product allocation (TotalPairs via ssr.AllPairs) and the
+// materialized result maps dominate: 1000 entities ≈ 2100 tuples ≈
+// 2.2M universe pairs.
+func blockingBenchSetup(b *testing.B) (*probdedup.XRelation, probdedup.Options) {
+	b.Helper()
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(1000, 17))
+	u := d.Union()
+	def, err := probdedup.ParseKeyDef("name:4+job:2", u.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u, probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+		Workers:   4,
+	}
+}
+
+// BenchmarkDetectBlocking1000 materializes the full Result (sorted
+// Compared slice, ByPair map) — the exact-result entry point.
+func BenchmarkDetectBlocking1000(b *testing.B) {
+	u, opts := blockingBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probdedup.Detect(u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectStreamBlocking1000 runs the same detection through
+// the streaming engine, retaining nothing.
+func BenchmarkDetectStreamBlocking1000(b *testing.B) {
+	u, opts := blockingBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches := 0
+		if _, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+			if m.Class == probdedup.ClassM {
+				matches++
+			}
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCandidatesBlocking1000 isolates search-space
+// enumeration: streaming the candidates versus materializing the
+// PairSet.
+func BenchmarkStreamCandidatesBlocking1000(b *testing.B) {
+	u, opts := blockingBenchSetup(b)
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			probdedup.StreamCandidates(opts.Reduction, u, func(probdedup.Pair) bool {
+				n++
+				return true
+			})
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = opts.Reduction.Candidates(u)
+		}
+	})
+}
+
 // ---- Micro-benchmarks of the hot paths ----
 
 func BenchmarkAttrSimUncertain(b *testing.B) {

@@ -16,6 +16,11 @@
 //
 //	pdedup -key 'name:3+job:2' -reduce snm-alternatives -window 3 \
 //	       -derive decision -lambda 0.5 -mu 1.0 r3.pdb r4.pdb
+//
+// -stream switches to the streaming engine, which retains no per-pair
+// state: pairs are printed as they are found (unordered when
+// -workers > 1) and the summary follows at the end — use it for large
+// inputs.
 package main
 
 import (
@@ -48,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		altLambda   = fs.Float64("alt-lambda", 0.4, "per-alternative Tλ")
 		altMu       = fs.Float64("alt-mu", 0.7, "per-alternative Tμ")
 		workers     = fs.Int("workers", 1, "parallel matching workers")
+		stream      = fs.Bool("stream", false, "stream results as they are found instead of materializing them (no per-pair state retained; unordered with -workers > 1)")
 		showAll     = fs.Bool("v", false, "print every compared pair, not only matches")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +111,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "pdedup:", err)
 			return 1
 		}
+	}
+
+	if *stream {
+		// Streaming path: emit pairs as the engine finds them, retain
+		// nothing. The summary line moves after the pairs because the
+		// compared count is only known once the stream ends.
+		stats, err := probdedup.DetectStream(xr, opts, func(m probdedup.PairMatch) bool {
+			if *showAll || m.Class == probdedup.ClassM || m.Class == probdedup.ClassP {
+				fmt.Fprintf(stdout, "%-4s (%s,%s) sim=%.4f\n", m.Class, m.Pair.A, m.Pair.B, m.Sim)
+			}
+			return true
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "compared %d of %d pairs\n", stats.Compared, stats.TotalPairs)
+		fmt.Fprintf(stdout, "matches=%d possible=%d\n", stats.Matches, stats.Possible)
+		return 0
 	}
 
 	res, err := probdedup.Detect(xr, opts)

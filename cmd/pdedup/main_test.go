@@ -82,6 +82,42 @@ func TestRunMixedFormats(t *testing.T) {
 	}
 }
 
+func TestRunStream(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+
+	// The streaming path must report the same counts as the
+	// materialized one.
+	var matOut, errOut bytes.Buffer
+	if code := run([]string{r3, r4}, &matOut, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, workers := range []string{"1", "4"} {
+		var out bytes.Buffer
+		errOut.Reset()
+		code := run([]string{"-stream", "-workers", workers, r3, r4}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d: %s", workers, code, errOut.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "compared 10 of 10 pairs") {
+			t.Fatalf("workers=%s output:\n%s", workers, s)
+		}
+		// Same summary line as the materialized run.
+		matSummary := matOut.String()
+		matSummary = matSummary[strings.LastIndex(matSummary, "matches="):]
+		if !strings.Contains(s, strings.TrimSpace(matSummary)) {
+			t.Fatalf("workers=%s: summary diverges from materialized run:\n%s\nvs\n%s", workers, s, matOut.String())
+		}
+	}
+
+	// Streaming errors surface with a non-zero exit.
+	var out bytes.Buffer
+	errOut.Reset()
+	if code := run([]string{"-stream", "-lambda", "1", "-mu", "0", r3}, &out, &errOut); code == 0 {
+		t.Fatal("want non-zero exit for bad thresholds in stream mode")
+	}
+}
+
 func TestRunWorkersAndDerivations(t *testing.T) {
 	r3, r4, _, _ := writeFixtures(t)
 	for _, derive := range []string{"similarity", "decision", "eta", "mpw", "max"} {

@@ -1,0 +1,3 @@
+module probdedup
+
+go 1.24

@@ -7,12 +7,17 @@
 // The pipeline operates on x-relations; dependency-free probabilistic
 // relations are lifted losslessly (each tuple becomes a one-alternative
 // x-tuple whose attribute values stay uncertain).
+//
+// The engine is streaming at its core: candidate pairs are enumerated
+// incrementally by the reduction method (ssr.Streamer), batched through
+// a worker pool, and either emitted through a callback (DetectStream,
+// memory proportional to the relation) or collected into an exact,
+// deterministically ordered Result (Detect).
 package core
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"probdedup/internal/avm"
 	"probdedup/internal/decision"
@@ -44,7 +49,10 @@ type Options struct {
 	// Final classifies the derived x-tuple similarity into {M,P,U}.
 	Final decision.Thresholds
 	// Workers parallelizes the matching/decision stage across goroutines
-	// (0 or 1 means sequential). Each worker owns its own matcher cache, so
+	// (0 or 1 means sequential). Candidate pairs are streamed to the
+	// workers in batches; reductions that partition their search space
+	// (the blocking variants) are additionally enumerated block by
+	// block in parallel. Each worker owns its own matcher cache, so
 	// results are identical to a sequential run.
 	Workers int
 	// Nulls overrides the ⊥ semantics of attribute value matching; nil
@@ -73,125 +81,18 @@ type Result struct {
 }
 
 // Detect runs the pipeline over an x-relation (typically the union of the
-// sources to integrate).
+// sources to integrate). It is layered on the streaming engine (see
+// DetectStream) and materializes the exact result: every compared pair
+// in deterministic order, with similarity and class per pair. Use
+// DetectStream directly when the result sets need not be retained.
 func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
-	if err := xr.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if err := opts.Final.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	// Step A: data preparation.
-	if opts.Standardizer != nil {
-		xr = opts.Standardizer.XRelation(xr)
-	}
-
-	// Step C prerequisites: comparison functions.
-	compare := opts.Compare
-	if len(compare) == 0 {
-		compare = make([]strsim.Func, len(xr.Schema))
-		for i := range compare {
-			compare[i] = strsim.NormalizedHamming
-		}
-	}
-	if len(compare) != len(xr.Schema) {
-		return nil, fmt.Errorf("core: %d comparison functions for %d attributes", len(compare), len(xr.Schema))
-	}
-
-	altModel := opts.AltModel
-	if altModel == nil {
-		weights := make([]float64, len(xr.Schema))
-		for i := range weights {
-			weights[i] = 1 / float64(len(xr.Schema))
-		}
-		altModel = decision.SimpleModel{Phi: decision.WeightedSum(weights...), T: opts.Final}
-	}
-	derive := opts.Derivation
-	if derive == nil {
-		derive = xmatch.SimilarityBased{Conditioned: true}
-	}
-
-	newComparer := func() *xmatch.Comparer {
-		m := avm.NewMatcher(compare...)
-		m.Nulls = opts.Nulls
-		return &xmatch.Comparer{
-			Matcher:  m,
-			AltModel: altModel,
-			Derive:   derive,
-			Final:    opts.Final,
-		}
-	}
-
-	// Step B: search space reduction.
-	var candidates verify.PairSet
-	if opts.Reduction == nil {
-		candidates = ssr.CrossProduct{}.Candidates(xr)
-	} else {
-		candidates = opts.Reduction.Candidates(xr)
-	}
-
-	// Steps C and D: attribute value matching and decision per candidate.
-	byID := make(map[string]*pdb.XTuple, len(xr.Tuples))
-	for _, x := range xr.Tuples {
-		byID[x.ID] = x
-	}
 	res := &Result{
-		Matches:    verify.PairSet{},
-		Possible:   verify.PairSet{},
-		ByPair:     make(map[verify.Pair]Match, len(candidates)),
-		TotalPairs: len(ssr.AllPairs(xr)),
+		Matches:  verify.PairSet{},
+		Possible: verify.PairSet{},
+		ByPair:   map[verify.Pair]Match{},
 	}
-	res.Compared = make([]verify.Pair, 0, len(candidates))
-	for p := range candidates {
-		res.Compared = append(res.Compared, p)
-	}
-	sort.Slice(res.Compared, func(i, j int) bool {
-		if res.Compared[i].A != res.Compared[j].A {
-			return res.Compared[i].A < res.Compared[j].A
-		}
-		return res.Compared[i].B < res.Compared[j].B
-	})
-	for _, p := range res.Compared {
-		if _, ok := byID[p.A]; !ok {
-			return nil, fmt.Errorf("core: candidate pair %v references unknown tuples", p)
-		}
-		if _, ok := byID[p.B]; !ok {
-			return nil, fmt.Errorf("core: candidate pair %v references unknown tuples", p)
-		}
-	}
-
-	matches := make([]Match, len(res.Compared))
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(res.Compared) {
-		workers = len(res.Compared)
-	}
-	if workers <= 1 {
-		comparer := newComparer()
-		for i, p := range res.Compared {
-			r := comparer.Compare(byID[p.A], byID[p.B])
-			matches[i] = Match{Pair: p, Sim: r.Sim, Class: r.Class}
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				comparer := newComparer()
-				for i := w; i < len(res.Compared); i += workers {
-					p := res.Compared[i]
-					r := comparer.Compare(byID[p.A], byID[p.B])
-					matches[i] = Match{Pair: p, Sim: r.Sim, Class: r.Class}
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
-	for _, m := range matches {
+	stats, err := DetectStream(xr, opts, func(m Match) bool {
+		res.Compared = append(res.Compared, m.Pair)
 		res.ByPair[m.Pair] = m
 		switch m.Class {
 		case decision.M:
@@ -199,7 +100,18 @@ func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
 		case decision.P:
 			res.Possible[m.Pair] = true
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.TotalPairs = stats.TotalPairs
+	sort.Slice(res.Compared, func(i, j int) bool {
+		if res.Compared[i].A != res.Compared[j].A {
+			return res.Compared[i].A < res.Compared[j].A
+		}
+		return res.Compared[i].B < res.Compared[j].B
+	})
 	return res, nil
 }
 

@@ -52,8 +52,12 @@ func (p Pruning) Name() string { return "pruning-length" }
 
 // Candidates implements Method.
 func (p Pruning) Candidates(xr *pdb.XRelation) verify.PairSet {
-	// Precompute per tuple and constrained attribute the set of observed
-	// rune lengths (small ints).
+	return collectPairs(p, xr)
+}
+
+// lengthProfiles precomputes, per tuple and constrained attribute, the
+// set of observed rune lengths (small ints).
+func (p Pruning) lengthProfiles(xr *pdb.XRelation) []map[int]map[int]bool {
 	perTuple := make([]map[int]map[int]bool, len(xr.Tuples))
 	for i, x := range xr.Tuples {
 		perTuple[i] = map[int]map[int]bool{}
@@ -73,15 +77,27 @@ func (p Pruning) Candidates(xr *pdb.XRelation) verify.PairSet {
 			perTuple[i][attr] = ls
 		}
 	}
-	out := verify.PairSet{}
-	for i := 0; i < len(xr.Tuples); i++ {
-		for j := i + 1; j < len(xr.Tuples); j++ {
-			if compatibleLengths(p.MaxDiff, perTuple[i], perTuple[j]) {
-				out.Add(xr.Tuples[i].ID, xr.Tuples[j].ID)
-			}
-		}
+	return perTuple
+}
+
+// keepFunc returns a predicate over tuple-ID pairs that reports whether
+// the pair survives the length filter; the profiles are computed once.
+// Pairs referencing IDs outside the relation are dropped, matching the
+// set-intersection semantics of the materialized Filter.
+func (p Pruning) keepFunc(xr *pdb.XRelation) func(a, b string) bool {
+	perTuple := p.lengthProfiles(xr)
+	index := make(map[string]int, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		index[x.ID] = i
 	}
-	return out
+	return func(a, b string) bool {
+		ia, oka := index[a]
+		ib, okb := index[b]
+		if !oka || !okb {
+			return false
+		}
+		return compatibleLengths(p.MaxDiff, perTuple[ia], perTuple[ib])
+	}
 }
 
 func compatibleLengths(maxDiff map[int]int, a, b map[int]map[int]bool) bool {
@@ -128,13 +144,5 @@ func (f Filter) Name() string { return f.Inner.Name() + f.suffix }
 
 // Candidates implements Method.
 func (f Filter) Candidates(xr *pdb.XRelation) verify.PairSet {
-	inner := f.Inner.Candidates(xr)
-	allowed := f.Prune.Candidates(xr)
-	out := verify.PairSet{}
-	for p := range inner {
-		if allowed[p] {
-			out[p] = true
-		}
-	}
-	return out
+	return collectPairs(f, xr)
 }

@@ -27,20 +27,18 @@
 package ssr
 
 import (
-	"math/rand"
 	"sort"
-	"strconv"
 
-	"probdedup/internal/cluster"
 	"probdedup/internal/fusion"
 	"probdedup/internal/keys"
 	"probdedup/internal/pdb"
 	"probdedup/internal/rank"
 	"probdedup/internal/verify"
-	"probdedup/internal/worlds"
 )
 
 // Method reduces the search space of an x-relation to candidate pairs.
+// Every method of this package also implements Streamer (see stream.go)
+// so candidates can be enumerated without materializing the set.
 type Method interface {
 	// Name identifies the method in reports and benchmarks.
 	Name() string
@@ -68,32 +66,8 @@ type CrossProduct struct{}
 func (CrossProduct) Name() string { return "cross-product" }
 
 // Candidates implements Method.
-func (CrossProduct) Candidates(xr *pdb.XRelation) verify.PairSet {
-	s := verify.PairSet{}
-	for _, p := range AllPairs(xr) {
-		s[p] = true
-	}
-	return s
-}
-
-// windowPairs slides a window of the given size over ordered tuple IDs and
-// emits all pairs of IDs co-occurring in a window (each entry is paired
-// with its window-1 predecessors). Same-ID pairs are skipped.
-func windowPairs(ids []string, window int, into verify.PairSet) {
-	if window < 2 {
-		window = 2
-	}
-	for i := range ids {
-		lo := i - (window - 1)
-		if lo < 0 {
-			lo = 0
-		}
-		for j := lo; j < i; j++ {
-			if ids[j] != ids[i] {
-				into.Add(ids[j], ids[i])
-			}
-		}
-	}
+func (m CrossProduct) Candidates(xr *pdb.XRelation) verify.PairSet {
+	return collectPairs(m, xr)
 }
 
 // sortedIDsByKey sorts the tuples of a certain relation by their key value
@@ -157,31 +131,7 @@ func (m SNMMultiPass) Name() string {
 
 // Candidates implements Method.
 func (m SNMMultiPass) Candidates(xr *pdb.XRelation) verify.PairSet {
-	out := verify.PairSet{}
-	var ws []worlds.World
-	switch m.Select {
-	case TopWorlds:
-		ws = worlds.TopK(xr, true, m.K)
-	case DissimilarWorlds:
-		ws = worlds.Dissimilar(xr, true, m.K, 4*m.K)
-	default:
-		limit := m.MaxWorlds
-		if limit <= 0 {
-			limit = 100_000
-		}
-		all, err := worlds.Enumerate(xr, true, limit)
-		if err != nil {
-			// Fall back to the most probable worlds when enumeration is
-			// infeasible; the method stays total.
-			all = worlds.TopK(xr, true, 1024)
-		}
-		ws = all
-	}
-	for _, w := range ws {
-		r := worlds.Materialize(xr, w)
-		windowPairs(sortedIDsByKey(r, m.Key), m.Window, out)
-	}
-	return out
+	return collectPairs(m, xr)
 }
 
 // SNMCertain is approach V-A.2: create certain key values by conflict
@@ -199,14 +149,7 @@ func (m SNMCertain) Name() string { return "snm-certain" }
 
 // Candidates implements Method.
 func (m SNMCertain) Candidates(xr *pdb.XRelation) verify.PairSet {
-	strategy := m.Strategy
-	if strategy == nil {
-		strategy = fusion.MostProbable{}
-	}
-	r := fusion.ResolveRelation(strategy, xr)
-	out := verify.PairSet{}
-	windowPairs(sortedIDsByKey(r, m.Key), m.Window, out)
-	return out
+	return collectPairs(m, xr)
 }
 
 // SNMAlternatives is approach V-A.3 (Figs. 11–12): every tuple contributes
@@ -247,14 +190,7 @@ func (m SNMAlternatives) SortedEntries(xr *pdb.XRelation) []KeyEntry {
 
 // Candidates implements Method.
 func (m SNMAlternatives) Candidates(xr *pdb.XRelation) verify.PairSet {
-	kept := m.SortedEntries(xr)
-	ids := make([]string, len(kept))
-	for i, e := range kept {
-		ids[i] = e.ID
-	}
-	out := verify.PairSet{}
-	windowPairs(ids, m.Window, out)
-	return out
+	return collectPairs(m, xr)
 }
 
 // KeyEntry is one (key value, tuple) row of the sorting-alternatives
@@ -309,9 +245,7 @@ func (m SNMRanked) RankedIDs(xr *pdb.XRelation) []string {
 
 // Candidates implements Method.
 func (m SNMRanked) Candidates(xr *pdb.XRelation) verify.PairSet {
-	out := verify.PairSet{}
-	windowPairs(m.RankedIDs(xr), m.Window, out)
-	return out
+	return collectPairs(m, xr)
 }
 
 // BlockingCertain is classical blocking over conflict-resolved certain key
@@ -326,17 +260,7 @@ func (m BlockingCertain) Name() string { return "blocking-certain" }
 
 // Candidates implements Method.
 func (m BlockingCertain) Candidates(xr *pdb.XRelation) verify.PairSet {
-	strategy := m.Strategy
-	if strategy == nil {
-		strategy = fusion.MostProbable{}
-	}
-	r := fusion.ResolveRelation(strategy, xr)
-	blocks := map[string][]string{}
-	for _, t := range r.Tuples {
-		k := m.Key.FromCertainTuple(t)
-		blocks[k] = append(blocks[k], t.ID)
-	}
-	return pairsWithinBlocks(blocks)
+	return collectPairs(m, xr)
 }
 
 // BlockingAlternatives inserts an x-tuple into the block of every key value
@@ -371,7 +295,7 @@ func (m BlockingAlternatives) Blocks(xr *pdb.XRelation) map[string][]string {
 
 // Candidates implements Method.
 func (m BlockingAlternatives) Candidates(xr *pdb.XRelation) verify.PairSet {
-	return pairsWithinBlocks(m.Blocks(xr))
+	return collectPairs(m, xr)
 }
 
 // BlockingCluster partitions tuples into K blocks by clustering their
@@ -390,53 +314,24 @@ func (m BlockingCluster) Name() string { return "blocking-cluster" }
 
 // Candidates implements Method.
 func (m BlockingCluster) Candidates(xr *pdb.XRelation) verify.PairSet {
-	items := make([]cluster.Item, len(xr.Tuples))
-	for i, x := range xr.Tuples {
-		items[i] = cluster.Item{ID: x.ID, Keys: m.Key.XTupleKeyDist(x, true)}
-	}
-	k := m.K
-	if k <= 0 {
-		k = len(items) / 8
-		if k < 2 {
-			k = 2
-		}
-	}
-	c := cluster.UKMeans(items, k, 0, rand.New(rand.NewSource(m.Seed)))
-	blocks := map[string][]string{}
-	for i, b := range c.Assign {
-		label := "b" + strconv.Itoa(b)
-		blocks[label] = append(blocks[label], items[i].ID)
-	}
-	return pairsWithinBlocks(blocks)
+	return collectPairs(m, xr)
 }
 
-func pairsWithinBlocks(blocks map[string][]string) verify.PairSet {
-	out := verify.PairSet{}
-	for _, members := range blocks {
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				if members[i] != members[j] {
-					out.Add(members[i], members[j])
-				}
-			}
-		}
-	}
-	return out
-}
-
-// Measure computes the reduction quality of a method against ground truth.
+// Measure computes the reduction quality of a method against ground
+// truth. The method's candidates are streamed, not materialized, and
+// the universe size is computed arithmetically.
 func Measure(m Method, xr *pdb.XRelation, truth verify.PairSet) verify.Reduction {
-	cands := m.Candidates(xr)
-	all := AllPairs(xr)
-	trueIn := 0
-	for p := range cands {
+	cands, trueIn := 0, 0
+	StreamOf(m).EnumeratePairs(xr, func(p verify.Pair) bool {
+		cands++
 		if truth[p] {
 			trueIn++
 		}
-	}
+		return true
+	})
 	return verify.Reduction{
-		CandidatePairs:   len(cands),
-		TotalPairs:       len(all),
+		CandidatePairs:   cands,
+		TotalPairs:       TotalPairs(len(xr.Tuples)),
 		TrueInCandidates: trueIn,
 		TrueTotal:        len(truth),
 	}

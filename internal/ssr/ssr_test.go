@@ -41,7 +41,10 @@ func TestCrossProduct(t *testing.T) {
 
 func TestWindowPairs(t *testing.T) {
 	out := verify.PairSet{}
-	windowPairs([]string{"a", "b", "c", "d"}, 3, out)
+	windowStream([]string{"a", "b", "c", "d"}, 3, func(p verify.Pair) bool {
+		out[p] = true
+		return true
+	})
 	want := verify.NewPairSet(
 		verify.Pair{A: "a", B: "b"}, verify.Pair{A: "b", B: "c"},
 		verify.Pair{A: "c", B: "d"}, verify.Pair{A: "a", B: "c"},
@@ -58,7 +61,10 @@ func TestWindowPairs(t *testing.T) {
 	// Window below 2 behaves as 2; same-ID entries never pair, so only the
 	// adjacent (a,b) pair remains.
 	out2 := verify.PairSet{}
-	windowPairs([]string{"a", "a", "b"}, 1, out2)
+	windowStream([]string{"a", "a", "b"}, 1, func(p verify.Pair) bool {
+		out2[p] = true
+		return true
+	})
 	if len(out2) != 1 || !out2.Has("a", "b") {
 		t.Fatalf("got %v", out2.Sorted())
 	}

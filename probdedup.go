@@ -26,6 +26,23 @@
 //	})
 //	for p := range res.Matches { fmt.Println(p.A, "duplicates", p.B) }
 //
+// Two entry points share one streaming engine. Detect materializes the
+// exact result (every compared pair, deterministically ordered, with
+// similarity and class), which costs memory proportional to the
+// candidate pair count. DetectStream emits matches through a callback
+// and retains nothing, so memory stays proportional to the relation
+// for the blocking and single-pass sorted-neighborhood reductions —
+// the right choice for large inputs:
+//
+//	stats, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+//	    if m.Class == probdedup.ClassM { fmt.Println(m.Pair.A, "duplicates", m.Pair.B) }
+//	    return true // false stops the run early
+//	})
+//
+// Options.Workers parallelizes matching in both entry points; blocking
+// reductions additionally fan out per block. Worker count never
+// changes the classifications, only throughput and emission order.
+//
 // See the examples directory for complete programs and DESIGN.md /
 // EXPERIMENTS.md for the mapping to the paper.
 package probdedup
@@ -363,6 +380,15 @@ type (
 	Result = core.Result
 	// PairMatch is one compared pair with similarity and class.
 	PairMatch = core.Match
+	// StreamStats summarizes a DetectStream run.
+	StreamStats = core.StreamStats
+	// CandidateStreamer is a reduction method that enumerates its
+	// candidate pairs incrementally instead of materializing the set.
+	// All reduction methods of this package implement it.
+	CandidateStreamer = ssr.Streamer
+	// CandidatePartition is one independently enumerable block of a
+	// partitioning reduction method's search space.
+	CandidatePartition = ssr.Partition
 	// Pair is an unordered tuple-ID pair.
 	Pair = verify.Pair
 	// PairSet is a set of unordered pairs.
@@ -376,13 +402,48 @@ type (
 // NewPair canonicalizes a tuple-ID pair.
 func NewPair(a, b string) Pair { return verify.NewPair(a, b) }
 
-// Detect runs the full pipeline on an x-relation.
+// Detect runs the full pipeline on an x-relation and materializes the
+// exact result: every compared pair in deterministic order with
+// similarity and class (Result.Compared/ByPair), plus the declared M
+// and P sets. Memory grows with the candidate pair count; prefer
+// DetectStream for large relations when the per-pair results need not
+// be retained.
 func Detect(xr *XRelation, opts Options) (*Result, error) { return core.Detect(xr, opts) }
 
 // DetectRelations lifts two dependency-free relations, unions them, and
 // runs Detect.
 func DetectRelations(r1, r2 *Relation, opts Options) (*Result, error) {
 	return core.DetectRelations(r1, r2, opts)
+}
+
+// DetectStream runs the full pipeline on an x-relation and emits each
+// compared pair's match through the callback instead of materializing
+// a Result: candidate pairs are enumerated incrementally, batched
+// through the worker pool (Options.Workers), and discarded after
+// emission, so no per-pair state is retained. With the blocking
+// variants, cross product, SNMCertain, SNMRanked and pruning, memory
+// stays proportional to the relation rather than the candidate pair
+// set; SNMMultiPass and SNMAlternatives keep their executed-matching
+// set while enumerating, and methods without streaming support are
+// adapted by materializing their candidates once. Blocking reductions
+// fan out per block, with partitions enumerated and compared
+// concurrently. A nil Options.Reduction streams the cross product.
+//
+// emit is called sequentially from the caller's goroutine and returns
+// false to stop the run early. With Workers > 1 the emission order is
+// unspecified, but classifications are identical to Detect.
+func DetectStream(xr *XRelation, opts Options, emit func(PairMatch) bool) (StreamStats, error) {
+	return core.DetectStream(xr, opts, emit)
+}
+
+// StreamCandidates enumerates the candidate pairs of a reduction
+// method without materializing them, yielding each pair exactly once;
+// enumeration stops early when yield returns false. Methods that do
+// not implement CandidateStreamer are adapted transparently (their
+// candidate set is materialized once and replayed); a nil method
+// enumerates the cross product, mirroring a nil Options.Reduction.
+func StreamCandidates(m ReductionMethod, xr *XRelation, yield func(Pair) bool) bool {
+	return ssr.StreamOf(m).EnumeratePairs(xr, yield)
 }
 
 // ---- Entity resolution with lineage (Sec. VI outlook) ----

@@ -255,3 +255,69 @@ func TestPublicMergeXTuples(t *testing.T) {
 		t.Fatalf("merged %v", m)
 	}
 }
+
+func TestPublicDetectStream(t *testing.T) {
+	r1, r2 := r1r2()
+	opts := probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.NormalizedHamming, probdedup.NormalizedHamming},
+		AltModel: probdedup.SimpleModel{
+			Phi: probdedup.WeightedSum(0.8, 0.2),
+			T:   probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+		},
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+	res, err := probdedup.DetectRelations(r1, r2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := r1.ToXRelation().Union("R1+R2", r2.ToXRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts.Workers = workers
+		matches := probdedup.PairSet{}
+		stats, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+			if m.Class == probdedup.ClassM {
+				matches[m.Pair] = true
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.Compared != len(res.Compared) || stats.TotalPairs != res.TotalPairs {
+			t.Fatalf("workers=%d: stats %+v vs detect %d/%d",
+				workers, stats, len(res.Compared), res.TotalPairs)
+		}
+		if len(matches) != len(res.Matches) {
+			t.Fatalf("workers=%d: stream M=%d, detect M=%d", workers, len(matches), len(res.Matches))
+		}
+		for p := range res.Matches {
+			if !matches[p] {
+				t.Fatalf("workers=%d: match %v missing", workers, p)
+			}
+		}
+	}
+}
+
+func TestPublicStreamCandidates(t *testing.T) {
+	r1, r2 := r1r2()
+	u, err := r1.ToXRelation().Union("R1+R2", r2.ToXRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m probdedup.ReductionMethod = probdedup.CrossProduct{}
+	if _, ok := m.(probdedup.CandidateStreamer); !ok {
+		t.Fatal("built-in reductions must stream")
+	}
+	got := probdedup.PairSet{}
+	probdedup.StreamCandidates(m, u, func(p probdedup.Pair) bool {
+		got[p] = true
+		return true
+	})
+	want := m.Candidates(u)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d, want %d", len(got), len(want))
+	}
+}
