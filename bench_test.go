@@ -8,6 +8,7 @@
 package probdedup_test
 
 import (
+	"fmt"
 	"testing"
 
 	"probdedup"
@@ -158,14 +159,18 @@ func BenchmarkDetectBlocking1000(b *testing.B) {
 }
 
 // BenchmarkDetectStreamBlocking1000 runs the same detection through
-// the streaming engine, retaining nothing.
+// the streaming engine, retaining nothing. The custom metrics expose
+// the shared similarity cache: hit rate and final entry count (bounded
+// by Options.CacheCapacity regardless of the worker count).
 func BenchmarkDetectStreamBlocking1000(b *testing.B) {
 	u, opts := blockingBenchSetup(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var stats probdedup.StreamStats
 	for i := 0; i < b.N; i++ {
 		matches := 0
-		if _, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+		var err error
+		if stats, err = probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
 			if m.Class == probdedup.ClassM {
 				matches++
 			}
@@ -173,6 +178,30 @@ func BenchmarkDetectStreamBlocking1000(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(stats.Cache.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(stats.Cache.Entries), "cache-entries")
+}
+
+// BenchmarkDetectStreamWorkers sweeps the worker count over the same
+// blocking run: throughput should scale while the shared cache keeps
+// total memo memory constant.
+func BenchmarkDetectStreamWorkers(b *testing.B) {
+	u, opts := blockingBenchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := opts
+		opts.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats probdedup.StreamStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				if stats, err = probdedup.DetectStream(u, opts, func(probdedup.PairMatch) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Cache.Entries), "cache-entries")
+		})
 	}
 }
 

@@ -52,12 +52,38 @@ func Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
 	return PaperNulls.Sim(f, a1, a2)
 }
 
-// Sim computes Eq. 5 under the receiver's ⊥ semantics.
+// Sim computes Eq. 5 under the receiver's ⊥ semantics. The double sum
+// runs over the explicit alternatives; the ⊥ terms are added in closed
+// form from the null masses, so no Support slice is materialized.
 func (ns NullSemantics) Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
+	return ns.sim(a1, a2, f)
+}
+
+// sim is the shared Eq. 5 evaluator, parameterized over the existing-value
+// comparison so the Matcher can inject its memoized lookup.
+func (ns NullSemantics) sim(a1, a2 pdb.Dist, f func(a, b string) float64) float64 {
+	alts1, alts2 := a1.Alternatives(), a2.Alternatives()
 	total := 0.0
-	for _, x := range a1.Support() {
-		for _, y := range a2.Support() {
-			total += x.P * y.P * ns.ValueSim(f, x.Value, y.Value)
+	sum1, sum2 := 0.0, 0.0
+	for _, y := range alts2 {
+		sum2 += y.P
+	}
+	for _, x := range alts1 {
+		sum1 += x.P
+		for _, y := range alts2 {
+			total += x.P * y.P * f(x.Value.S(), y.Value.S())
+		}
+	}
+	n1, n2 := a1.NullP(), a2.NullP()
+	if n1 > pdb.Eps && n2 > pdb.Eps {
+		total += n1 * n2 * ns.NullNull
+	}
+	if ns.NullValue != 0 {
+		if n1 > pdb.Eps {
+			total += n1 * sum2 * ns.NullValue
+		}
+		if n2 > pdb.Eps {
+			total += n2 * sum1 * ns.NullValue
 		}
 	}
 	return total
@@ -88,8 +114,14 @@ func (m Matrix) At(i, j int) Vector { return m.Vecs[i][j] }
 
 // Matcher compares tuples attribute by attribute using one comparison
 // function per attribute. Pairwise value similarities are memoized per
-// attribute, which matters because blocking/SNM evaluate the same value
-// pairs many times.
+// attribute in a bounded, sharded Cache, which matters because
+// blocking/SNM evaluate the same value pairs many times.
+//
+// A Matcher is safe for concurrent use, and several matchers may share
+// one Cache (NewMatcherWithCache) — the detection engine does exactly
+// that, so parallel workers hit each other's memoized pairs while total
+// cache memory stays bounded by the configured capacity regardless of
+// the worker count.
 type Matcher struct {
 	// Funcs holds the comparison function of each attribute, by schema
 	// position.
@@ -97,16 +129,26 @@ type Matcher struct {
 	// Nulls is the ⊥ semantics; zero value means PaperNulls.
 	Nulls *NullSemantics
 
-	cache []map[[2]string]float64
+	cache *Cache
 }
 
-// NewMatcher builds a Matcher with one comparison function per attribute.
+// NewMatcher builds a Matcher with one comparison function per attribute
+// and a private cache of DefaultCacheCapacity entries.
 func NewMatcher(funcs ...strsim.Func) *Matcher {
-	m := &Matcher{Funcs: funcs, cache: make([]map[[2]string]float64, len(funcs))}
-	for i := range m.cache {
-		m.cache[i] = make(map[[2]string]float64)
-	}
-	return m
+	return &Matcher{Funcs: funcs, cache: NewCache(DefaultCacheCapacity)}
+}
+
+// NewMatcherWithCache builds a Matcher memoizing into the given (possibly
+// shared) cache. A nil cache disables memoization: every value pair is
+// recomputed, which is the right reference when testing cache behavior.
+//
+// Cache entries are keyed by attribute position and value pair, not by
+// comparison function, so all matchers sharing one cache MUST use the
+// same Funcs (as the detection engine's workers do). Sharing a cache
+// between matchers with different comparison functions silently mixes
+// their memoized similarities.
+func NewMatcherWithCache(cache *Cache, funcs ...strsim.Func) *Matcher {
+	return &Matcher{Funcs: funcs, cache: cache}
 }
 
 func (m *Matcher) nulls() NullSemantics {
@@ -118,57 +160,75 @@ func (m *Matcher) nulls() NullSemantics {
 
 // valueSim memoizes the comparison function of attribute k on existing
 // values.
-func (m *Matcher) valueSim(k int, a, b pdb.Value) float64 {
-	ns := m.nulls()
-	if a.IsNull() || b.IsNull() {
-		return ns.ValueSim(m.Funcs[k], a, b)
+func (m *Matcher) valueSim(k int, a, b string) float64 {
+	if m.cache == nil {
+		return m.Funcs[k](a, b)
 	}
-	key := [2]string{a.S(), b.S()}
-	if key[0] > key[1] {
-		key[0], key[1] = key[1], key[0]
+	key := cacheKey{attr: k, a: a, b: b}
+	if key.a > key.b {
+		key.a, key.b = key.b, key.a
 	}
-	if v, ok := m.cache[k][key]; ok {
+	if v, ok := m.cache.get(key); ok {
 		return v
 	}
-	v := m.Funcs[k](a.S(), b.S())
-	m.cache[k][key] = v
+	v := m.Funcs[k](a, b)
+	m.cache.put(key, v)
 	return v
 }
 
 // AttrSim computes Eq. 5 for attribute k with memoization.
 func (m *Matcher) AttrSim(k int, a1, a2 pdb.Dist) float64 {
-	total := 0.0
-	for _, x := range a1.Support() {
-		for _, y := range a2.Support() {
-			total += x.P * y.P * m.valueSim(k, x.Value, y.Value)
-		}
-	}
-	return total
+	ns := m.nulls()
+	return ns.sim(a1, a2, func(a, b string) float64 { return m.valueSim(k, a, b) })
 }
 
 // CompareTuples computes the comparison vector c⃗ of two dependency-free
 // tuples. Tuple membership probabilities are deliberately ignored
 // (Sec. IV: only attribute-level uncertainty influences matching).
 func (m *Matcher) CompareTuples(t1, t2 *pdb.Tuple) Vector {
-	c := make(Vector, len(m.Funcs))
+	return m.CompareTuplesInto(nil, t1, t2)
+}
+
+// CompareTuplesInto is CompareTuples writing into dst (grown as needed),
+// for allocation-free callers.
+func (m *Matcher) CompareTuplesInto(dst Vector, t1, t2 *pdb.Tuple) Vector {
+	dst = growVector(dst, len(m.Funcs))
 	for k := range m.Funcs {
-		c[k] = m.AttrSim(k, t1.Attrs[k], t2.Attrs[k])
+		dst[k] = m.AttrSim(k, t1.Attrs[k], t2.Attrs[k])
 	}
-	return c
+	return dst
 }
 
 // CompareAlts computes the comparison vector of two alternative tuples
 // (whose attribute values may themselves be uncertain, e.g. 'mu*').
 func (m *Matcher) CompareAlts(a1, a2 pdb.Alt) Vector {
-	c := make(Vector, len(m.Funcs))
+	return m.CompareAltsInto(nil, a1, a2)
+}
+
+// CompareAltsInto is CompareAlts writing into dst (grown as needed), the
+// kernel of the fold-based x-tuple comparison: the caller reuses one
+// scratch vector across all K×L alternative pairs.
+func (m *Matcher) CompareAltsInto(dst Vector, a1, a2 pdb.Alt) Vector {
+	dst = growVector(dst, len(m.Funcs))
 	for k := range m.Funcs {
-		c[k] = m.AttrSim(k, a1.Values[k], a2.Values[k])
+		dst[k] = m.AttrSim(k, a1.Values[k], a2.Values[k])
 	}
-	return c
+	return dst
+}
+
+// growVector returns dst resized to n, reallocating only when capacity is
+// insufficient.
+func growVector(dst Vector, n int) Vector {
+	if cap(dst) < n {
+		return make(Vector, n)
+	}
+	return dst[:n]
 }
 
 // CompareXTuples computes the k×l comparison matrix of an x-tuple pair
-// (step 1 input of the adapted decision models, Fig. 6).
+// (step 1 input of the adapted decision models, Fig. 6). It materializes
+// every vector; the fold-based path in package xmatch consumes the
+// vectors one at a time instead and should be preferred on hot paths.
 func (m *Matcher) CompareXTuples(x1, x2 *pdb.XTuple) Matrix {
 	mat := Matrix{K: len(x1.Alts), L: len(x2.Alts)}
 	mat.Vecs = make([][]Vector, mat.K)
@@ -182,11 +242,20 @@ func (m *Matcher) CompareXTuples(x1, x2 *pdb.XTuple) Matrix {
 }
 
 // CacheSize reports the number of memoized value pairs per attribute
-// (diagnostics for benchmarks).
+// (diagnostics for benchmarks). With a shared cache the counts cover
+// every matcher attached to it.
 func (m *Matcher) CacheSize() []int {
-	out := make([]int, len(m.cache))
-	for i, c := range m.cache {
-		out[i] = len(c)
+	if m.cache == nil {
+		return make([]int, len(m.Funcs))
 	}
-	return out
+	return m.cache.SizeByAttr(len(m.Funcs))
+}
+
+// CacheStats reports aggregate hit/miss/eviction counters of the
+// matcher's cache (zero value when memoization is disabled).
+func (m *Matcher) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.Stats()
 }

@@ -52,9 +52,18 @@ type Options struct {
 	// (0 or 1 means sequential). Candidate pairs are streamed to the
 	// workers in batches; reductions that partition their search space
 	// (the blocking variants) are additionally enumerated block by
-	// block in parallel. Each worker owns its own matcher cache, so
-	// results are identical to a sequential run.
+	// block in parallel. All workers share one bounded similarity
+	// cache (see CacheCapacity), so they hit each other's memoized
+	// value pairs; comparison functions are deterministic, so results
+	// are identical to a sequential run.
 	Workers int
+	// CacheCapacity bounds the run's shared similarity cache (memoized
+	// value pairs across all workers): 0 means
+	// avm.DefaultCacheCapacity, a negative value disables memoization.
+	// The bound holds regardless of the worker count; when it is
+	// exceeded, least-recently-inserted-ish entries are evicted and
+	// simply recomputed on demand.
+	CacheCapacity int
 	// Nulls overrides the ⊥ semantics of attribute value matching; nil
 	// means the paper's sim(⊥,⊥)=1, sim(a,⊥)=0 (ablation hook, DESIGN.md
 	// §5).

@@ -33,6 +33,10 @@ type StreamStats struct {
 	Partitions int
 	// Stopped reports that the emit callback ended the run early.
 	Stopped bool
+	// Cache holds the end-of-run counters of the shared similarity
+	// cache — entries, capacity, hits, misses, evictions (zero value
+	// when memoization was disabled via Options.CacheCapacity < 0).
+	Cache avm.CacheStats
 }
 
 // engine is the validated, defaulted configuration shared by the
@@ -43,6 +47,9 @@ type engine struct {
 	reduction   ssr.Method
 	newComparer func() *xmatch.Comparer
 	workers     int
+	// cache is the run's shared similarity memo (nil when disabled);
+	// every worker's matcher writes into and reads from it.
+	cache *avm.Cache
 }
 
 // newEngine validates the options and applies the defaults documented
@@ -80,6 +87,11 @@ func newEngine(xr *pdb.XRelation, opts Options) (*engine, error) {
 		}
 		altModel = decision.SimpleModel{Phi: decision.WeightedSum(weights...), T: opts.Final}
 	}
+	// Reject weight/schema arity mismatches here instead of letting them
+	// skew (or panic in) every comparison.
+	if err := decision.ValidateArity(altModel, len(xr.Schema)); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	derive := opts.Derivation
 	if derive == nil {
 		derive = xmatch.SimilarityBased{Conditioned: true}
@@ -99,13 +111,23 @@ func newEngine(xr *pdb.XRelation, opts Options) (*engine, error) {
 		workers = 1
 	}
 
+	// One bounded similarity cache per run, shared by every worker's
+	// matcher: total memo memory is capped by CacheCapacity no matter
+	// how many workers run, and a value pair computed by one worker is
+	// a hit for all others.
+	var cache *avm.Cache
+	if opts.CacheCapacity >= 0 {
+		cache = avm.NewCache(opts.CacheCapacity)
+	}
+
 	return &engine{
 		xr:        xr,
 		byID:      byID,
 		reduction: reduction,
 		workers:   workers,
+		cache:     cache,
 		newComparer: func() *xmatch.Comparer {
-			m := avm.NewMatcher(compare...)
+			m := avm.NewMatcherWithCache(cache, compare...)
 			m.Nulls = opts.Nulls
 			return &xmatch.Comparer{
 				Matcher:  m,
@@ -162,6 +184,9 @@ func DetectStream(xr *pdb.XRelation, opts Options, emit func(Match) bool) (Strea
 		err = eng.runSequential(&stats, emit)
 	} else {
 		err = eng.runParallel(&stats, emit)
+	}
+	if eng.cache != nil {
+		stats.Cache = eng.cache.Stats()
 	}
 	return stats, err
 }
@@ -292,8 +317,9 @@ func (e *engine) runParallel(stats *StreamStats, emit func(Match) bool) error {
 	}()
 
 	// Workers: match and decide batches; each worker owns its comparer
-	// (and therefore its matcher cache), so results are identical to a
-	// sequential run.
+	// (the fold scratch is not shareable) while all matchers memoize
+	// into the engine's shared cache. Comparison functions are
+	// deterministic, so results are identical to a sequential run.
 	var workWg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		workWg.Add(1)

@@ -47,17 +47,68 @@ type Combine func(c avm.Vector) float64
 
 // WeightedSum returns φ(c⃗) = Σ wᵢ·cᵢ. With weights summing to 1 the result
 // is normalized. The paper's example uses φ(c⃗) = 0.8·c1 + 0.2·c2.
+//
+// The returned function requires len(c⃗) == len(weights) and panics with
+// an ArityError otherwise: a mismatch means the configuration pairs the
+// wrong number of weights with the schema, and silently ignoring the
+// surplus weights or attributes (the old behavior) turns that
+// misconfiguration into quietly wrong similarities. The detection engine
+// converts the panic into a configuration error at setup via
+// ValidateArity.
 func WeightedSum(weights ...float64) Combine {
 	ws := append([]float64(nil), weights...)
 	return func(c avm.Vector) float64 {
+		if len(c) != len(ws) {
+			panic(&ArityError{Want: len(ws), Got: len(c), What: "weighted sum"})
+		}
 		s := 0.0
 		for i, w := range ws {
-			if i < len(c) {
-				s += w * c[i]
-			}
+			s += w * c[i]
 		}
 		return s
 	}
+}
+
+// ArityError reports a decision model bound to a different number of
+// attributes than the comparison vectors it is applied to.
+type ArityError struct {
+	// Want is the attribute count the model is bound to, Got the length
+	// of the comparison vector (or the schema arity during validation).
+	Want, Got int
+	// What names the mismatched component.
+	What string
+}
+
+// Error implements error.
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("decision: %s is bound to %d attributes, comparison vector has %d", e.What, e.Want, e.Got)
+}
+
+// ValidateArity checks that the model can consume comparison vectors of
+// nattrs attributes. Models exposing their arity (interface{ Arity() int },
+// e.g. FellegiSunter) are checked directly; any other model is probed
+// with a zero vector of the right length, converting an ArityError panic
+// (as raised by WeightedSum) into the returned error. Called by the
+// detection engine so weight/schema mismatches fail at configuration
+// time instead of silently skewing similarities.
+func ValidateArity(m Model, nattrs int) (err error) {
+	if a, ok := m.(interface{ Arity() int }); ok {
+		if want := a.Arity(); want != nattrs {
+			return &ArityError{Want: want, Got: nattrs, What: "decision model"}
+		}
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(*ArityError); ok {
+				err = &ArityError{Want: ae.Want, Got: nattrs, What: ae.What}
+				return
+			}
+			panic(r)
+		}
+	}()
+	m.Similarity(make(avm.Vector, nattrs))
+	return nil
 }
 
 // Average returns the unweighted mean of the comparison vector.

@@ -1,6 +1,7 @@
 package decision
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,9 +46,49 @@ func TestCombineFunctions(t *testing.T) {
 			t.Errorf("%s(nil) = %v, want 0", name, got)
 		}
 	}
-	// Missing weights treat absent attributes as 0 contribution.
-	if got := WeightedSum(1, 1)(avm.Vector{0.5}); !almost(got, 0.5) {
-		t.Errorf("short vector = %v", got)
+	// A weight/vector arity mismatch is a configuration bug and must
+	// fail loudly instead of silently dropping weights or attributes.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("WeightedSum on a short vector must panic")
+			} else if _, ok := r.(*ArityError); !ok {
+				t.Errorf("panic value %T, want *ArityError", r)
+			}
+		}()
+		WeightedSum(1, 1)(avm.Vector{0.5})
+	}()
+}
+
+func TestValidateArity(t *testing.T) {
+	ws := SimpleModel{Phi: WeightedSum(0.8, 0.2), T: Thresholds{Lambda: 0.4, Mu: 0.7}}
+	if err := ValidateArity(ws, 2); err != nil {
+		t.Fatalf("matching arity: %v", err)
+	}
+	err := ValidateArity(ws, 3)
+	if err == nil {
+		t.Fatal("3 attributes against 2 weights must fail")
+	}
+	var ae *ArityError
+	if !errors.As(err, &ae) || ae.Want != 2 || ae.Got != 3 {
+		t.Fatalf("error %v", err)
+	}
+	// Arity-agnostic combinations validate at any arity.
+	for _, phi := range []Combine{Average, Minimum, Maximum, Product} {
+		if err := ValidateArity(SimpleModel{Phi: phi, T: Thresholds{}}, 5); err != nil {
+			t.Fatalf("arity-agnostic: %v", err)
+		}
+	}
+	// Models exposing Arity are checked without probing.
+	fs, err := NewFellegiSunter([]float64{0.9, 0.9}, []float64{0.1, 0.1}, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateArity(fs, 2); err != nil {
+		t.Fatalf("FS matching: %v", err)
+	}
+	if err := ValidateArity(fs, 4); err == nil {
+		t.Fatal("FS arity mismatch must fail")
 	}
 }
 

@@ -93,6 +93,10 @@ func (fs *FellegiSunter) Similarity(c avm.Vector) float64 {
 // Classify implements Model.
 func (fs *FellegiSunter) Classify(sim float64) Class { return fs.T.Classify(sim) }
 
+// Arity reports the attribute count the model's m/u probabilities are
+// bound to; ValidateArity checks it against the schema.
+func (fs *FellegiSunter) Arity() int { return len(fs.M) }
+
 // EstimateFromLabeled computes m/u probabilities from labeled agreement
 // patterns using add-half smoothing (so probabilities stay inside (0,1)).
 func EstimateFromLabeled(matches, nonMatches []Pattern, nattrs int) (m, u []float64, err error) {

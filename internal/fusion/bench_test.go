@@ -1,0 +1,64 @@
+package fusion
+
+import (
+	"fmt"
+	"testing"
+
+	"probdedup/internal/pdb"
+)
+
+// wideXTuple builds an x-tuple with the given number of attributes per
+// alternative — the shape that made the old string-concatenation
+// alternative key quadratic in the attribute count.
+func wideXTuple(id string, alts, attrs int) *pdb.XTuple {
+	x := &pdb.XTuple{ID: id}
+	p := 1.0 / float64(alts)
+	for a := 0; a < alts; a++ {
+		vals := make([]pdb.Dist, attrs)
+		for k := 0; k < attrs; k++ {
+			vals[k] = pdb.Certain(fmt.Sprintf("%s-value-%d-%d", id, a, k))
+		}
+		x.Alts = append(x.Alts, pdb.Alt{Values: vals, P: p})
+	}
+	return x
+}
+
+// BenchmarkMergeXTuplesWide guards the alternative-key construction of
+// MergeXTuples: with += per attribute it was O(attrs²) bytes per
+// alternative; the strings.Builder version is linear.
+func BenchmarkMergeXTuplesWide(b *testing.B) {
+	for _, attrs := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("attrs=%d", attrs), func(b *testing.B) {
+			x1 := wideXTuple("a", 4, attrs)
+			x2 := wideXTuple("b", 4, attrs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MergeXTuples("a+b", x1, x2, 1, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeXTuplesWideKeysDistinct pins the key separator semantics the
+// builder rewrite must preserve: per-attribute separators keep
+// ("ab","c") distinct from ("a","bc").
+func TestMergeXTuplesWideKeysDistinct(t *testing.T) {
+	x1 := &pdb.XTuple{ID: "x1", Alts: []pdb.Alt{
+		{Values: []pdb.Dist{pdb.Certain("ab"), pdb.Certain("c")}, P: 0.5},
+		{Values: []pdb.Dist{pdb.Certain("a"), pdb.Certain("bc")}, P: 0.5},
+	}}
+	x2 := &pdb.XTuple{ID: "x2", Alts: []pdb.Alt{
+		{Values: []pdb.Dist{pdb.Certain("ab"), pdb.Certain("c")}, P: 1},
+	}}
+	merged, err := MergeXTuples("m", x1, x2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ("ab","c") from both sides merges; ("a","bc") must stay separate.
+	if len(merged.Alts) != 2 {
+		t.Fatalf("merged into %d alternatives, want 2: %+v", len(merged.Alts), merged.Alts)
+	}
+}

@@ -6,6 +6,7 @@ package fusion
 
 import (
 	"fmt"
+	"strings"
 
 	"probdedup/internal/pdb"
 )
@@ -35,22 +36,29 @@ func (MostProbable) ResolveX(x *pdb.XTuple) []pdb.Value {
 	// The most probable concrete instantiation maximizes
 	// alt.P · Π mode(attr): with per-attribute independence inside an
 	// alternative the argmax factorizes per attribute, but the alternative
-	// choice must account for the mode products.
-	bestP := -1.0
-	var best []pdb.Value
-	for _, alt := range x.Alts {
+	// choice must account for the mode products. The argmax pass works on
+	// mode probabilities alone; only the winning alternative's values are
+	// materialized (this runs per tuple on the blocking/SNM key paths).
+	best, bestP := -1, -1.0
+	for idx, alt := range x.Alts {
 		p := alt.P
-		vals := make([]pdb.Value, len(alt.Values))
-		for i, d := range alt.Values {
-			v, vp := d.Mode()
-			vals[i] = v
+		for _, d := range alt.Values {
+			_, vp := d.Mode()
 			p *= vp
 		}
 		if p > bestP+pdb.Eps {
-			bestP, best = p, vals
+			bestP, best = p, idx
 		}
 	}
-	return best
+	if best < 0 {
+		return nil
+	}
+	alt := x.Alts[best]
+	vals := make([]pdb.Value, len(alt.Values))
+	for i, d := range alt.Values {
+		vals[i], _ = d.Mode()
+	}
+	return vals
 }
 
 // Resolve implements Strategy.
@@ -119,12 +127,14 @@ func MergeXTuples(id string, a, b *pdb.XTuple, wa, wb float64) (*pdb.XTuple, err
 	}
 	na, nb := wa/(wa+wb), wb/(wa+wb)
 	type altKey string
+	var kb strings.Builder
 	keyOf := func(alt pdb.Alt) altKey {
-		s := ""
+		kb.Reset()
 		for _, d := range alt.Values {
-			s += d.String() + "\x1f"
+			kb.WriteString(d.String())
+			kb.WriteByte(0x1f)
 		}
-		return altKey(s)
+		return altKey(kb.String())
 	}
 	merged := map[altKey]*pdb.Alt{}
 	var order []altKey

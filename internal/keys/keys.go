@@ -84,6 +84,22 @@ func (d Def) String(schema []string) string {
 	return strings.Join(parts, "+")
 }
 
+// runePrefix returns the first n runes of s by slicing (no []rune
+// conversion: a rune prefix is always a byte prefix).
+func runePrefix(s string, n int) string {
+	if len(s) <= n {
+		return s // ≤ n bytes implies ≤ n runes
+	}
+	seen := 0
+	for i := range s {
+		if seen == n {
+			return s[:i]
+		}
+		seen++
+	}
+	return s
+}
+
 // FromValues builds the key string from concrete attribute values.
 // ⊥ contributes the empty string.
 func (d Def) FromValues(vals []pdb.Value) string {
@@ -94,10 +110,7 @@ func (d Def) FromValues(vals []pdb.Value) string {
 		}
 		s := vals[p.Attr].S()
 		if p.Prefix > 0 {
-			r := []rune(s)
-			if len(r) > p.Prefix {
-				s = string(r[:p.Prefix])
-			}
+			s = runePrefix(s, p.Prefix)
 		}
 		b.WriteString(s)
 	}
@@ -108,12 +121,22 @@ func (d Def) FromValues(vals []pdb.Value) string {
 // from a possible world): every attribute distribution must be certain; the
 // most probable value is used otherwise, making the function total.
 func (d Def) FromCertainTuple(t *pdb.Tuple) string {
-	vals := make([]pdb.Value, len(t.Attrs))
-	for i, dist := range t.Attrs {
-		v, _ := dist.Mode()
-		vals[i] = v
+	var b strings.Builder
+	for _, p := range d.Parts {
+		if p.Attr >= len(t.Attrs) {
+			continue
+		}
+		v, _ := t.Attrs[p.Attr].Mode()
+		if v.IsNull() {
+			continue
+		}
+		s := v.S()
+		if p.Prefix > 0 {
+			s = runePrefix(s, p.Prefix)
+		}
+		b.WriteString(s)
 	}
-	return d.FromValues(vals)
+	return b.String()
 }
 
 // AltKeyDist returns the distribution of key values of a single alternative
@@ -137,10 +160,7 @@ func (d Def) AltKeyDist(alt pdb.Alt) map[string]float64 {
 				if !s.Value.IsNull() {
 					piece = s.Value.S()
 					if p.Prefix > 0 {
-						r := []rune(piece)
-						if len(r) > p.Prefix {
-							piece = string(r[:p.Prefix])
-						}
+						piece = runePrefix(piece, p.Prefix)
 					}
 				}
 				next[prefix+piece] += pp * s.P

@@ -121,7 +121,6 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 
 	// 2. Fuse each group into one entity (deterministic member order).
 	r := &Resolution{Universe: lineage.NewUniverse()}
-	entityOf := map[string]*Entity{} // source tuple ID → entity
 	var roots []string
 	for root := range groups {
 		roots = append(roots, root)
@@ -134,10 +133,20 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 		if err != nil {
 			return nil, err
 		}
-		e := Entity{ID: fused.ID, Members: members, Tuple: fused}
-		r.Entities = append(r.Entities, e)
-		for _, m := range members {
-			entityOf[m] = &r.Entities[len(r.Entities)-1]
+		r.Entities = append(r.Entities, Entity{ID: fused.ID, Members: members, Tuple: fused})
+	}
+	// Index the entities once, after the slice has stopped growing (so
+	// the pointers stay valid): by entity ID for the merge lookups of
+	// step 3, and by member tuple ID for mapping possible matches to
+	// entities. Both were previously O(E) scans per uncertain pair,
+	// making step 3 quadratic in the entity count.
+	entitiesByID := make(map[string]*Entity, len(r.Entities))
+	entityOf := make(map[string]*Entity, len(xr.Tuples)) // source tuple ID → entity
+	for i := range r.Entities {
+		e := &r.Entities[i]
+		entitiesByID[e.ID] = e
+		for _, m := range e.Members {
+			entityOf[m] = e
 		}
 	}
 
@@ -176,7 +185,7 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 		if err != nil {
 			return nil, err
 		}
-		merged, err := fusion.MergeXTuples(ea+"+"+eb, entityByID(r, ea).Tuple, entityByID(r, eb).Tuple, 1, 1)
+		merged, err := fusion.MergeXTuples(ea+"+"+eb, entitiesByID[ea].Tuple, entitiesByID[eb].Tuple, 1, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -204,15 +213,6 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 		r.Tuples = append(r.Tuples, LTuple{Tuple: e.Tuple, Lineage: lin})
 	}
 	return r, nil
-}
-
-func entityByID(r *Resolution, id string) *Entity {
-	for i := range r.Entities {
-		if r.Entities[i].ID == id {
-			return &r.Entities[i]
-		}
-	}
-	return nil
 }
 
 // fuseAll merges the member tuples pairwise with equal source weights.

@@ -74,18 +74,31 @@ func (m CrossProduct) Candidates(xr *pdb.XRelation) verify.PairSet {
 // (stable on insertion order) and returns the tuple IDs in sorted order —
 // the core of the classical sorted neighborhood method.
 func sortedIDsByKey(r *pdb.Relation, def keys.Def) []string {
-	type ent struct {
-		key string
-		id  string
-	}
-	ents := make([]ent, len(r.Tuples))
+	ents := make([]KeyEntry, len(r.Tuples))
 	for i, t := range r.Tuples {
-		ents[i] = ent{key: def.FromCertainTuple(t), id: t.ID}
+		ents[i] = KeyEntry{Key: def.FromCertainTuple(t), ID: t.ID}
 	}
-	sort.SliceStable(ents, func(a, b int) bool { return ents[a].key < ents[b].key })
+	return sortEntryIDs(ents)
+}
+
+// sortedIDsByResolvedKey orders the x-relation by conflict-resolved keys
+// computed tuple by tuple — equivalent to resolving the whole relation
+// first (fusion.ResolveRelation) and sorting it, without materializing
+// the certain relation.
+func sortedIDsByResolvedKey(xr *pdb.XRelation, strategy fusion.Strategy, def keys.Def) []string {
+	ents := make([]KeyEntry, len(xr.Tuples))
+	for i, x := range xr.Tuples {
+		ents[i] = KeyEntry{Key: def.FromValues(strategy.ResolveX(x)), ID: x.ID}
+	}
+	return sortEntryIDs(ents)
+}
+
+// sortEntryIDs stable-sorts the entries by key and projects the IDs.
+func sortEntryIDs(ents []KeyEntry) []string {
+	sort.SliceStable(ents, func(a, b int) bool { return ents[a].Key < ents[b].Key })
 	ids := make([]string, len(ents))
 	for i, e := range ents {
-		ids[i] = e.id
+		ids[i] = e.ID
 	}
 	return ids
 }

@@ -196,8 +196,7 @@ func (m SNMCertain) EnumeratePairs(xr *pdb.XRelation, yield func(verify.Pair) bo
 	if strategy == nil {
 		strategy = fusion.MostProbable{}
 	}
-	r := fusion.ResolveRelation(strategy, xr)
-	return windowStream(sortedIDsByKey(r, m.Key), m.Window, yield)
+	return windowStream(sortedIDsByResolvedKey(xr, strategy, m.Key), m.Window, yield)
 }
 
 // EnumeratePairs implements Streamer. A tuple occurs once per distinct
@@ -312,17 +311,17 @@ func disjointPartitions(blocks map[string][]string) []Partition {
 }
 
 // Partitions implements Partitioner: conflict-resolved keys yield
-// disjoint blocks.
+// disjoint blocks. The keys are computed tuple by tuple, without
+// materializing the resolved relation.
 func (m BlockingCertain) Partitions(xr *pdb.XRelation) []Partition {
 	strategy := m.Strategy
 	if strategy == nil {
 		strategy = fusion.MostProbable{}
 	}
-	r := fusion.ResolveRelation(strategy, xr)
 	blocks := map[string][]string{}
-	for _, t := range r.Tuples {
-		k := m.Key.FromCertainTuple(t)
-		blocks[k] = append(blocks[k], t.ID)
+	for _, x := range xr.Tuples {
+		k := m.Key.FromValues(strategy.ResolveX(x))
+		blocks[k] = append(blocks[k], x.ID)
 	}
 	return disjointPartitions(blocks)
 }

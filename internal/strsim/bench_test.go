@@ -20,6 +20,7 @@ func benchFunc(b *testing.B, f Func) {
 
 func BenchmarkNormalizedHamming(b *testing.B)  { benchFunc(b, NormalizedHamming) }
 func BenchmarkLevenshtein(b *testing.B)        { benchFunc(b, Levenshtein) }
+func BenchmarkBandedLevenshtein(b *testing.B)  { benchFunc(b, BandedLevenshtein(0.8)) }
 func BenchmarkDamerauLevenshtein(b *testing.B) { benchFunc(b, DamerauLevenshtein) }
 func BenchmarkJaro(b *testing.B)               { benchFunc(b, Jaro) }
 func BenchmarkJaroWinkler(b *testing.B)        { benchFunc(b, JaroWinkler) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package strsim
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package strsim
+
+// raceEnabled reports that the race detector is active; the allocation
+// tests skip because sync.Pool intentionally drops items under -race.
+const raceEnabled = true

@@ -1,0 +1,83 @@
+package strsim
+
+import (
+	"sync"
+	"unicode/utf8"
+)
+
+// The comparison functions run on every cache miss of the attribute value
+// matching hot path, typically from many detection workers at once. They
+// therefore share per-goroutine scratch space through a sync.Pool instead
+// of allocating rune buffers and DP rows per call: in steady state the
+// kernels are allocation-free.
+//
+// ASCII inputs (the overwhelmingly common case for names, jobs, codes)
+// additionally skip the []rune conversion entirely and index the strings
+// byte by byte.
+
+// scratch is the reusable working memory of one comparison call.
+type scratch struct {
+	ba, bb []byte
+	ra, rb []rune
+	row0   []int
+	row1   []int
+	row2   []int
+	ma, mb []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch borrows a scratch buffer from the pool.
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// put returns the scratch buffer to the pool.
+func (s *scratch) put() { scratchPool.Put(s) }
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// runesInto decodes s into buf (reusing its capacity) and returns the
+// filled slice.
+func runesInto(buf []rune, s string) []rune {
+	buf = buf[:0]
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+// bytesInto copies an ASCII s into buf (reusing its capacity) and returns
+// the filled slice.
+func bytesInto(buf []byte, s string) []byte {
+	return append(buf[:0], s...)
+}
+
+// intRow returns a zeroed-capacity int row of length n, growing buf as
+// needed.
+func intRow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// boolRow returns a false-initialized bool row of length n, growing buf
+// as needed.
+func boolRow(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	} else {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = false
+		}
+	}
+	return buf
+}

@@ -22,8 +22,12 @@ func SoundexCode(s string) string {
 		d := soundexDigit(c)
 		switch {
 		case d == 0:
-			// Vowels and H/W/Y: H and W do not reset the previous digit in
-			// classic Soundex only for 'H'/'W'; vowels do reset it.
+			// Letters without a digit split into two classes. Vowels
+			// (A,E,I,O,U) and Y act as separators: they reset prev, so two
+			// consonants of the same class around a vowel are coded twice
+			// (Tymczak → T522). H and W are transparent: they keep prev, so
+			// two consonants of the same class around an H or W collapse
+			// into one code (the NARA rule, Ashcraft → A261, not A226).
 			if c != 'H' && c != 'W' {
 				prev = 0
 			}

@@ -6,6 +6,12 @@
 // The paper's running examples use the normalized Hamming similarity
 // (e.g. sim(Tim,Kim)=2/3, sim(machinist,mechanic)=5/9, sim(Jim,Tom)=1/3),
 // implemented here as NormalizedHamming.
+//
+// The edit-distance, Jaro and Hamming kernels are allocation-free in
+// steady state: ASCII inputs are copied into pooled byte buffers without a
+// []rune conversion, non-ASCII inputs decode into pooled rune buffers, and
+// the DP rows come from the same pool (see scratch.go). All functions are
+// safe for concurrent use.
 package strsim
 
 import (
@@ -18,6 +24,12 @@ import (
 // Implementations must be symmetric, return values in [0,1], and return 1
 // for equal inputs.
 type Func func(a, b string) float64
+
+// charElem is the element type the kernels are generic over: byte for the
+// ASCII fast path, rune for decoded non-ASCII inputs. Each kernel is
+// instantiated once per element type, so the hot ASCII path never pays
+// for UTF-8 decoding.
+type charElem interface{ ~byte | ~rune }
 
 // Exact returns 1 if the strings are identical and 0 otherwise.
 func Exact(a, b string) float64 {
@@ -32,81 +44,61 @@ func Exact(a, b string) float64 {
 // shorter string count as mismatches. This is the comparison function used
 // in the paper's worked examples.
 func NormalizedHamming(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
+	if isASCII(a) && isASCII(b) {
+		// Read-only O(n) scan: index the strings directly, no pool trip.
+		la, lb := len(a), len(b)
+		if la == 0 && lb == 0 {
+			return 1
+		}
+		matches := 0
+		for i := 0; i < la && i < lb; i++ {
+			if a[i] == b[i] {
+				matches++
+			}
+		}
+		return float64(matches) / float64(max2(la, lb))
+	}
+	s := getScratch()
+	s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+	sim := hammingSim(s.ra, s.rb)
+	s.put()
+	return sim
+}
+
+func hammingSim(a, b []rune) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
 		return 1
 	}
-	n := len(ra)
-	if len(rb) > n {
-		n = len(rb)
-	}
 	matches := 0
-	for i := 0; i < len(ra) && i < len(rb); i++ {
-		if ra[i] == rb[i] {
+	for i := 0; i < la && i < lb; i++ {
+		if a[i] == b[i] {
 			matches++
 		}
 	}
-	return float64(matches) / float64(n)
+	return float64(matches) / float64(max2(la, lb))
 }
 
 // Levenshtein returns 1 − editDistance/maxLen, where editDistance counts
 // unit-cost insertions, deletions and substitutions.
 func Levenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
+	if a == b {
 		return 1
 	}
-	d := levenshteinDistance(ra, rb)
-	n := len(ra)
-	if len(rb) > n {
-		n = len(rb)
+	s := getScratch()
+	var d, n int
+	if isASCII(a) && isASCII(b) {
+		s.ba, s.bb = bytesInto(s.ba, a), bytesInto(s.bb, b)
+		d, n = levenshteinDistance(s.ba, s.bb, s), max2(len(a), len(b))
+	} else {
+		s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+		d, n = levenshteinDistance(s.ra, s.rb, s), max2(len(s.ra), len(s.rb))
 	}
+	s.put()
 	return 1 - float64(d)/float64(n)
 }
 
-func levenshteinDistance(a, b []rune) int {
-	if len(a) == 0 {
-		return len(b)
-	}
-	if len(b) == 0 {
-		return len(a)
-	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-// DamerauLevenshtein returns 1 − distance/maxLen where the distance
-// additionally allows transposition of two adjacent runes (the
-// optimal-string-alignment variant).
-func DamerauLevenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
-		return 1
-	}
-	d := osaDistance(ra, rb)
-	n := len(ra)
-	if len(rb) > n {
-		n = len(rb)
-	}
-	return 1 - float64(d)/float64(n)
-}
-
-func osaDistance(a, b []rune) int {
+func levenshteinDistance[E charElem](a, b []E, s *scratch) int {
 	la, lb := len(a), len(b)
 	if la == 0 {
 		return lb
@@ -114,35 +106,231 @@ func osaDistance(a, b []rune) int {
 	if lb == 0 {
 		return la
 	}
-	rows := make([][]int, la+1)
-	for i := range rows {
-		rows[i] = make([]int, lb+1)
-		rows[i][0] = i
-	}
-	for j := 0; j <= lb; j++ {
-		rows[0][j] = j
+	prev := intRow(s.row0, lb+1)
+	cur := intRow(s.row1, lb+1)
+	for j := range prev {
+		prev[j] = j
 	}
 	for i := 1; i <= la; i++ {
+		cur[0] = i
+		ai := a[i-1]
 		for j := 1; j <= lb; j++ {
 			cost := 1
-			if a[i-1] == b[j-1] {
+			if ai == b[j-1] {
 				cost = 0
 			}
-			rows[i][j] = min3(rows[i][j-1]+1, rows[i-1][j]+1, rows[i-1][j-1]+cost)
-			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
-				if t := rows[i-2][j-2] + 1; t < rows[i][j] {
-					rows[i][j] = t
-				}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	s.row0, s.row1 = prev, cur
+	return prev[lb]
+}
+
+// LevenshteinWithin reports the unit-cost edit distance of a and b when it
+// is at most maxDist. It computes only the 2·maxDist+1 diagonal band of
+// the DP matrix and exits as soon as every cell of a row exceeds the
+// bound, so rejecting dissimilar strings costs O(maxDist·maxLen) instead
+// of O(len(a)·len(b)). The second result reports whether the distance is
+// within the bound; when it is false the first result is maxDist+1 (a
+// lower bound on the true distance).
+func LevenshteinWithin(a, b string, maxDist int) (int, bool) {
+	if a == b {
+		return 0, maxDist >= 0
+	}
+	if maxDist < 0 {
+		return maxDist + 1, false
+	}
+	s := getScratch()
+	var d int
+	var ok bool
+	if isASCII(a) && isASCII(b) {
+		s.ba, s.bb = bytesInto(s.ba, a), bytesInto(s.bb, b)
+		d, ok = bandedDistance(s.ba, s.bb, maxDist, s)
+	} else {
+		s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+		d, ok = bandedDistance(s.ra, s.rb, maxDist, s)
+	}
+	s.put()
+	if !ok {
+		d = maxDist + 1
+	}
+	return d, ok
+}
+
+// bandedDistance runs the Levenshtein DP restricted to the diagonal band
+// |i−j| ≤ k. Cells outside the band are ≥ k+1 by construction, so the
+// band plus a one-cell sentinel on each side computes the exact distance
+// whenever it is ≤ k.
+func bandedDistance[E charElem](a, b []E, k int, s *scratch) (int, bool) {
+	la, lb := len(a), len(b)
+	if la-lb > k || lb-la > k {
+		return k + 1, false
+	}
+	if la == 0 || lb == 0 {
+		return la + lb, true // within k by the length check
+	}
+	prev := intRow(s.row0, lb+1)
+	cur := intRow(s.row1, lb+1)
+	hi0 := k
+	if hi0 > lb {
+		hi0 = lb
+	}
+	for j := 0; j <= hi0; j++ {
+		prev[j] = j
+	}
+	if hi0+1 <= lb {
+		prev[hi0+1] = k + 1 // sentinel one past the band
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > lb {
+			hi = lb
+		}
+		if lo == 1 {
+			cur[0] = i
+		} else {
+			cur[lo-1] = k + 1 // left sentinel: outside the band
+		}
+		rowMin := k + 1
+		ai := a[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			v := min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
 			}
 		}
+		if rowMin > k {
+			s.row0, s.row1 = prev, cur
+			return k + 1, false
+		}
+		if hi+1 <= lb {
+			cur[hi+1] = k + 1 // right sentinel for the next row's prev[j]
+		}
+		prev, cur = cur, prev
 	}
-	return rows[la][lb]
+	s.row0, s.row1 = prev, cur
+	d := prev[lb]
+	return d, d <= k
+}
+
+// BandedLevenshtein returns a thresholded variant of Levenshtein for
+// decision models that only act on similarities ≥ minSim: pairs whose
+// true Levenshtein similarity is at least minSim get exactly that
+// similarity, while more dissimilar pairs short-circuit to 0 through the
+// banded early-exit distance (LevenshteinWithin), skipping most of the DP
+// matrix. The collapse to 0 below minSim makes the function cheaper but
+// non-linear; use it only when everything below minSim is classified
+// identically anyway (e.g. minSim ≤ the model's Tλ).
+func BandedLevenshtein(minSim float64) Func {
+	if minSim < 0 {
+		minSim = 0
+	}
+	if minSim > 1 {
+		minSim = 1
+	}
+	return func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		n := RuneLen(a)
+		if m := RuneLen(b); m > n {
+			n = m
+		}
+		// sim ≥ minSim ⟺ d ≤ (1−minSim)·n.
+		k := int((1 - minSim) * float64(n) * (1 + 1e-12))
+		d, ok := LevenshteinWithin(a, b, k)
+		if !ok {
+			return 0
+		}
+		return 1 - float64(d)/float64(n)
+	}
+}
+
+// DamerauLevenshtein returns 1 − distance/maxLen where the distance
+// additionally allows transposition of two adjacent runes (the
+// optimal-string-alignment variant).
+func DamerauLevenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	s := getScratch()
+	var d, n int
+	if isASCII(a) && isASCII(b) {
+		s.ba, s.bb = bytesInto(s.ba, a), bytesInto(s.bb, b)
+		d, n = osaDistance(s.ba, s.bb, s), max2(len(a), len(b))
+	} else {
+		s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+		d, n = osaDistance(s.ra, s.rb, s), max2(len(s.ra), len(s.rb))
+	}
+	s.put()
+	return 1 - float64(d)/float64(n)
+}
+
+// osaDistance keeps only the three DP rows the OSA recurrence can reach
+// (i−2, i−1, i) instead of the full matrix.
+func osaDistance[E charElem](a, b []E, s *scratch) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev2 := intRow(s.row0, lb+1)
+	prev := intRow(s.row1, lb+1)
+	cur := intRow(s.row2, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			v := min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ai == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < v {
+					v = t
+				}
+			}
+			cur[j] = v
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	s.row0, s.row1, s.row2 = prev2, prev, cur
+	return prev[lb]
 }
 
 // Jaro returns the Jaro similarity.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
+	s := getScratch()
+	var sim float64
+	if isASCII(a) && isASCII(b) {
+		s.ba, s.bb = bytesInto(s.ba, a), bytesInto(s.bb, b)
+		sim = jaroSim(s.ba, s.bb, s)
+	} else {
+		s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+		sim = jaroSim(s.ra, s.rb, s)
+	}
+	s.put()
+	return sim
+}
+
+func jaroSim[E charElem](a, b []E, s *scratch) float64 {
+	la, lb := len(a), len(b)
 	if la == 0 && lb == 0 {
 		return 1
 	}
@@ -153,8 +341,9 @@ func Jaro(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	matchedA := make([]bool, la)
-	matchedB := make([]bool, lb)
+	matchedA := boolRow(s.ma, la)
+	matchedB := boolRow(s.mb, lb)
+	s.ma, s.mb = matchedA, matchedB
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -166,7 +355,7 @@ func Jaro(a, b string) float64 {
 			hi = lb - 1
 		}
 		for j := lo; j <= hi; j++ {
-			if !matchedB[j] && ra[i] == rb[j] {
+			if !matchedB[j] && a[i] == b[j] {
 				matchedA[i] = true
 				matchedB[j] = true
 				matches++
@@ -186,7 +375,7 @@ func Jaro(a, b string) float64 {
 		for !matchedB[j] {
 			j++
 		}
-		if ra[i] != rb[j] {
+		if a[i] != b[j] {
 			transpositions++
 		}
 		j++
@@ -201,9 +390,14 @@ func Jaro(a, b string) float64 {
 func JaroWinkler(a, b string) float64 {
 	j := Jaro(a, b)
 	prefix := 0
-	ra, rb := []rune(a), []rune(b)
-	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+	for prefix < 4 {
+		ra, na := utf8.DecodeRuneInString(a)
+		rb, nb := utf8.DecodeRuneInString(b)
+		if na == 0 || nb == 0 || ra != rb {
+			break
+		}
 		prefix++
+		a, b = a[na:], b[nb:]
 	}
 	s := j + float64(prefix)*0.1*(1-j)
 	if s > 1 {
@@ -283,19 +477,38 @@ func multisetIntersection(a, b []string) int {
 // LongestCommonSubstring returns |lcs(a,b)| / maxLen, the length of the
 // longest contiguous shared substring normalized by the longer string.
 func LongestCommonSubstring(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
+	s := getScratch()
+	var sim float64
+	if isASCII(a) && isASCII(b) {
+		s.ba, s.bb = bytesInto(s.ba, a), bytesInto(s.bb, b)
+		sim = lcsSim(s.ba, s.bb, s)
+	} else {
+		s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+		sim = lcsSim(s.ra, s.rb, s)
+	}
+	s.put()
+	return sim
+}
+
+func lcsSim[E charElem](a, b []E, s *scratch) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
 		return 1
 	}
-	if len(ra) == 0 || len(rb) == 0 {
+	if la == 0 || lb == 0 {
 		return 0
 	}
+	prev := intRow(s.row0, lb+1)
+	cur := intRow(s.row1, lb+1)
+	for j := range prev {
+		prev[j] = 0
+	}
 	best := 0
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for i := 1; i <= len(ra); i++ {
-		for j := 1; j <= len(rb); j++ {
-			if ra[i-1] == rb[j-1] {
+	for i := 1; i <= la; i++ {
+		cur[0] = 0
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			if ai == b[j-1] {
 				cur[j] = prev[j-1] + 1
 				if cur[j] > best {
 					best = cur[j]
@@ -305,26 +518,42 @@ func LongestCommonSubstring(a, b string) float64 {
 			}
 		}
 		prev, cur = cur, prev
-		for j := range cur {
-			cur[j] = 0
-		}
 	}
-	n := max2(len(ra), len(rb))
-	return float64(best) / float64(n)
+	s.row0, s.row1 = prev, cur
+	return float64(best) / float64(max2(la, lb))
 }
 
 // CommonPrefix returns |commonPrefix| / maxLen.
 func CommonPrefix(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
+	if isASCII(a) && isASCII(b) {
+		// Read-only O(n) scan: index the strings directly, no pool trip.
+		la, lb := len(a), len(b)
+		if la == 0 && lb == 0 {
+			return 1
+		}
+		p := 0
+		for p < la && p < lb && a[p] == b[p] {
+			p++
+		}
+		return float64(p) / float64(max2(la, lb))
+	}
+	s := getScratch()
+	s.ra, s.rb = runesInto(s.ra, a), runesInto(s.rb, b)
+	sim := prefixSim(s.ra, s.rb)
+	s.put()
+	return sim
+}
+
+func prefixSim(a, b []rune) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
 		return 1
 	}
-	n := max2(len(ra), len(rb))
 	p := 0
-	for p < len(ra) && p < len(rb) && ra[p] == rb[p] {
+	for p < la && p < lb && a[p] == b[p] {
 		p++
 	}
-	return float64(p) / float64(n)
+	return float64(p) / float64(max2(la, lb))
 }
 
 // Clamp wraps f so results are forced into [0,1] and NaN becomes 0. Useful

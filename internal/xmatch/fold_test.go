@@ -1,0 +1,182 @@
+package xmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/paperdata"
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+)
+
+// foldDerivations are all derivations of the package, in both
+// conditioning modes where applicable.
+func foldDerivations() []Folder {
+	return []Folder{
+		SimilarityBased{Conditioned: true},
+		SimilarityBased{Conditioned: false},
+		DecisionBased{Conditioned: true},
+		DecisionBased{Conditioned: false},
+		ExpectedEta{Conditioned: true},
+		ExpectedEta{Conditioned: false},
+		MostProbableWorld{Conditioned: true},
+		MaxSim{Conditioned: true},
+		MaxSim{Conditioned: true, Weighted: true},
+		MaxSim{Conditioned: false},
+	}
+}
+
+// TestFoldEqualsMaterializeOnPaperExamples proves fold ≡ materialize on
+// the paper's worked example pair (t32, t42): both paths must agree
+// bit-for-bit, and the canonical derivations must reproduce the paper's
+// numbers (Eq. 6: 7/15, Eq. 7–9: 0.75).
+func TestFoldEqualsMaterializeOnPaperExamples(t *testing.T) {
+	t32 := paperdata.R3().TupleByID("t32")
+	t42 := paperdata.R4().TupleByID("t42")
+	m := avm.NewMatcher(strsim.NormalizedHamming, strsim.NormalizedHamming)
+	model := decision.SimpleModel{
+		Phi: decision.WeightedSum(0.8, 0.2),
+		T:   decision.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+	mat := m.CompareXTuples(t32, t42)
+	for _, d := range foldDerivations() {
+		want := d.Sim(t32, t42, mat, model)
+		got := d.SimFold(NewPairSource(m, t32, t42), model)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("%s: fold %v, materialize %v", d.Name(), got, want)
+		}
+	}
+	if got := (SimilarityBased{Conditioned: true}).SimFold(NewPairSource(m, t32, t42), model); math.Abs(got-7.0/15) > 1e-9 {
+		t.Errorf("Eq. 6 via fold = %v, want 7/15", got)
+	}
+	if got := (DecisionBased{Conditioned: true}).SimFold(NewPairSource(m, t32, t42), model); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Eq. 7–9 via fold = %v, want 0.75", got)
+	}
+	pm, pu := DecisionBased{Conditioned: true}.ProbabilitiesFold(NewPairSource(m, t32, t42), model)
+	if math.Abs(pm-3.0/9) > 1e-9 || math.Abs(pu-4.0/9) > 1e-9 {
+		t.Errorf("P(m)=%v P(u)=%v, want 3/9 and 4/9", pm, pu)
+	}
+}
+
+// randXTuple builds a random x-tuple with up to 3 alternatives of up to
+// 2 uncertain attribute values each.
+func randXTuple(r *rand.Rand, id string) *pdb.XTuple {
+	word := func() string {
+		b := make([]byte, 1+r.Intn(5))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return string(b)
+	}
+	dist := func() pdb.Dist {
+		switch r.Intn(3) {
+		case 0:
+			return pdb.Certain(word())
+		case 1:
+			return pdb.MustDist(pdb.Alternative{Value: pdb.V(word()), P: 0.6}) // 0.4 ⊥ mass
+		default:
+			return pdb.MustDist(
+				pdb.Alternative{Value: pdb.V(word()), P: 0.5},
+				pdb.Alternative{Value: pdb.V(word()), P: 0.3})
+		}
+	}
+	n := 1 + r.Intn(3)
+	alts := make([]pdb.Alt, n)
+	rem := 1.0
+	for i := range alts {
+		p := rem
+		if i < n-1 {
+			p = rem * (0.2 + 0.6*r.Float64())
+		}
+		rem -= p
+		alts[i] = pdb.NewAltDists(p, dist(), dist())
+	}
+	return pdb.NewXTuple(id, alts...)
+}
+
+// TestQuickFoldEqualsMaterialize cross-checks the two paths on random
+// x-tuple pairs for every derivation, with a fresh and a reused
+// PairSource (scratch reuse must not leak state between pairs).
+func TestQuickFoldEqualsMaterialize(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := avm.NewMatcher(strsim.Levenshtein, strsim.NormalizedHamming)
+	model := decision.SimpleModel{
+		Phi: decision.WeightedSum(0.7, 0.3),
+		T:   decision.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}
+	src := &PairSource{}
+	for i := 0; i < 300; i++ {
+		x1 := randXTuple(r, "a")
+		x2 := randXTuple(r, "b")
+		mat := m.CompareXTuples(x1, x2)
+		for _, d := range foldDerivations() {
+			want := d.Sim(x1, x2, mat, model)
+			src.Reset(m, x1, x2)
+			got := d.SimFold(src, model)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("pair %d, %s: fold %v, materialize %v", i, d.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestComparerUsesFoldPath checks the Comparer end to end against a
+// manual materialize run, and that repeated Compare calls on one
+// Comparer stay correct (scratch reuse).
+func TestComparerUsesFoldPath(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	final := decision.Thresholds{Lambda: 0.4, Mu: 0.7}
+	model := decision.SimpleModel{Phi: decision.WeightedSum(0.8, 0.2), T: final}
+	for _, d := range foldDerivations() {
+		c := &Comparer{
+			Matcher:  avm.NewMatcher(strsim.NormalizedHamming, strsim.NormalizedHamming),
+			AltModel: model,
+			Derive:   d,
+			Final:    final,
+		}
+		ref := avm.NewMatcherWithCache(nil, strsim.NormalizedHamming, strsim.NormalizedHamming)
+		for i := 0; i < 50; i++ {
+			x1 := randXTuple(r, "a")
+			x2 := randXTuple(r, "b")
+			got := c.Compare(x1, x2)
+			mat := ref.CompareXTuples(x1, x2)
+			want := d.Sim(x1, x2, mat, model)
+			if got.Sim != want && !(math.IsNaN(got.Sim) && math.IsNaN(want)) {
+				t.Fatalf("%s pair %d: Compare %v, reference %v", d.Name(), i, got.Sim, want)
+			}
+			if got.Class != final.Classify(want) {
+				t.Fatalf("%s pair %d: class %v", d.Name(), i, got.Class)
+			}
+		}
+	}
+}
+
+// TestMostProbableWorldFoldComputesOneCell pins the efficiency contract
+// of the MostProbableWorld fold: only the argmax cell's attribute pairs
+// may reach the comparison functions.
+func TestMostProbableWorldFoldComputesOneCell(t *testing.T) {
+	calls := 0
+	counting := func(a, b string) float64 {
+		calls++
+		return strsim.Exact(a, b)
+	}
+	// Memoization off so every computed cell is visible.
+	m := avm.NewMatcherWithCache(nil, counting, counting)
+	x1 := pdb.NewXTuple("x1",
+		pdb.NewAlt(0.7, "Tim", "machinist"),
+		pdb.NewAlt(0.3, "Tom", "mechanic"))
+	x2 := pdb.NewXTuple("x2",
+		pdb.NewAlt(0.6, "Kim", "baker"),
+		pdb.NewAlt(0.4, "Jim", "smith"))
+	d := MostProbableWorld{Conditioned: true}
+	sim := d.SimFold(NewPairSource(m, x1, x2), decision.SimpleModel{Phi: decision.Average, T: decision.Thresholds{}})
+	if calls != 2 {
+		t.Fatalf("fold computed %d attribute similarities, want 2 (one cell)", calls)
+	}
+	if sim != 0 { // (Tim,Kim) and (machinist,baker) disagree under Exact
+		t.Fatalf("sim = %v", sim)
+	}
+}

@@ -114,6 +114,11 @@ func (d DecisionBased) Name() string {
 // Sim implements Derivation.
 func (d DecisionBased) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
 	pm, pu := d.Probabilities(x1, x2, mat, model)
+	return matchingWeight(pm, pu)
+}
+
+// matchingWeight combines P(m) and P(u) into the similarity of Eq. 7.
+func matchingWeight(pm, pu float64) float64 {
 	switch {
 	case pu > 0:
 		return pm / pu
@@ -170,8 +175,18 @@ func (d ExpectedEta) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Mode
 }
 
 // Comparer runs the complete adapted decision model of Fig. 6 on x-tuple
-// pairs: attribute value matching (comparison matrix), per-alternative
-// combination/classification, derivation ϑ, and final classification.
+// pairs: attribute value matching, per-alternative combination/
+// classification, derivation ϑ, and final classification.
+//
+// When the derivation implements Folder (every derivation of this
+// package does), Compare streams the alternative-pair similarities
+// through the fold kernel and reuses the comparer's scratch buffers, so
+// no comparison matrix is materialized and the steady state allocates
+// nothing. Other derivations fall back to CompareXTuples.
+//
+// A Comparer is not safe for concurrent use (the scratch is shared
+// across its Compare calls); give each goroutine its own Comparer. The
+// matchers of several comparers may share one avm.Cache.
 type Comparer struct {
 	// Matcher builds comparison matrices.
 	Matcher *avm.Matcher
@@ -183,6 +198,9 @@ type Comparer struct {
 	Derive Derivation
 	// Final are the thresholds of step 3 classifying sim(t1,t2).
 	Final decision.Thresholds
+
+	// src is the reusable lazy-matrix scratch of the fold path.
+	src PairSource
 }
 
 // Result is the outcome of comparing one x-tuple pair.
@@ -195,9 +213,17 @@ type Result struct {
 	Class decision.Class
 }
 
-// Compare executes the full pipeline of Fig. 6 on one x-tuple pair.
+// Compare executes the full pipeline of Fig. 6 on one x-tuple pair,
+// through the fold kernel when the derivation supports it (see the
+// Comparer doc).
 func (c *Comparer) Compare(x1, x2 *pdb.XTuple) Result {
-	mat := c.Matcher.CompareXTuples(x1, x2)
-	sim := c.Derive.Sim(x1, x2, mat, c.AltModel)
+	var sim float64
+	if f, ok := c.Derive.(Folder); ok {
+		c.src.Reset(c.Matcher, x1, x2)
+		sim = f.SimFold(&c.src, c.AltModel)
+	} else {
+		mat := c.Matcher.CompareXTuples(x1, x2)
+		sim = c.Derive.Sim(x1, x2, mat, c.AltModel)
+	}
 	return Result{ID1: x1.ID, ID2: x2.ID, Sim: sim, Class: c.Final.Classify(sim)}
 }

@@ -156,6 +156,18 @@ var (
 	Soundex                = strsim.Soundex
 )
 
+// BandedLevenshtein returns a thresholded Levenshtein variant: pairs at
+// least minSim similar get their exact similarity, more dissimilar pairs
+// short-circuit to 0 through a banded early-exit edit distance. Use when
+// everything below minSim classifies identically anyway (minSim ≤ Tλ).
+func BandedLevenshtein(minSim float64) CompareFunc { return strsim.BandedLevenshtein(minSim) }
+
+// LevenshteinWithin reports the edit distance of a and b when it is at
+// most maxDist, computing only the diagonal band of the DP matrix.
+func LevenshteinWithin(a, b string, maxDist int) (int, bool) {
+	return strsim.LevenshteinWithin(a, b, maxDist)
+}
+
 // NumericAbs returns an absolute-difference numeric comparison function.
 func NumericAbs(scale float64) CompareFunc { return strsim.NumericAbs(scale) }
 
@@ -382,6 +394,10 @@ type (
 	PairMatch = core.Match
 	// StreamStats summarizes a DetectStream run.
 	StreamStats = core.StreamStats
+	// SimCacheStats reports entry/hit/miss/eviction counters of the
+	// bounded similarity cache shared by a run's workers (see
+	// Options.CacheCapacity and StreamStats.Cache).
+	SimCacheStats = avm.CacheStats
 	// CandidateStreamer is a reduction method that enumerates its
 	// candidate pairs incrementally instead of materializing the set.
 	// All reduction methods of this package implement it.
