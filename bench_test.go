@@ -328,3 +328,104 @@ func BenchmarkExpectedRanking(b *testing.B) {
 		_ = m.RankedIDs(u)
 	}
 }
+
+// ---- Incremental online engine ----
+
+// detectorBenchOpts configures the online engine over the synthetic
+// schema. Blocking pairs an arrival with its whole block (block sizes
+// grow with the corpus under a fixed key); the sorted-neighborhood
+// window bounds the candidates per arrival to 2(w−1), so its Add cost
+// stays flat as the resident relation grows.
+func detectorBenchOpts(b *testing.B, schema []string, reduction string) probdedup.Options {
+	b.Helper()
+	def, err := probdedup.ParseKeyDef("name:4+job:2", schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Final:   probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+	}
+	switch reduction {
+	case "blocking":
+		opts.Reduction = probdedup.BlockingCertain{Key: def}
+	case "snm":
+		opts.Reduction = probdedup.SNMCertain{Key: def, Window: 4}
+	default:
+		b.Fatalf("unknown reduction %q", reduction)
+	}
+	return opts
+}
+
+// detectorBenchCorpus returns n resident tuples plus a pool of fresh
+// arrivals with the same value distribution.
+func detectorBenchCorpus(b *testing.B, n int) (resident, pool []*probdedup.XTuple, schema []string) {
+	b.Helper()
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(n, 29))
+	u := d.Union()
+	if len(u.Tuples) <= n {
+		b.Fatalf("corpus too small: %d tuples for %d residents", len(u.Tuples), n)
+	}
+	return u.Tuples[:n], u.Tuples[n:], u.Schema
+}
+
+// BenchmarkDetectorAdd measures the per-tuple cost of one online
+// arrival at fixed resident relation sizes: the point of the
+// incremental engine is that this stays roughly flat from 1k to 10k
+// residents, while re-running the batch pipeline from scratch
+// (BenchmarkDetectStreamFromScratch, same sizes) grows with the
+// relation. Each iteration adds one arrival and retires it again so
+// the resident size genuinely stays at n regardless of b.N; ns/op
+// therefore covers one Add plus one Remove (the Remove share is the
+// pair retraction, plus the window re-entry comparisons for SNM).
+func BenchmarkDetectorAdd(b *testing.B) {
+	for _, reduction := range []string{"blocking", "snm"} {
+		for _, n := range []int{1000, 5000, 10000} {
+			b.Run(fmt.Sprintf("%s/resident=%d", reduction, n), func(b *testing.B) {
+				resident, pool, schema := detectorBenchCorpus(b, n)
+				det, err := probdedup.NewDetector(schema, detectorBenchOpts(b, schema, reduction), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := det.AddBatch(resident); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x := pool[i%len(pool)].Clone()
+					x.ID = fmt.Sprintf("arrival-%d", i)
+					if err := det.Add(x); err != nil {
+						b.Fatal(err)
+					}
+					if err := det.Remove(x.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDetectStreamFromScratch is the cost one arrival would pay
+// without the incremental engine: re-running the batch streaming
+// pipeline over the whole resident relation. Compare ns/op against
+// BenchmarkDetectorAdd at the same reduction and size.
+func BenchmarkDetectStreamFromScratch(b *testing.B) {
+	for _, reduction := range []string{"blocking", "snm"} {
+		for _, n := range []int{1000, 5000, 10000} {
+			b.Run(fmt.Sprintf("%s/resident=%d", reduction, n), func(b *testing.B) {
+				resident, _, schema := detectorBenchCorpus(b, n)
+				xr := probdedup.NewXRelation("bench", schema...).Append(resident...)
+				opts := detectorBenchOpts(b, schema, reduction)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := probdedup.DetectStream(xr, opts, func(probdedup.PairMatch) bool { return true }); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -21,9 +21,23 @@
 // state: pairs are printed as they are found (unordered when
 // -workers > 1) and the summary follows at the end — use it for large
 // inputs.
+//
+// -follow switches to the incremental online engine: after the given
+// files (if any) seed the resident relation, tuples are read from
+// stdin as NDJSON — one JSON tuple per line, either the x-tuple form
+// {"id":"t1","alts":[{"p":1,"values":[[{"v":"Tim"}],[{"v":"pilot"}]]}]}
+// or the dependency-free form {"id":"t1","p":1,"attrs":[...]} — and
+// each arrival is compared only against incrementally maintained
+// candidates. Deltas are printed as they happen ("+" for a new pair,
+// "-" for a retracted one) and the summary follows at EOF. A line
+// "remove ID" drops a resident tuple. With no seed file, -schema
+// (comma-separated attribute names) defines the relation.
+//
+//	pdgen ... | pdedup -follow -schema name,job -key 'name:3' -reduce blocking-certain
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -34,11 +48,11 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run executes the CLI; separated from main for testability.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pdedup", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -54,21 +68,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		altMu       = fs.Float64("alt-mu", 0.7, "per-alternative Tμ")
 		workers     = fs.Int("workers", 1, "parallel matching workers")
 		stream      = fs.Bool("stream", false, "stream results as they are found instead of materializing them (no per-pair state retained; unordered with -workers > 1)")
+		follow      = fs.Bool("follow", false, "incremental online mode: seed from FILEs (if any), then read NDJSON tuples from stdin and print match deltas as tuples arrive")
+		schemaSpec  = fs.String("schema", "", "comma-separated schema for -follow without a seed file, e.g. 'name,job'")
 		showAll     = fs.Bool("v", false, "print every compared pair, not only matches")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() < 1 || fs.NArg() > 2 {
-		fmt.Fprintln(stderr, "usage: pdedup [flags] FILE [FILE2]")
+	// Batch/stream take one or two files; -follow seeds from any
+	// number (loadUnion handles the fold), including none.
+	if !*follow && (fs.NArg() < 1 || fs.NArg() > 2) {
+		fmt.Fprintln(stderr, "usage: pdedup [flags] FILE [FILE2]  |  pdedup -follow [flags] [FILE...]")
 		fs.Usage()
 		return 2
 	}
+	// Reject silently-conflicting combinations instead of letting one
+	// mode win: -stream and -follow are different engines, and -schema
+	// only defines a seedless -follow relation (seed files bring their
+	// own schema).
+	if *follow && *stream {
+		fmt.Fprintln(stderr, "pdedup: -follow and -stream are mutually exclusive")
+		return 2
+	}
+	if *schemaSpec != "" && (!*follow || fs.NArg() > 0) {
+		fmt.Fprintln(stderr, "pdedup: -schema only applies to -follow without seed files")
+		return 2
+	}
 
-	xr, err := loadUnion(fs.Args())
-	if err != nil {
-		fmt.Fprintln(stderr, "pdedup:", err)
-		return 1
+	var xr *probdedup.XRelation
+	if fs.NArg() > 0 {
+		var err error
+		xr, err = loadUnion(fs.Args())
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+	} else {
+		if strings.TrimSpace(*schemaSpec) == "" {
+			fmt.Fprintln(stderr, "pdedup: -follow without a seed file needs -schema")
+			return 2
+		}
+		schema := strings.Split(*schemaSpec, ",")
+		for i := range schema {
+			schema[i] = strings.TrimSpace(schema[i])
+			if schema[i] == "" {
+				fmt.Fprintf(stderr, "pdedup: -schema %q has an empty attribute name\n", *schemaSpec)
+				return 2
+			}
+		}
+		xr = probdedup.NewXRelation("stdin", schema...)
 	}
 
 	cmp, err := compareByName(*compareName)
@@ -113,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *follow {
+		return runFollow(xr, opts, stdin, stdout, stderr, *showAll)
+	}
+
 	if *stream {
 		// Streaming path: emit pairs as the engine finds them, retain
 		// nothing. The summary line moves after the pairs because the
@@ -146,6 +198,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-4s (%s,%s) sim=%.4f\n", m.Class, p.A, p.B, m.Sim)
 	}
 	fmt.Fprintf(stdout, "matches=%d possible=%d\n", len(res.Matches), len(res.Possible))
+	return 0
+}
+
+// runFollow is the incremental online mode: the detector is seeded
+// with the loaded relation, then maintained from stdin — one NDJSON
+// tuple per line, or "remove ID" to drop a resident tuple. Match
+// deltas print as they happen; the summary prints at EOF.
+func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reader, stdout, stderr io.Writer, showAll bool) int {
+	wanted := func(c probdedup.Class) bool {
+		return showAll || c == probdedup.ClassM || c == probdedup.ClassP
+	}
+	det, err := probdedup.NewDetector(seed.Schema, opts, func(md probdedup.MatchDelta) bool {
+		if !wanted(md.Class) {
+			return true
+		}
+		sign := "+"
+		if md.Kind == probdedup.DeltaDrop {
+			sign = "-"
+		}
+		fmt.Fprintf(stdout, "%s%-4s (%s,%s) sim=%.4f\n", sign, md.Class, md.Pair.A, md.Pair.B, md.Sim)
+		return true
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+	if err := det.AddBatch(seed.Tuples); err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if id, ok := strings.CutPrefix(line, "remove "); ok {
+			if err := det.Remove(strings.TrimSpace(id)); err != nil {
+				fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
+				return 1
+			}
+			continue
+		}
+		x, err := probdedup.DecodeXTupleJSON([]byte(line))
+		if err != nil {
+			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
+			return 1
+		}
+		if err := det.Add(x); err != nil {
+			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
+			return 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "pdedup:", err)
+		return 1
+	}
+	st := det.Stats()
+	fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
+		st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)
+	fmt.Fprintf(stdout, "matches=%d possible=%d\n", st.Matches, st.Possible)
 	return 0
 }
 

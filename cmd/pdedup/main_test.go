@@ -41,7 +41,7 @@ func writeFixtures(t *testing.T) (r3Path, r4Path, r1Path, jsonPath string) {
 func TestRunPaperUnion(t *testing.T) {
 	r3, r4, _, _ := writeFixtures(t)
 	var out, errOut bytes.Buffer
-	code := run([]string{"-v", r3, r4}, &out, &errOut)
+	code := run([]string{"-v", r3, r4}, strings.NewReader(""), &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -60,7 +60,7 @@ func TestRunWithReduction(t *testing.T) {
 	code := run([]string{
 		"-key", "name:3+job:2", "-reduce", "snm-alternatives", "-window", "2",
 		"-derive", "decision", "-lambda", "0.5", "-mu", "1.0", r3, r4,
-	}, &out, &errOut)
+	}, strings.NewReader(""), &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -73,7 +73,7 @@ func TestRunMixedFormats(t *testing.T) {
 	// Text relation + JSON x-relation union.
 	_, _, r1, jsonR3 := writeFixtures(t)
 	var out, errOut bytes.Buffer
-	code := run([]string{r1, jsonR3}, &out, &errOut)
+	code := run([]string{r1, jsonR3}, strings.NewReader(""), &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -88,13 +88,13 @@ func TestRunStream(t *testing.T) {
 	// The streaming path must report the same counts as the
 	// materialized one.
 	var matOut, errOut bytes.Buffer
-	if code := run([]string{r3, r4}, &matOut, &errOut); code != 0 {
+	if code := run([]string{r3, r4}, strings.NewReader(""), &matOut, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	for _, workers := range []string{"1", "4"} {
 		var out bytes.Buffer
 		errOut.Reset()
-		code := run([]string{"-stream", "-workers", workers, r3, r4}, &out, &errOut)
+		code := run([]string{"-stream", "-workers", workers, r3, r4}, strings.NewReader(""), &out, &errOut)
 		if code != 0 {
 			t.Fatalf("workers=%s exit %d: %s", workers, code, errOut.String())
 		}
@@ -113,7 +113,7 @@ func TestRunStream(t *testing.T) {
 	// Streaming errors surface with a non-zero exit.
 	var out bytes.Buffer
 	errOut.Reset()
-	if code := run([]string{"-stream", "-lambda", "1", "-mu", "0", r3}, &out, &errOut); code == 0 {
+	if code := run([]string{"-stream", "-lambda", "1", "-mu", "0", r3}, strings.NewReader(""), &out, &errOut); code == 0 {
 		t.Fatal("want non-zero exit for bad thresholds in stream mode")
 	}
 }
@@ -122,7 +122,7 @@ func TestRunWorkersAndDerivations(t *testing.T) {
 	r3, r4, _, _ := writeFixtures(t)
 	for _, derive := range []string{"similarity", "decision", "eta", "mpw", "max"} {
 		var out, errOut bytes.Buffer
-		code := run([]string{"-derive", derive, "-workers", "4", r3, r4}, &out, &errOut)
+		code := run([]string{"-derive", derive, "-workers", "4", r3, r4}, strings.NewReader(""), &out, &errOut)
 		if code != 0 {
 			t.Fatalf("derive=%s exit %d: %s", derive, code, errOut.String())
 		}
@@ -147,7 +147,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out, errOut bytes.Buffer
-		if code := run(c.args, &out, &errOut); code == 0 {
+		if code := run(c.args, strings.NewReader(""), &out, &errOut); code == 0 {
 			t.Errorf("%s: want non-zero exit", c.name)
 		}
 	}
@@ -176,5 +176,89 @@ func TestDecodeAnySniffing(t *testing.T) {
 	}
 	if len(xr2.Tuples) != 3 {
 		t.Fatalf("json relation: %d tuples", len(xr2.Tuples))
+	}
+}
+
+func TestRunFollow(t *testing.T) {
+	// Without a seed file the schema comes from -schema; two equal
+	// names under the cross product must yield one match delta, and a
+	// remove line must retract it.
+	stdin := strings.NewReader(`
+{"id":"a","alts":[{"p":1,"values":[[{"v":"Tim"}],[{"v":"pilot"}]]}]}
+{"id":"b","p":0.8,"attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}
+remove b
+{"id":"c","attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-follow", "-schema", "name,job"}, stdin, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"+m    (a,b)", // b arrives and matches a
+		"-m    (a,b)", // remove b retracts the pair
+		"+m    (a,c)", // c arrives and matches a
+		"resident 2 tuples",
+		"matches=1 possible=0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFollowManySeeds(t *testing.T) {
+	// -follow accepts any number of seed files (batch mode caps at 2).
+	r3, r4, r1, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-follow", r3, r4, r1}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "resident 8 tuples") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFollowSeededMatchesBatch(t *testing.T) {
+	// Seeding -follow from files and reading nothing from stdin must
+	// report the same M/P counts as the batch run over the same files.
+	r3, r4, _, _ := writeFixtures(t)
+	var batchOut, out, errOut bytes.Buffer
+	if code := run([]string{r3, r4}, strings.NewReader(""), &batchOut, &errOut); code != 0 {
+		t.Fatalf("batch exit %d: %s", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-follow", r3, r4}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("follow exit %d: %s", code, errOut.String())
+	}
+	summary := batchOut.String()
+	summary = strings.TrimSpace(summary[strings.LastIndex(summary, "matches="):])
+	if !strings.Contains(out.String(), summary) {
+		t.Fatalf("follow summary diverges from batch %q:\n%s", summary, out.String())
+	}
+}
+
+func TestRunFollowErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"no schema", []string{"-follow"}, ""},
+		{"empty schema attr", []string{"-follow", "-schema", ","}, ""},
+		{"follow and stream", []string{"-follow", "-stream", "-schema", "name"}, ""},
+		{"schema without follow", []string{"-schema", "name", "/nonexistent.pdb"}, ""},
+		{"schema with seed files", []string{"-follow", "-schema", "name", "/nonexistent.pdb"}, ""},
+		{"bad json", []string{"-follow", "-schema", "name"}, "{not json\n"},
+		{"remove unknown", []string{"-follow", "-schema", "name"}, "remove ghost\n"},
+		{"non-incremental reduce", []string{"-follow", "-schema", "name", "-key", "name:3", "-reduce", "snm-ranked"}, ""},
+		{"arity mismatch", []string{"-follow", "-schema", "name,job"}, `{"id":"a","attrs":[[{"v":"Tim"}]]}` + "\n"},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(c.args, strings.NewReader(c.stdin), &out, &errOut); code == 0 {
+			t.Errorf("%s: want non-zero exit", c.name)
+		}
 	}
 }

@@ -1,0 +1,87 @@
+package probdedup_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup"
+)
+
+// TestPublicDetectorMatchesDetectStream exercises the exported
+// incremental surface end to end: Add-one-at-a-time over a shuffled
+// synthetic relation reproduces the classified pair set of the batch
+// streaming engine, through the public API.
+func TestPublicDetectorMatchesDetectStream(t *testing.T) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(30, 41))
+	u := d.Union()
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(u.Tuples), func(i, j int) {
+		u.Tuples[i], u.Tuples[j] = u.Tuples[j], u.Tuples[i]
+	})
+	def, err := probdedup.ParseKeyDef("name:3+job:2", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.SNMCertain{Key: def, Window: 5},
+		Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+		Workers:   4,
+	}
+
+	batch := map[probdedup.Pair]probdedup.PairMatch{}
+	if _, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+		batch[m.Pair] = m
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := probdedup.NewDetector(u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range u.Tuples {
+		if err := det.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := det.Flush()
+	if len(res.Compared) != len(batch) {
+		t.Fatalf("incremental compared %d pairs, batch %d", len(res.Compared), len(batch))
+	}
+	for p, bm := range batch {
+		im, ok := res.ByPair[p]
+		if !ok {
+			t.Fatalf("pair %v missing from incremental result", p)
+		}
+		if im.Sim != bm.Sim || im.Class != bm.Class {
+			t.Fatalf("pair %v: incremental (%v,%v) vs batch (%v,%v)", p, im.Sim, im.Class, bm.Sim, bm.Class)
+		}
+	}
+}
+
+// TestPublicIncrementalIndex checks the exported index constructor:
+// supported methods yield a working index, unsupported ones an error.
+func TestPublicIncrementalIndex(t *testing.T) {
+	idx, err := probdedup.NewIncrementalIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := 0
+	idx.Insert(probdedup.NewXTuple("a", probdedup.NewAlt(1, "Tim")), func(probdedup.CandidatePairDelta) bool { return true })
+	idx.Insert(probdedup.NewXTuple("b", probdedup.NewAlt(1, "Tom")), func(d probdedup.CandidatePairDelta) bool {
+		added++
+		return true
+	})
+	if added != 1 || idx.Len() != 2 {
+		t.Fatalf("cross index: %d deltas, Len %d", added, idx.Len())
+	}
+	def, err := probdedup.ParseKeyDef("name:3", []string{"name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probdedup.NewIncrementalIndex(probdedup.SNMRanked{Key: def, Window: 3}); err == nil {
+		t.Fatal("expected an error for a globally-dependent reduction")
+	}
+}

@@ -1,0 +1,60 @@
+package probdedup_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocsGatePackageComments is the documentation gate: every
+// non-test package under internal/ and the root package must carry a
+// package comment (the ARCHITECTURE.md contract — each package states
+// which paper section it implements). The check parses the source
+// directly, so it runs in plain `go test` and in CI without extra
+// tooling.
+func TestDocsGatePackageComments(t *testing.T) {
+	var dirs []string
+	if err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dirs = append(dirs, ".")
+
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		hasGo := false
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			hasGo = true
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", filepath.Join(dir, name), err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+			}
+		}
+		if hasGo && !documented {
+			t.Errorf("package %s has no package comment — add a doc.go citing the paper section it implements", dir)
+		}
+	}
+}

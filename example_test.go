@@ -127,6 +127,75 @@ func ExampleSNMAlternatives() {
 	// (b,c)
 }
 
+// ExampleDetectStream runs the streaming engine: each compared pair's
+// match is emitted through the callback and nothing is retained — the
+// entry point for large inputs. A sequential run emits in the
+// reduction method's enumeration order.
+func ExampleDetectStream() {
+	xr := probdedup.NewXRelation("X", "name", "job").Append(
+		probdedup.NewXTuple("a", probdedup.NewAlt(1.0, "Tim", "mechanic")),
+		probdedup.NewXTuple("b",
+			probdedup.NewAlt(0.7, "Tim", "mechanic"),
+			probdedup.NewAlt(0.3, "Kim", "mechanic")),
+		probdedup.NewXTuple("c", probdedup.NewAlt(1.0, "Zoe", "pilot")),
+	)
+	stats, err := probdedup.DetectStream(xr, probdedup.Options{
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}, func(m probdedup.PairMatch) bool {
+		fmt.Printf("η(%s,%s) = %s (sim %.2f)\n", m.Pair.A, m.Pair.B, m.Class, m.Sim)
+		return true // false stops the run early
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compared %d of %d pairs, matches=%d\n", stats.Compared, stats.TotalPairs, stats.Matches)
+	// Output:
+	// η(a,b) = m (sim 0.95)
+	// η(a,c) = u (sim 0.00)
+	// η(b,c) = u (sim 0.00)
+	// compared 3 of 3 pairs, matches=1
+}
+
+// ExampleDetector runs the incremental online engine: tuples arrive
+// one at a time, each is compared only against incrementally
+// maintained candidates, and removing a tuple retracts its pair
+// decisions. Flush returns exactly what batch Detect would on the
+// resident relation.
+func ExampleDetector() {
+	schema := []string{"name", "job"}
+	det, err := probdedup.NewDetector(schema, probdedup.Options{
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}, func(md probdedup.MatchDelta) bool {
+		sign := "+"
+		if md.Kind == probdedup.DeltaDrop {
+			sign = "-"
+		}
+		fmt.Printf("%s η(%s,%s) = %s\n", sign, md.Pair.A, md.Pair.B, md.Class)
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(det.Add(probdedup.NewXTuple("a", probdedup.NewAlt(1.0, "Tim", "mechanic"))))
+	must(det.Add(probdedup.NewXTuple("b", probdedup.NewAlt(0.8, "Tim", "mechanic"))))
+	must(det.Add(probdedup.NewXTuple("c", probdedup.NewAlt(1.0, "Zoe", "pilot"))))
+	must(det.Remove("b"))
+	res := det.Flush()
+	fmt.Printf("resident %d tuples, matches=%d\n", det.Len(), len(res.Matches))
+	// Output:
+	// + η(a,b) = m
+	// + η(a,c) = u
+	// + η(b,c) = u
+	// - η(a,b) = m
+	// - η(b,c) = u
+	// resident 2 tuples, matches=0
+}
+
 // ExampleResolve fuses a clear match and keeps a possible match as
 // lineage-backed uncertainty.
 func ExampleResolve() {

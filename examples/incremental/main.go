@@ -1,0 +1,76 @@
+// Incremental: online duplicate detection with the Detector. Tuples
+// arrive one at a time — think a registration service receiving
+// probabilistic person records — and each arrival is compared only
+// against the candidates produced by incremental index maintenance
+// (here: blocking over conflict-resolved keys), never by re-running
+// the batch pipeline. Match deltas stream out as they happen; removing
+// a tuple retracts its pairs; Flush materializes the exact Result the
+// batch Detect would produce on the resident relation.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probdedup"
+)
+
+func main() {
+	schema := []string{"name", "job"}
+	def, err := probdedup.ParseKeyDef("name:3", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.5, Mu: 0.8},
+	}
+
+	// Every change to the classified pair set arrives through the
+	// callback: "+" when a pair enters, "−" when a pair is retracted.
+	det, err := probdedup.NewDetector(schema, opts, func(md probdedup.MatchDelta) bool {
+		sign := "+"
+		if md.Kind == probdedup.DeltaDrop {
+			sign = "−"
+		}
+		fmt.Printf("  %s η(%s,%s) = %s (sim %.3f)\n", sign, md.Pair.A, md.Pair.B, md.Class, md.Sim)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arrivals := []*probdedup.XTuple{
+		probdedup.NewXTuple("t1", probdedup.NewAlt(1.0, "Johnson", "pilot")),
+		probdedup.NewXTuple("t2",
+			probdedup.NewAlt(0.7, "Johnson", "pilot"),
+			probdedup.NewAlt(0.3, "Jonson", "pilot")),
+		probdedup.NewXTuple("t3", probdedup.NewAlt(1.0, "Miller", "baker")),
+		probdedup.NewXTuple("t4", probdedup.NewAlt(1.0, "Johnsen", "pilot")),
+	}
+	for _, x := range arrivals {
+		fmt.Printf("add %s\n", x.ID)
+		if err := det.Add(x); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// t2 turns out to be a withdrawn record: removing it retracts its
+	// pair decisions, so a later re-registration starts from scratch.
+	fmt.Println("remove t2")
+	if err := det.Remove("t2"); err != nil {
+		log.Fatal(err)
+	}
+
+	res := det.Flush()
+	st := det.Stats()
+	fmt.Printf("resident %d tuples, %d live pairs (compared %d, retracted %d, cache hit rate %.0f%%)\n",
+		st.Residents, st.Live, st.Compared, st.Dropped, 100*st.Cache.HitRate())
+	for _, p := range res.Compared {
+		m := res.ByPair[p]
+		fmt.Printf("  η(%s,%s) = %s (sim %.3f)\n", p.A, p.B, m.Class, m.Sim)
+	}
+}

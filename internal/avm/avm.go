@@ -1,15 +1,3 @@
-// Package avm implements attribute value matching for probabilistic data
-// (Sec. IV-A of the paper): the similarity of two uncertain attribute
-// values, comparison vectors c⃗ for tuple pairs, and comparison matrices for
-// x-tuple pairs.
-//
-// The similarity of two uncertain values a1, a2 over domain D̂ = D ∪ {⊥} is
-//
-//	sim(a1,a2) = Σ_{d1∈D̂} Σ_{d2∈D̂} P(a1=d1)·P(a2=d2) · sim(d1,d2)   (Eq. 5)
-//
-// with the non-existence semantics sim(⊥,⊥)=1 and sim(a,⊥)=sim(⊥,a)=0.
-// For error-free data sim(d1,d2) degenerates to equality and Eq. 5 becomes
-// the probability that both values are equal (Eq. 4).
 package avm
 
 import (

@@ -1,0 +1,23 @@
+// Package avm implements attribute value matching for probabilistic data
+// (Sec. IV-A of the paper): the similarity of two uncertain attribute
+// values, comparison vectors c⃗ for tuple pairs, and comparison matrices for
+// x-tuple pairs.
+//
+// The similarity of two uncertain values a1, a2 over domain D̂ = D ∪ {⊥} is
+//
+//	sim(a1,a2) = Σ_{d1∈D̂} Σ_{d2∈D̂} P(a1=d1)·P(a2=d2) · sim(d1,d2)   (Eq. 5)
+//
+// with the non-existence semantics sim(⊥,⊥)=1 and sim(a,⊥)=sim(⊥,a)=0.
+// For error-free data sim(d1,d2) degenerates to equality and Eq. 5 becomes
+// the probability that both values are equal (Eq. 4).
+//
+// Matcher evaluates Eq. 5 per attribute with one comparison function per
+// schema position, memoizing value-pair similarities in a sharded,
+// bounded, concurrency-safe Cache. One cache is shared by all matchers
+// of a detection run — across workers of a batch run and across the
+// lifetime of an incremental Detector — so total memo memory stays
+// capped while a pair computed once is a hit everywhere. Cache entries
+// are keyed by attribute and value content, never by tuple identity,
+// which is why resident-set changes (tuple removal, re-insertion) need
+// no cache invalidation.
+package avm

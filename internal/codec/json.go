@@ -162,3 +162,82 @@ func DecodeXRelationJSON(r io.Reader) (*pdb.XRelation, error) {
 	}
 	return rel, nil
 }
+
+// jsonAnyTuple is the NDJSON line format of one tuple: either the
+// x-tuple form ("alts") or the dependency-free form ("attrs" with an
+// optional membership probability "p", lifted to a one-alternative
+// x-tuple).
+type jsonAnyTuple struct {
+	ID    string     `json:"id"`
+	P     *float64   `json:"p,omitempty"`
+	Alts  []jsonXAlt `json:"alts,omitempty"`
+	Attrs []jsonDist `json:"attrs,omitempty"`
+}
+
+// EncodeXTupleJSON writes one x-tuple as a single JSON line (the
+// NDJSON unit consumed by pdedup -follow).
+func EncodeXTupleJSON(w io.Writer, x *pdb.XTuple) error {
+	jx := jsonXTuple{ID: x.ID}
+	for _, alt := range x.Alts {
+		ja := jsonXAlt{P: alt.P}
+		for _, d := range alt.Values {
+			ja.Values = append(ja.Values, distToJSON(d))
+		}
+		jx.Alts = append(jx.Alts, ja)
+	}
+	data, err := json.Marshal(jx)
+	if err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeXTupleJSON reads one tuple from a JSON document (typically
+// one NDJSON line): the x-tuple form {"id","alts":[{"p","values"}]}
+// is taken as is; the dependency-free form {"id","p","attrs"} is
+// lifted losslessly to a one-alternative x-tuple whose attribute
+// values stay uncertain. The tuple is not validated against a schema
+// — the consumer knows the arity (pdb.XTuple.Validate).
+func DecodeXTupleJSON(data []byte) (*pdb.XTuple, error) {
+	var jt jsonAnyTuple
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	x := &pdb.XTuple{ID: jt.ID}
+	if len(jt.Alts) > 0 {
+		// Membership lives on the alternatives in the x-tuple form; a
+		// top-level "p" or "attrs" alongside "alts" is ambiguous and
+		// must not be dropped silently.
+		if jt.P != nil || len(jt.Attrs) > 0 {
+			return nil, fmt.Errorf("codec: tuple %s mixes the x-tuple form (alts) with the dependency-free form (p/attrs)", jt.ID)
+		}
+		for ai, ja := range jt.Alts {
+			values := make([]pdb.Dist, 0, len(ja.Values))
+			for i, jd := range ja.Values {
+				d, err := distFromJSON(jd)
+				if err != nil {
+					return nil, fmt.Errorf("codec: x-tuple %s alt %d attribute %d: %w", jt.ID, ai, i, err)
+				}
+				values = append(values, d)
+			}
+			x.Alts = append(x.Alts, pdb.Alt{Values: values, P: ja.P})
+		}
+		return x, nil
+	}
+	p := 1.0
+	if jt.P != nil {
+		p = *jt.P
+	}
+	values := make([]pdb.Dist, 0, len(jt.Attrs))
+	for i, jd := range jt.Attrs {
+		d, err := distFromJSON(jd)
+		if err != nil {
+			return nil, fmt.Errorf("codec: tuple %s attribute %d: %w", jt.ID, i, err)
+		}
+		values = append(values, d)
+	}
+	x.Alts = []pdb.Alt{{Values: values, P: p}}
+	return x, nil
+}

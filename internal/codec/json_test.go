@@ -93,3 +93,66 @@ func TestJSONDecodeErrors(t *testing.T) {
 		t.Error("x-tuple without alternatives must fail validation")
 	}
 }
+
+func TestXTupleJSONRoundTrip(t *testing.T) {
+	x := pdb.NewXTuple("t41",
+		pdb.NewAltDists(0.6, pdb.Certain("John"), pdb.MustDist(
+			pdb.Alternative{Value: pdb.V("pilot"), P: 0.7})),
+		pdb.NewAlt(0.4, "Jon", "pilot"),
+	)
+	var buf bytes.Buffer
+	if err := EncodeXTupleJSON(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("not a single NDJSON line: %q", line)
+	}
+	back, err := DecodeXTupleJSON([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != x.ID || len(back.Alts) != len(x.Alts) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", back, x)
+	}
+	if err := back.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Alts[0].P, 0.6; got != want {
+		t.Fatalf("alt[0].P = %v, want %v", got, want)
+	}
+}
+
+func TestXTupleJSONLiftsTupleForm(t *testing.T) {
+	x, err := DecodeXTupleJSON([]byte(`{"id":"a","p":0.8,"attrs":[[{"v":"Tim","p":0.9}],[{"v":"pilot"}]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Alts) != 1 || x.Alts[0].P != 0.8 {
+		t.Fatalf("lift mismatch: %+v", x)
+	}
+	if err := x.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Omitted p means a certainly-present tuple.
+	x2, err := DecodeXTupleJSON([]byte(`{"id":"b","attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.P() != 1 {
+		t.Fatalf("P = %v, want 1", x2.P())
+	}
+	if _, err := DecodeXTupleJSON([]byte("{broken")); err == nil {
+		t.Fatal("want an error for malformed JSON")
+	}
+	// Mixing the x-tuple form with top-level p/attrs is ambiguous and
+	// must error instead of silently dropping the membership.
+	for _, mixed := range []string{
+		`{"id":"m","p":0.5,"alts":[{"p":1,"values":[[{"v":"Tim"}]]}]}`,
+		`{"id":"m","attrs":[[{"v":"Tim"}]],"alts":[{"p":1,"values":[[{"v":"Tim"}]]}]}`,
+	} {
+		if _, err := DecodeXTupleJSON([]byte(mixed)); err == nil {
+			t.Fatalf("want an error for mixed form %s", mixed)
+		}
+	}
+}

@@ -1,18 +1,3 @@
-// Package core orchestrates the complete duplicate detection pipeline for
-// probabilistic data (Sec. III's five steps, adapted per Secs. IV and V):
-//
-//	data preparation → search space reduction → attribute value matching
-//	→ decision model (with x-tuple derivation) → verification
-//
-// The pipeline operates on x-relations; dependency-free probabilistic
-// relations are lifted losslessly (each tuple becomes a one-alternative
-// x-tuple whose attribute values stay uncertain).
-//
-// The engine is streaming at its core: candidate pairs are enumerated
-// incrementally by the reduction method (ssr.Streamer), batched through
-// a worker pool, and either emitted through a callback (DetectStream,
-// memory proportional to the relation) or collected into an exact,
-// deterministically ordered Result (Detect).
 package core
 
 import (

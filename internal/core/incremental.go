@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/ssr"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+// DeltaKind distinguishes the two changes an online detection run can
+// make to its classified pair set.
+type DeltaKind int
+
+const (
+	// DeltaAdd reports a pair that entered the compared set, with its
+	// freshly computed similarity and class.
+	DeltaAdd DeltaKind = iota
+	// DeltaDrop reports a pair that left the compared set — because a
+	// tuple was removed, or because a later insertion pushed the pair
+	// out of a sorted-neighborhood window. Match holds the pair's last
+	// decision.
+	DeltaDrop
+)
+
+// String names the kind.
+func (k DeltaKind) String() string {
+	if k == DeltaDrop {
+		return "drop"
+	}
+	return "add"
+}
+
+// MatchDelta is one change to the detector's classified pair set,
+// emitted through the callback as it happens.
+type MatchDelta struct {
+	Kind DeltaKind
+	Match
+}
+
+// DetectorStats summarizes the state and cumulative work of a
+// Detector.
+type DetectorStats struct {
+	// Residents is the current number of resident tuples.
+	Residents int
+	// Compared counts the pair comparisons performed since
+	// construction (re-entering pairs are re-compared).
+	Compared int
+	// Dropped counts the pairs retracted since construction.
+	Dropped int
+	// Live, Matches and Possible are the current classified set sizes.
+	Live, Matches, Possible int
+	// TotalPairs is the unreduced search-space size of the resident
+	// relation, n(n-1)/2.
+	TotalPairs int
+	// Stopped reports that the emit callback ended delta delivery.
+	Stopped bool
+	// Cache holds the shared similarity cache counters (zero value
+	// when memoization is disabled).
+	Cache avm.CacheStats
+}
+
+// Detector is the long-lived online detection engine: tuples arrive
+// (and leave) one at a time, and each arrival is compared only against
+// the candidates produced by incremental index maintenance
+// (ssr.IncrementalIndex) instead of re-running the batch pipeline.
+// Add-one-at-a-time is equivalent to batch Detect: after any sequence
+// of Add and Remove calls, Flush returns exactly the Result Detect
+// would produce on the resident relation, for every reduction method
+// that supports incremental maintenance (cross product, SNMCertain,
+// BlockingCertain, BlockingAlternatives, and pruned compositions of
+// them).
+//
+// The detector reuses the batch engine's machinery: one bounded
+// similarity cache (Options.CacheCapacity) shared across the
+// detector's lifetime, the fold-based comparison kernel, and the
+// configured decision model. Comparison runs sequentially on the
+// caller's goroutine — per-arrival candidate sets are small (a window
+// or a block), so Options.Workers is ignored.
+//
+// Unlike DetectStream, the detector retains per-pair state (the
+// current classified set) so it can retract decisions on Remove and
+// answer Flush exactly; memory grows with the live candidate pair
+// count. All methods are safe for concurrent use; the emit callback
+// is invoked with the detector's lock held and must not call back
+// into it.
+type Detector struct {
+	mu       sync.Mutex
+	eng      *engine
+	comparer *xmatch.Comparer
+	idx      ssr.IncrementalIndex
+	std      *prepare.Standardizer
+	live     map[verify.Pair]Match
+	// pairsOf indexes the live pairs by member tuple, so Remove
+	// retracts in O(degree) instead of sweeping the whole live set.
+	pairsOf map[string]map[verify.Pair]struct{}
+	// posOf locates a resident tuple in eng.xr.Tuples for O(1)
+	// swap-removal; nothing in the detector depends on tuple order.
+	posOf    map[string]int
+	emit     func(MatchDelta) bool
+	stopped  bool
+	compared int
+	dropped  int
+}
+
+// NewDetector builds an empty online detection engine over the given
+// schema. Options are validated exactly as in Detect (thresholds,
+// comparison function arity, decision model arity); additionally the
+// reduction method must support incremental maintenance (see
+// ssr.IncrementalOf). emit receives every change to the classified
+// pair set as it happens and may be nil when only Flush snapshots are
+// needed; a false return permanently stops delta delivery (state
+// maintenance continues).
+func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*Detector, error) {
+	xr := pdb.NewXRelation("detector", schema...)
+	eng, err := newEngine(xr, opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := ssr.IncrementalOf(opts.Reduction)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Detector{
+		eng:      eng,
+		comparer: eng.newComparer(),
+		idx:      idx,
+		std:      opts.Standardizer,
+		live:     map[verify.Pair]Match{},
+		pairsOf:  map[string]map[verify.Pair]struct{}{},
+		posOf:    map[string]int{},
+		emit:     emit,
+	}, nil
+}
+
+// Add inserts one tuple: it is standardized (when a Standardizer is
+// configured), validated, registered with the incremental index, and
+// compared against each candidate pair the index yields. Deltas are
+// emitted as they are found. The tuple is deep-copied, so the caller
+// may keep mutating its own instance.
+func (d *Detector) Add(x *pdb.XTuple) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addLocked(x)
+}
+
+// AddBatch inserts the tuples in order, stopping at the first error.
+func (d *Detector) AddBatch(xs []*pdb.XTuple) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, x := range xs {
+		if err := d.addLocked(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Detector) addLocked(x *pdb.XTuple) error {
+	if x == nil {
+		return fmt.Errorf("core: Add of nil x-tuple")
+	}
+	if d.std != nil {
+		x = d.std.XTuple(x)
+	} else {
+		x = x.Clone()
+	}
+	if err := x.Validate(len(d.eng.xr.Schema)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, dup := d.eng.byID[x.ID]; dup {
+		return fmt.Errorf("core: duplicate tuple ID %q", x.ID)
+	}
+	d.eng.byID[x.ID] = x
+	d.posOf[x.ID] = len(d.eng.xr.Tuples)
+	d.eng.xr.Append(x)
+
+	var firstErr error
+	d.idx.Insert(x, func(pd ssr.PairDelta) bool {
+		if err := d.applyDelta(pd); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Remove drops the tuple from the resident relation: the index yields
+// a retraction for every candidate pair involving it (plus, for
+// windowed reductions, re-entrant neighbor pairs, which are
+// re-compared), and a defensive sweep guarantees that no pair decision
+// involving the removed tuple survives in the detector's state — so a
+// later re-Add with the same ID is classified from scratch, never from
+// a stale pair decision. The shared avm.Cache needs no invalidation:
+// its entries are keyed by attribute and value content, not tuple
+// identity, and similarities of values are immutable. Removing an
+// unknown ID is an error.
+func (d *Detector) Remove(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.eng.byID[id]; !ok {
+		return fmt.Errorf("core: Remove of unknown tuple ID %q", id)
+	}
+
+	var firstErr error
+	d.idx.Remove(id, func(pd ssr.PairDelta) bool {
+		if err := d.applyDelta(pd); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+
+	// Defensive sweep: the index contract already retracts every pair
+	// of id, but a buggy user-defined IncrementalMethod must not be
+	// able to leave stale decisions behind. The per-tuple pair index
+	// makes this O(degree), not O(live set).
+	if rest := d.pairsOf[id]; len(rest) > 0 {
+		pairs := make([]verify.Pair, 0, len(rest))
+		for p := range rest {
+			pairs = append(pairs, p)
+		}
+		for _, p := range pairs {
+			d.retractPair(p)
+		}
+	}
+	delete(d.pairsOf, id)
+
+	delete(d.eng.byID, id)
+	// Swap-remove from the resident slice: O(1), order is irrelevant
+	// (Flush sorts pairs, the indexes keep their own order).
+	ts := d.eng.xr.Tuples
+	i, last := d.posOf[id], len(ts)-1
+	ts[i] = ts[last]
+	d.posOf[ts[i].ID] = i
+	d.eng.xr.Tuples = ts[:last]
+	ts[last] = nil
+	delete(d.posOf, id)
+	return firstErr
+}
+
+// applyDelta folds one index delta into the classified set, comparing
+// added pairs and retracting dropped ones.
+func (d *Detector) applyDelta(pd ssr.PairDelta) error {
+	if pd.Dropped {
+		d.retractPair(pd.Pair)
+		return nil
+	}
+	if _, ok := d.live[pd.Pair]; ok {
+		// Already live (values are immutable while resident), nothing
+		// to recompute.
+		return nil
+	}
+	m, err := d.eng.compare(d.comparer, pd.Pair)
+	if err != nil {
+		return err
+	}
+	d.compared++
+	d.live[pd.Pair] = m
+	d.indexPair(pd.Pair.A, pd.Pair)
+	d.indexPair(pd.Pair.B, pd.Pair)
+	d.emitDelta(MatchDelta{Kind: DeltaAdd, Match: m})
+	return nil
+}
+
+// indexPair records a live pair under one member tuple.
+func (d *Detector) indexPair(id string, p verify.Pair) {
+	set := d.pairsOf[id]
+	if set == nil {
+		set = map[verify.Pair]struct{}{}
+		d.pairsOf[id] = set
+	}
+	set[p] = struct{}{}
+}
+
+// retractPair removes a live pair from both indexes and emits the
+// drop; unknown pairs are ignored.
+func (d *Detector) retractPair(p verify.Pair) {
+	m, ok := d.live[p]
+	if !ok {
+		return
+	}
+	delete(d.live, p)
+	for _, id := range []string{p.A, p.B} {
+		if set := d.pairsOf[id]; set != nil {
+			delete(set, p)
+			if len(set) == 0 {
+				delete(d.pairsOf, id)
+			}
+		}
+	}
+	d.dropped++
+	d.emitDelta(MatchDelta{Kind: DeltaDrop, Match: m})
+}
+
+// emitDelta forwards one delta unless delivery was stopped.
+func (d *Detector) emitDelta(md MatchDelta) {
+	if d.emit == nil || d.stopped {
+		return
+	}
+	if !d.emit(md) {
+		d.stopped = true
+	}
+}
+
+// Flush materializes the current classified state as an exact Result —
+// the same Result Detect would produce on the resident relation:
+// every live pair in deterministic order with similarity and class,
+// the declared M and P sets, and the arithmetic search-space size.
+func (d *Detector) Flush() *Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := &Result{
+		Matches:    verify.PairSet{},
+		Possible:   verify.PairSet{},
+		Compared:   make([]verify.Pair, 0, len(d.live)),
+		ByPair:     make(map[verify.Pair]Match, len(d.live)),
+		TotalPairs: ssr.TotalPairs(len(d.eng.xr.Tuples)),
+	}
+	for p, m := range d.live {
+		res.Compared = append(res.Compared, p)
+		res.ByPair[p] = m
+		switch m.Class {
+		case decision.M:
+			res.Matches[p] = true
+		case decision.P:
+			res.Possible[p] = true
+		}
+	}
+	sort.Slice(res.Compared, func(i, j int) bool {
+		if res.Compared[i].A != res.Compared[j].A {
+			return res.Compared[i].A < res.Compared[j].A
+		}
+		return res.Compared[i].B < res.Compared[j].B
+	})
+	return res
+}
+
+// Len returns the resident tuple count.
+func (d *Detector) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.eng.xr.Tuples)
+}
+
+// Stats summarizes the detector's state and cumulative work.
+func (d *Detector) Stats() DetectorStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DetectorStats{
+		Residents:  len(d.eng.xr.Tuples),
+		Compared:   d.compared,
+		Dropped:    d.dropped,
+		Live:       len(d.live),
+		TotalPairs: ssr.TotalPairs(len(d.eng.xr.Tuples)),
+		Stopped:    d.stopped,
+	}
+	for _, m := range d.live {
+		switch m.Class {
+		case decision.M:
+			st.Matches++
+		case decision.P:
+			st.Possible++
+		}
+	}
+	if d.eng.cache != nil {
+		st.Cache = d.eng.cache.Stats()
+	}
+	return st
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"probdedup/internal/dataset"
+	"probdedup/internal/decision"
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/ssr"
+	"probdedup/internal/strsim"
+	"probdedup/internal/verify"
+)
+
+// incrementalOpts returns a detection configuration over the synthetic
+// schema with the given reduction. Workers > 1 additionally proves
+// parallel batch ≡ sequential incremental.
+func incrementalOpts(reduction ssr.Method) Options {
+	return Options{
+		Compare:   []strsim.Func{strsim.Levenshtein, strsim.Levenshtein, strsim.Levenshtein},
+		Reduction: reduction,
+		Final:     decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+		Workers:   4,
+	}
+}
+
+// shuffledUnion builds a shuffled synthetic x-relation.
+func shuffledUnion(t *testing.T, entities int, seed int64) *pdb.XRelation {
+	t.Helper()
+	d := dataset.Generate(dataset.DefaultConfig(entities, seed))
+	u := d.Union()
+	rng := rand.New(rand.NewSource(seed + 1))
+	rng.Shuffle(len(u.Tuples), func(i, j int) {
+		u.Tuples[i], u.Tuples[j] = u.Tuples[j], u.Tuples[i]
+	})
+	return u
+}
+
+// incrementalReductions enumerates the incremental-capable reductions
+// under test (nil = cross product).
+func incrementalReductions(t *testing.T, schema []string) map[string]ssr.Method {
+	t.Helper()
+	def, err := keys.ParseDef("name:3+job:2", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]ssr.Method{
+		"cross-product":         nil,
+		"snm-certain":           ssr.SNMCertain{Key: def, Window: 4},
+		"blocking-certain":      ssr.BlockingCertain{Key: def},
+		"blocking-alternatives": ssr.BlockingAlternatives{Key: def},
+		"snm-certain+pruned":    ssr.NewFilter(ssr.SNMCertain{Key: def, Window: 5}, ssr.Pruning{MaxDiff: map[int]int{0: 4}}),
+	}
+}
+
+// sameResult fails unless the two results carry identical classified
+// pair sets, similarities, and classes.
+func sameResult(t *testing.T, got, want *Result) {
+	t.Helper()
+	if len(got.Compared) != len(want.Compared) {
+		t.Fatalf("compared %d pairs, want %d", len(got.Compared), len(want.Compared))
+	}
+	for p, wm := range want.ByPair {
+		gm, ok := got.ByPair[p]
+		if !ok {
+			t.Fatalf("pair %v missing", p)
+		}
+		if gm.Sim != wm.Sim || gm.Class != wm.Class {
+			t.Fatalf("pair %v: got (%v,%v), want (%v,%v)", p, gm.Sim, gm.Class, wm.Sim, wm.Class)
+		}
+	}
+	if len(got.Matches) != len(want.Matches) || len(got.Possible) != len(want.Possible) {
+		t.Fatalf("M/P sizes %d/%d, want %d/%d", len(got.Matches), len(got.Possible), len(want.Matches), len(want.Possible))
+	}
+	if got.TotalPairs != want.TotalPairs {
+		t.Fatalf("TotalPairs %d, want %d", got.TotalPairs, want.TotalPairs)
+	}
+}
+
+// TestDetectorEquivalentToBatch is the determinism proof of the
+// incremental engine: Add-one-at-a-time over a shuffled relation
+// produces exactly the classified pair set of batch Detect (itself
+// layered on DetectStream) on the same relation — for a blocking, an
+// SNM, the cross-product, and a pruned reduction.
+func TestDetectorEquivalentToBatch(t *testing.T) {
+	u := shuffledUnion(t, 40, 3)
+	for name, reduction := range incrementalReductions(t, u.Schema) {
+		t.Run(name, func(t *testing.T) {
+			opts := incrementalOpts(reduction)
+			batch, err := Detect(u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			folded := map[verify.Pair]Match{}
+			det, err := NewDetector(u.Schema, opts, func(md MatchDelta) bool {
+				if md.Kind == DeltaDrop {
+					delete(folded, md.Pair)
+				} else {
+					folded[md.Pair] = md.Match
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range u.Tuples {
+				if err := det.Add(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res := det.Flush()
+			sameResult(t, res, batch)
+			// The emitted delta stream folds to the same state.
+			if len(folded) != len(res.ByPair) {
+				t.Fatalf("folded deltas hold %d pairs, flush %d", len(folded), len(res.ByPair))
+			}
+			for p, m := range folded {
+				if rm := res.ByPair[p]; rm != m {
+					t.Fatalf("folded pair %v = %+v, flush %+v", p, m, rm)
+				}
+			}
+			if st := det.Stats(); st.Residents != len(u.Tuples) || st.Live != len(res.Compared) {
+				t.Fatalf("stats %+v inconsistent with flush", st)
+			}
+		})
+	}
+}
+
+// TestDetectorAddBatchAndRemoveEquivalence removes a third of the
+// tuples and checks the flushed state equals batch Detect over the
+// remaining relation.
+func TestDetectorAddBatchAndRemoveEquivalence(t *testing.T) {
+	u := shuffledUnion(t, 40, 5)
+	for name, reduction := range incrementalReductions(t, u.Schema) {
+		t.Run(name, func(t *testing.T) {
+			opts := incrementalOpts(reduction)
+			det, err := NewDetector(u.Schema, opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := det.AddBatch(u.Tuples); err != nil {
+				t.Fatal(err)
+			}
+			rest := pdb.NewXRelation(u.Name, u.Schema...)
+			for i, x := range u.Tuples {
+				if i%3 == 0 {
+					if err := det.Remove(x.ID); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				rest.Append(x)
+			}
+			batch, err := Detect(rest, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, det.Flush(), batch)
+		})
+	}
+}
+
+// TestDetectorRemoveInvalidatesPairDecisions is the regression test
+// for the Remove fix: add → remove → re-add with the same ID but
+// different attribute values must classify exactly as if the old
+// version had never existed — no stale pair decision may survive the
+// removal.
+func TestDetectorRemoveInvalidatesPairDecisions(t *testing.T) {
+	schema := []string{"name", "job", "age"}
+	def, err := keys.ParseDef("name:3+job:2", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, reduction := range map[string]ssr.Method{
+		"blocking-certain": ssr.BlockingCertain{Key: def},
+		"snm-certain":      ssr.SNMCertain{Key: def, Window: 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			opts := incrementalOpts(reduction)
+			base := []*pdb.XTuple{
+				pdb.NewXTuple("a", pdb.NewAlt(1, "Johnson", "pilot", "44")),
+				pdb.NewXTuple("b", pdb.NewAlt(0.7, "Johnson", "pilot", "44"), pdb.NewAlt(0.3, "Jonson", "pilot", "44")),
+				pdb.NewXTuple("c", pdb.NewAlt(1, "Miller", "baker", "31")),
+			}
+			// Version 1 of t matches a/b; version 2 is a different
+			// person entirely, so any stale decision shows up.
+			v1 := pdb.NewXTuple("t", pdb.NewAlt(1, "Johnson", "pilot", "44"))
+			v2 := pdb.NewXTuple("t", pdb.NewAlt(1, "Millar", "baker", "31"))
+
+			det, err := NewDetector(schema, opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := det.AddBatch(base); err != nil {
+				t.Fatal(err)
+			}
+			if err := det.Add(v1); err != nil {
+				t.Fatal(err)
+			}
+			if err := det.Remove("t"); err != nil {
+				t.Fatal(err)
+			}
+			if err := det.Add(v2); err != nil {
+				t.Fatal(err)
+			}
+
+			fresh, err := NewDetector(schema, opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.AddBatch(base); err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Add(v2); err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, det.Flush(), fresh.Flush())
+			// The v1-era match (a,t) must not survive: version 2 is a
+			// different person, so a stale decision would classify it M.
+			if det.Flush().Matches[verify.NewPair("a", "t")] {
+				t.Fatal("stale match decision (a,t) survived re-add")
+			}
+		})
+	}
+}
+
+// TestDetectorStandardizer checks online per-tuple standardization
+// matches the batch path's whole-relation standardization.
+func TestDetectorStandardizer(t *testing.T) {
+	u := shuffledUnion(t, 20, 9)
+	def, err := keys.ParseDef("name:3", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := incrementalOpts(ssr.BlockingCertain{Key: def})
+	opts.Standardizer = prepare.NewStandardizer(prepare.LowerCase, prepare.LowerCase, nil)
+	batch, err := Detect(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddBatch(u.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, det.Flush(), batch)
+}
+
+// TestDetectorErrors exercises the validation surface: unsupported
+// reductions, arity mismatches, duplicate IDs, unknown removals, and
+// nil tuples.
+func TestDetectorErrors(t *testing.T) {
+	schema := []string{"name", "job", "age"}
+	def, err := keys.ParseDef("name:3", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDetector(schema, incrementalOpts(ssr.SNMRanked{Key: def, Window: 3}), nil); err == nil {
+		t.Fatal("expected an error for a non-incremental reduction")
+	} else if !strings.Contains(err.Error(), "incremental") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	det, err := NewDetector(schema, incrementalOpts(nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Add(nil); err == nil {
+		t.Fatal("expected an error for a nil tuple")
+	}
+	if err := det.Add(pdb.NewXTuple("short", pdb.NewAlt(1, "only-one-attr"))); err == nil {
+		t.Fatal("expected an arity error")
+	}
+	if err := det.Add(pdb.NewXTuple("a", pdb.NewAlt(1, "Tim", "pilot", "44"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Add(pdb.NewXTuple("a", pdb.NewAlt(1, "Tom", "baker", "31"))); err == nil {
+		t.Fatal("expected a duplicate-ID error")
+	}
+	if err := det.Remove("nobody"); err == nil {
+		t.Fatal("expected an unknown-ID error")
+	}
+}
+
+// TestDetectorEmitStop checks that a false-returning callback stops
+// delta delivery permanently while state maintenance continues.
+func TestDetectorEmitStop(t *testing.T) {
+	u := shuffledUnion(t, 15, 21)
+	opts := incrementalOpts(nil)
+	emitted := 0
+	det, err := NewDetector(u.Schema, opts, func(MatchDelta) bool {
+		emitted++
+		return emitted < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddBatch(u.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 3 {
+		t.Fatalf("emitted %d deltas, want exactly 3", emitted)
+	}
+	st := det.Stats()
+	if !st.Stopped {
+		t.Fatal("Stopped not set after the callback returned false")
+	}
+	batch, err := Detect(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, det.Flush(), batch)
+}
+
+// TestDetectorAddIsolatesCallerTuple checks the deep copy: mutating
+// the caller's tuple after Add must not corrupt the resident state.
+func TestDetectorAddIsolatesCallerTuple(t *testing.T) {
+	schema := []string{"name"}
+	opts := Options{
+		Compare: []strsim.Func{strsim.Levenshtein},
+		Final:   decision.Thresholds{Lambda: 0.6, Mu: 0.8},
+	}
+	det, err := NewDetector(schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := pdb.NewXTuple("a", pdb.NewAlt(1, "Tim"))
+	if err := det.Add(x); err != nil {
+		t.Fatal(err)
+	}
+	x.Alts[0] = pdb.NewAlt(1, "Zoe")
+	if err := det.Add(pdb.NewXTuple("b", pdb.NewAlt(1, "Tim"))); err != nil {
+		t.Fatal(err)
+	}
+	res := det.Flush()
+	m, ok := res.ByPair[verify.NewPair("a", "b")]
+	if !ok {
+		t.Fatal("pair (a,b) not compared")
+	}
+	if m.Sim != 1 {
+		t.Fatalf("sim = %v, want 1 (caller mutation leaked into resident tuple)", m.Sim)
+	}
+}

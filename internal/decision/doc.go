@@ -1,0 +1,12 @@
+// Package decision implements the decision models of Sec. III-D: the
+// two-step scheme of Fig. 3 (combination function φ, then threshold
+// classification into matches M, possible matches P and non-matches U),
+// knowledge-based identification rules (Fig. 1), and the probabilistic
+// Fellegi–Sunter theory with m-/u-probabilities and the matching weight
+// R = m(c⃗)/u(c⃗) (Fig. 2), including EM parameter estimation.
+//
+// Models declare their expected comparison-vector arity (ValidateArity),
+// so a weighted sum or Fellegi–Sunter parameterization that disagrees
+// with the schema is rejected at engine setup instead of silently
+// skewing every comparison.
+package decision

@@ -1,0 +1,19 @@
+// Package keys builds sorting and blocking key values from probabilistic
+// tuples (Sec. V of the paper). A key definition concatenates character
+// prefixes of attribute values — the paper's example takes the first three
+// characters of name plus the first two of job ("Johpi").
+//
+// For probabilistic data a key value is itself uncertain: XTupleKeyDist
+// returns the distribution of key values an x-tuple can take (Fig. 13),
+// obtained by pushing the key creation function through the alternatives
+// and their uncertain attribute values. A ⊥ attribute contributes the empty
+// string, so the world (John, ⊥) of t43 yields the short key "Joh" exactly
+// as in the paper's figures.
+//
+// The search-space reduction methods consume these keys in two forms:
+// conflict-resolved certain keys (Def.FromValues over a fusion
+// strategy's resolution, the V-A.2/V-B certain variants — also the
+// per-tuple unit the incremental indexes maintain their key→bucket and
+// ordered-key structures with) and the full key distribution
+// (per-alternative and ranked variants).
+package keys

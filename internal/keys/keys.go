@@ -1,14 +1,3 @@
-// Package keys builds sorting and blocking key values from probabilistic
-// tuples (Sec. V of the paper). A key definition concatenates character
-// prefixes of attribute values — the paper's example takes the first three
-// characters of name plus the first two of job ("Johpi").
-//
-// For probabilistic data a key value is itself uncertain: XTupleKeyDist
-// returns the distribution of key values an x-tuple can take (Fig. 13),
-// obtained by pushing the key creation function through the alternatives
-// and their uncertain attribute values. A ⊥ attribute contributes the empty
-// string, so the world (John, ⊥) of t43 yields the short key "Joh" exactly
-// as in the paper's figures.
 package keys
 
 import (

@@ -107,12 +107,25 @@ func (s *Standardizer) Relation(r *pdb.Relation) *pdb.Relation {
 // XRelation returns a standardized deep copy of an x-relation.
 func (s *Standardizer) XRelation(r *pdb.XRelation) *pdb.XRelation {
 	out := r.Clone()
-	for _, x := range out.Tuples {
-		for ai := range x.Alts {
-			for i := range x.Alts[ai].Values {
-				x.Alts[ai].Values[i] = s.Dist(i, x.Alts[ai].Values[i])
-			}
-		}
+	for i, x := range out.Tuples {
+		out.Tuples[i] = s.standardizeX(x)
 	}
 	return out
+}
+
+// XTuple returns a standardized deep copy of one x-tuple — the unit
+// the incremental detection engine applies per arriving tuple, so
+// online standardization matches the batch path exactly.
+func (s *Standardizer) XTuple(x *pdb.XTuple) *pdb.XTuple {
+	return s.standardizeX(x.Clone())
+}
+
+// standardizeX transforms the (already copied) x-tuple in place.
+func (s *Standardizer) standardizeX(x *pdb.XTuple) *pdb.XTuple {
+	for ai := range x.Alts {
+		for i := range x.Alts[ai].Values {
+			x.Alts[ai].Values[i] = s.Dist(i, x.Alts[ai].Values[i])
+		}
+	}
+	return x
 }

@@ -1,0 +1,45 @@
+// Package ssr implements the search-space reduction methods of Sec. V,
+// adapted to probabilistic data. Every method consumes an x-relation (a
+// dependency-free relation is lifted first) and emits the set of candidate
+// tuple pairs that the decision model should compare.
+//
+// Sorted neighborhood (Sec. V-A):
+//
+//  1. SNMMultiPass    — one pass per possible world (all, top-k probable, or
+//     greedily dissimilar worlds), union of the per-world matchings.
+//  2. SNMCertain      — certain key values via a conflict resolution
+//     strategy (most probable alternative ≡ most probable world).
+//  3. SNMAlternatives — one key value per tuple alternative; neighboring
+//     same-tuple keys are omitted; an executed-matching matrix prevents
+//     duplicate matchings (Figs. 11–12).
+//  4. SNMRanked       — uncertain key values ranked with an expected-rank
+//     function in O(n log n) (Fig. 13).
+//
+// Blocking (Sec. V-B):
+//
+//  5. BlockingCertain      — conflict-resolved certain keys, classical
+//     blocking.
+//  6. BlockingAlternatives — an x-tuple joins the block of every
+//     alternative key value (Fig. 14).
+//  7. BlockingCluster      — clustering of uncertain key values (UK-means).
+//
+// CrossProduct is the no-reduction baseline, and Pruning/Filter add the
+// length-filter heuristic Sec. III-B lists alongside SNM and blocking.
+//
+// Beyond batch Candidates, methods expose two enumeration refinements:
+// every method implements Streamer (candidate pairs one at a time,
+// nothing materialized), and the blocking variants implement
+// Partitioner (independent per-block units the engine fans out
+// concurrently).
+//
+// For continuous arrivals, IncrementalIndex maintains a method's
+// candidate set online: inserting a tuple yields exactly the pairs it
+// forms (and, for windowed methods, the straddling pairs pushed out of
+// the window), removing one retracts its pairs (and re-admits window
+// neighbors). The maintained set always equals the batch candidate set
+// over the resident tuples — insert-one-at-a-time ≡ Candidates.
+// Methods whose candidate set depends globally on the whole relation
+// (the ranked/multi-pass/per-alternative sorted neighborhoods and
+// UK-means blocking) are not incrementally maintainable and say so via
+// IncrementalOf.
+package ssr

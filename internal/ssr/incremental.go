@@ -1,0 +1,486 @@
+package ssr
+
+import (
+	"fmt"
+	"sort"
+
+	"probdedup/internal/fusion"
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+)
+
+// PairDelta is one change to a maintained candidate pair set: a pair
+// that entered the set, or (Dropped) a pair that left it. SNM-style
+// indexes produce drops when a later insertion pushes two neighbors
+// out of the window; blocking indexes only drop pairs on Remove.
+type PairDelta struct {
+	Pair verify.Pair
+	// Dropped marks a pair that left the candidate set.
+	Dropped bool
+}
+
+// IncrementalIndex maintains a reduction method's candidate pair set
+// under tuple insertion and removal, without re-enumerating the search
+// space. The contract is exact, not approximate: after any sequence of
+// Insert and Remove calls, the accumulated set (apply adds, apply
+// drops) equals the batch candidate set of the method over the
+// resident tuples in their insertion order — Insert-one-at-a-time is
+// equivalent to Candidates on the same relation.
+//
+// Structural updates are applied unconditionally; a yield returning
+// false only truncates delta delivery, it does not roll the index
+// back. Indexes are not safe for concurrent use; the detection engine
+// serializes access.
+type IncrementalIndex interface {
+	// Insert registers the tuple and yields the candidate pair deltas
+	// it causes: new pairs with resident tuples, plus (for windowed
+	// methods) resident pairs the insertion pushed out of the window.
+	// It returns false if a yield call stopped delivery early.
+	Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool
+	// Remove unregisters the tuple and yields the deltas: a drop for
+	// every candidate pair involving id, plus (for windowed methods)
+	// resident pairs the removal pulled back into the window. Removing
+	// an unknown id is a no-op that yields nothing.
+	Remove(id string, yield func(PairDelta) bool) bool
+	// Len is the resident tuple count.
+	Len() int
+}
+
+// IncrementalMethod is a Method that can maintain its candidate set
+// online. IncrementalOf dispatches to it, so user-defined methods can
+// opt into the incremental detection engine.
+type IncrementalMethod interface {
+	Method
+	// Incremental returns a fresh, empty index maintaining this
+	// method's candidate set.
+	Incremental() (IncrementalIndex, error)
+}
+
+// IncrementalOf returns an empty incremental index for the method. A
+// nil method maintains the cross product, mirroring the detection
+// engine's default. Methods whose candidate set depends globally on
+// the whole relation (SNMMultiPass, SNMAlternatives, SNMRanked,
+// BlockingCluster) cannot be maintained exactly under insertion and
+// return an error.
+func IncrementalOf(m Method) (IncrementalIndex, error) {
+	if m == nil {
+		return CrossProduct{}.incremental(), nil
+	}
+	if im, ok := m.(IncrementalMethod); ok {
+		return im.Incremental()
+	}
+	return nil, fmt.Errorf("ssr: reduction %q does not support incremental maintenance", m.Name())
+}
+
+// ---- Cross product ----
+
+// crossIndex pairs every arriving tuple with every resident.
+type crossIndex struct {
+	ids []string
+	pos map[string]int
+}
+
+func (CrossProduct) incremental() *crossIndex {
+	return &crossIndex{pos: map[string]int{}}
+}
+
+// Incremental implements IncrementalMethod.
+func (m CrossProduct) Incremental() (IncrementalIndex, error) { return m.incremental(), nil }
+
+func (c *crossIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	c.pos[x.ID] = len(c.ids)
+	c.ids = append(c.ids, x.ID)
+	for _, id := range c.ids[:len(c.ids)-1] {
+		if !yield(PairDelta{Pair: verify.NewPair(id, x.ID)}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *crossIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	p, ok := c.pos[id]
+	if !ok {
+		return true
+	}
+	c.ids = append(c.ids[:p], c.ids[p+1:]...)
+	delete(c.pos, id)
+	for i := p; i < len(c.ids); i++ {
+		c.pos[c.ids[i]] = i
+	}
+	for _, other := range c.ids {
+		if !yield(PairDelta{Pair: verify.NewPair(other, id), Dropped: true}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *crossIndex) Len() int { return len(c.ids) }
+
+// ---- Blocking over conflict-resolved keys ----
+
+// blockingCertainIndex is the persistent key→bucket map of
+// BlockingCertain: a tuple joins exactly one block and pairs with its
+// co-members; blocks only grow under insertion, so no pair ever drops
+// until its tuple is removed.
+type blockingCertainIndex struct {
+	key      keys.Def
+	strategy fusion.Strategy
+	blocks   map[string][]string
+	keyOf    map[string]string
+}
+
+// Incremental implements IncrementalMethod.
+func (m BlockingCertain) Incremental() (IncrementalIndex, error) {
+	strategy := m.Strategy
+	if strategy == nil {
+		strategy = fusion.MostProbable{}
+	}
+	return &blockingCertainIndex{
+		key:      m.Key,
+		strategy: strategy,
+		blocks:   map[string][]string{},
+		keyOf:    map[string]string{},
+	}, nil
+}
+
+func (b *blockingCertainIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	k := b.key.FromValues(b.strategy.ResolveX(x))
+	members := b.blocks[k]
+	b.blocks[k] = append(members, x.ID)
+	b.keyOf[x.ID] = k
+	for _, id := range members {
+		if !yield(PairDelta{Pair: verify.NewPair(id, x.ID)}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *blockingCertainIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	k, ok := b.keyOf[id]
+	if !ok {
+		return true
+	}
+	delete(b.keyOf, id)
+	b.blocks[k] = removeID(b.blocks[k], id)
+	if len(b.blocks[k]) == 0 {
+		delete(b.blocks, k)
+	}
+	for _, other := range b.blocks[k] {
+		if !yield(PairDelta{Pair: verify.NewPair(other, id), Dropped: true}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *blockingCertainIndex) Len() int { return len(b.keyOf) }
+
+// removeID deletes the first occurrence of id, preserving order.
+func removeID(members []string, id string) []string {
+	for i, m := range members {
+		if m == id {
+			return append(members[:i], members[i+1:]...)
+		}
+	}
+	return members
+}
+
+// ---- Blocking with per-alternative keys ----
+
+// blockingAlternativesIndex maintains Fig. 14's multi-membership
+// blocks: a tuple joins the block of every alternative key value and
+// pairs once with every tuple sharing at least one block. Per-insert
+// deduplication replaces the batch path's canonical-block rule.
+type blockingAlternativesIndex struct {
+	key    keys.Def
+	blocks map[string][]string
+	keysOf map[string][]string
+}
+
+// Incremental implements IncrementalMethod.
+func (m BlockingAlternatives) Incremental() (IncrementalIndex, error) {
+	return &blockingAlternativesIndex{
+		key:    m.Key,
+		blocks: map[string][]string{},
+		keysOf: map[string][]string{},
+	}, nil
+}
+
+// blockKeys returns the distinct block keys of the tuple in
+// deterministic order.
+func (b *blockingAlternativesIndex) blockKeys(x *pdb.XTuple) []string {
+	seen := map[string]bool{}
+	var ks []string
+	for _, kp := range b.key.XTupleKeyDist(x, false) {
+		if !seen[kp.Key] {
+			seen[kp.Key] = true
+			ks = append(ks, kp.Key)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func (b *blockingAlternativesIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	ks := b.blockKeys(x)
+	b.keysOf[x.ID] = ks
+	paired := map[string]bool{}
+	var counterparts []string
+	for _, k := range ks {
+		for _, id := range b.blocks[k] {
+			if !paired[id] {
+				paired[id] = true
+				counterparts = append(counterparts, id)
+			}
+		}
+		b.blocks[k] = append(b.blocks[k], x.ID)
+	}
+	for _, id := range counterparts {
+		if !yield(PairDelta{Pair: verify.NewPair(id, x.ID)}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *blockingAlternativesIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	ks, ok := b.keysOf[id]
+	if !ok {
+		return true
+	}
+	delete(b.keysOf, id)
+	dropped := map[string]bool{}
+	var counterparts []string
+	for _, k := range ks {
+		b.blocks[k] = removeID(b.blocks[k], id)
+		for _, other := range b.blocks[k] {
+			if !dropped[other] {
+				dropped[other] = true
+				counterparts = append(counterparts, other)
+			}
+		}
+		if len(b.blocks[k]) == 0 {
+			delete(b.blocks, k)
+		}
+	}
+	for _, other := range counterparts {
+		if !yield(PairDelta{Pair: verify.NewPair(other, id), Dropped: true}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *blockingAlternativesIndex) Len() int { return len(b.keysOf) }
+
+// ---- Sorted neighborhood over conflict-resolved keys ----
+
+// snmCertainIndex keeps the conflict-resolved key entries in sorted
+// order (ties by insertion order, matching the batch method's stable
+// sort) and maintains the exact window pair set: inserting a tuple
+// adds its window neighbors and drops the straddling pairs its
+// insertion pushed exactly one position out of the window; removing a
+// tuple drops its window pairs and re-adds the straddling pairs the
+// removal pulled back in. Insertion is a binary search plus an O(n)
+// slice shift — cheap in practice (a memmove of small structs) but
+// not logarithmic; see the package benchmarks.
+type snmCertainIndex struct {
+	key      keys.Def
+	strategy fusion.Strategy
+	window   int
+	entries  []KeyEntry
+	keyOf    map[string]string
+}
+
+// Incremental implements IncrementalMethod.
+func (m SNMCertain) Incremental() (IncrementalIndex, error) {
+	strategy := m.Strategy
+	if strategy == nil {
+		strategy = fusion.MostProbable{}
+	}
+	w := m.Window
+	if w < 2 {
+		w = 2 // mirror windowStream's minimum
+	}
+	return &snmCertainIndex{
+		key:      m.Key,
+		strategy: strategy,
+		window:   w,
+		keyOf:    map[string]string{},
+	}, nil
+}
+
+func (s *snmCertainIndex) Len() int { return len(s.entries) }
+
+// position locates the entry of id via its remembered key: binary
+// search to the key's run, then a short scan.
+func (s *snmCertainIndex) position(id string) (int, bool) {
+	k, ok := s.keyOf[id]
+	if !ok {
+		return 0, false
+	}
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Key >= k })
+	for ; i < len(s.entries) && s.entries[i].Key == k; i++ {
+		if s.entries[i].ID == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (s *snmCertainIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	k := s.key.FromValues(s.strategy.ResolveX(x))
+	// Upper bound: after all equal keys, reproducing the stable sort of
+	// the batch method for the same arrival order.
+	p := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Key > k })
+	w := s.window
+
+	// Deltas are computed against the pre-insertion ordering, then the
+	// entry is spliced in, then the deltas are delivered (structural
+	// updates must not depend on the yield outcome).
+	var deltas []PairDelta
+	// Straddling pairs at distance exactly w-1 move to distance w: out.
+	for a := p - w + 1; a <= p-1; a++ {
+		b := a + w - 1
+		if a < 0 || b >= len(s.entries) {
+			continue
+		}
+		deltas = append(deltas, PairDelta{Pair: verify.NewPair(s.entries[a].ID, s.entries[b].ID), Dropped: true})
+	}
+	// The new tuple pairs with its w-1 predecessors and successors.
+	for a := p - 1; a >= 0 && a >= p-w+1; a-- {
+		deltas = append(deltas, PairDelta{Pair: verify.NewPair(s.entries[a].ID, x.ID)})
+	}
+	for b := p; b < len(s.entries) && b <= p+w-2; b++ {
+		deltas = append(deltas, PairDelta{Pair: verify.NewPair(x.ID, s.entries[b].ID)})
+	}
+
+	s.entries = append(s.entries, KeyEntry{})
+	copy(s.entries[p+1:], s.entries[p:])
+	s.entries[p] = KeyEntry{Key: k, ID: x.ID}
+	s.keyOf[x.ID] = k
+
+	for _, d := range deltas {
+		if !yield(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *snmCertainIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	p, ok := s.position(id)
+	if !ok {
+		return true
+	}
+	w := s.window
+
+	var deltas []PairDelta
+	// Every window pair of the removed tuple drops.
+	for j := p - w + 1; j <= p+w-1; j++ {
+		if j == p || j < 0 || j >= len(s.entries) {
+			continue
+		}
+		deltas = append(deltas, PairDelta{Pair: verify.NewPair(s.entries[j].ID, id), Dropped: true})
+	}
+	// Straddling pairs at distance exactly w move to distance w-1: in.
+	for a := p - w + 1; a <= p-1; a++ {
+		b := a + w
+		if a < 0 || b >= len(s.entries) {
+			continue
+		}
+		deltas = append(deltas, PairDelta{Pair: verify.NewPair(s.entries[a].ID, s.entries[b].ID)})
+	}
+
+	s.entries = append(s.entries[:p], s.entries[p+1:]...)
+	delete(s.keyOf, id)
+
+	for _, d := range deltas {
+		if !yield(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Length-pruned composition ----
+
+// filteredIndex wraps an inner incremental index with the length
+// filter of Filter/Pruning: per-tuple length profiles are computed
+// once at insertion, and deltas of pairs the filter rejects are
+// suppressed in both directions, so the maintained set equals the
+// batch Filter candidates.
+type filteredIndex struct {
+	inner    IncrementalIndex
+	prune    Pruning
+	profiles map[string]map[int]map[int]bool
+}
+
+// Incremental implements IncrementalMethod: the composition is
+// incremental exactly when the inner method is.
+func (f Filter) Incremental() (IncrementalIndex, error) {
+	inner, err := IncrementalOf(f.Inner)
+	if err != nil {
+		return nil, fmt.Errorf("ssr: %s: %w", f.Name(), err)
+	}
+	return &filteredIndex{
+		inner:    inner,
+		prune:    f.Prune,
+		profiles: map[string]map[int]map[int]bool{},
+	}, nil
+}
+
+// profile computes the per-attribute length profile of one tuple —
+// the unit of Pruning.lengthProfiles.
+func (f *filteredIndex) profile(x *pdb.XTuple) map[int]map[int]bool {
+	xr := pdb.XRelation{Tuples: []*pdb.XTuple{x}}
+	return f.prune.lengthProfiles(&xr)[0]
+}
+
+// keep reports whether the filter admits the pair.
+func (f *filteredIndex) keep(p verify.Pair) bool {
+	pa, oka := f.profiles[p.A]
+	pb, okb := f.profiles[p.B]
+	if !oka || !okb {
+		return false
+	}
+	return compatibleLengths(f.prune.MaxDiff, pa, pb)
+}
+
+// relay forwards admitted deltas only.
+func (f *filteredIndex) relay(yield func(PairDelta) bool) func(PairDelta) bool {
+	return func(d PairDelta) bool {
+		if !f.keep(d.Pair) {
+			return true
+		}
+		return yield(d)
+	}
+}
+
+func (f *filteredIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	f.profiles[x.ID] = f.profile(x)
+	return f.inner.Insert(x, f.relay(yield))
+}
+
+func (f *filteredIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	// The profile is dropped after delivery: drops of pairs involving
+	// id must still see its profile to be admitted consistently.
+	ok := f.inner.Remove(id, f.relay(yield))
+	delete(f.profiles, id)
+	return ok
+}
+
+func (f *filteredIndex) Len() int { return f.inner.Len() }
+
+// Interface conformance checks.
+var (
+	_ IncrementalMethod = CrossProduct{}
+	_ IncrementalMethod = SNMCertain{}
+	_ IncrementalMethod = BlockingCertain{}
+	_ IncrementalMethod = BlockingAlternatives{}
+	_ IncrementalMethod = Filter{}
+)

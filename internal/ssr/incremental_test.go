@@ -1,0 +1,280 @@
+package ssr
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/dataset"
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+)
+
+// incrementalTestMethods returns every incremental-capable method
+// configured over the synthetic schema (name, job, age).
+func incrementalTestMethods(t *testing.T, schema []string) []Method {
+	t.Helper()
+	def, err := keys.ParseDef("name:3+job:2", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Method{
+		nil, // engine default: cross product
+		CrossProduct{},
+		SNMCertain{Key: def, Window: 4},
+		SNMCertain{Key: def, Window: 1}, // normalized to the minimum window
+		BlockingCertain{Key: def},
+		BlockingAlternatives{Key: def},
+		NewFilter(SNMCertain{Key: def, Window: 5}, Pruning{MaxDiff: map[int]int{0: 3}}),
+	}
+}
+
+// shuffledUnion builds a shuffled synthetic x-relation.
+func shuffledUnion(entities int, seed int64) *pdb.XRelation {
+	d := dataset.Generate(dataset.DefaultConfig(entities, seed))
+	u := d.Union()
+	rng := rand.New(rand.NewSource(seed + 1))
+	rng.Shuffle(len(u.Tuples), func(i, j int) {
+		u.Tuples[i], u.Tuples[j] = u.Tuples[j], u.Tuples[i]
+	})
+	return u
+}
+
+// applyDelta folds one delta into the maintained set, failing on
+// inconsistent deltas (dropping an absent pair, re-adding a present
+// one).
+func applyDelta(t *testing.T, set verify.PairSet, d PairDelta) {
+	t.Helper()
+	if d.Pair.A == d.Pair.B {
+		t.Fatalf("self pair %v", d.Pair)
+	}
+	if d.Dropped {
+		if !set[d.Pair] {
+			t.Fatalf("dropped pair %v not in maintained set", d.Pair)
+		}
+		delete(set, d.Pair)
+		return
+	}
+	if set[d.Pair] {
+		t.Fatalf("added pair %v already in maintained set", d.Pair)
+	}
+	set[d.Pair] = true
+}
+
+// diffSets reports the symmetric difference, empty when equal.
+func diffSets(a, b verify.PairSet) []string {
+	var out []string
+	for p := range a {
+		if !b[p] {
+			out = append(out, "only-left "+p.A+","+p.B)
+		}
+	}
+	for p := range b {
+		if !a[p] {
+			out = append(out, "only-right "+p.A+","+p.B)
+		}
+	}
+	return out
+}
+
+// TestIncrementalInsertEquivalence proves the core contract: inserting
+// a shuffled relation tuple by tuple and folding the deltas yields
+// exactly the batch candidate set of the same relation, for every
+// incremental-capable method.
+func TestIncrementalInsertEquivalence(t *testing.T) {
+	u := shuffledUnion(40, 7)
+	for _, m := range incrementalTestMethods(t, u.Schema) {
+		name := "nil"
+		if m != nil {
+			name = m.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			idx, err := IncrementalOf(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maintained := verify.PairSet{}
+			for _, x := range u.Tuples {
+				idx.Insert(x, func(d PairDelta) bool {
+					applyDelta(t, maintained, d)
+					return true
+				})
+			}
+			if idx.Len() != len(u.Tuples) {
+				t.Fatalf("Len = %d, want %d", idx.Len(), len(u.Tuples))
+			}
+			batch := StreamOf(m).Candidates(u)
+			if d := diffSets(maintained, batch); len(d) != 0 {
+				t.Fatalf("maintained set diverges from batch (%d deltas): %v", len(d), d[:min(len(d), 8)])
+			}
+		})
+	}
+}
+
+// TestIncrementalRemoveEquivalence removes a third of the tuples after
+// insertion and checks the maintained set equals the batch candidates
+// of the remaining relation (original relative order preserved).
+func TestIncrementalRemoveEquivalence(t *testing.T) {
+	u := shuffledUnion(40, 11)
+	for _, m := range incrementalTestMethods(t, u.Schema) {
+		name := "nil"
+		if m != nil {
+			name = m.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			idx, err := IncrementalOf(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maintained := verify.PairSet{}
+			on := func(d PairDelta) bool {
+				applyDelta(t, maintained, d)
+				return true
+			}
+			for _, x := range u.Tuples {
+				idx.Insert(x, on)
+			}
+			rest := pdb.NewXRelation(u.Name, u.Schema...)
+			for i, x := range u.Tuples {
+				if i%3 == 0 {
+					idx.Remove(x.ID, on)
+					continue
+				}
+				rest.Append(x)
+			}
+			if idx.Len() != len(rest.Tuples) {
+				t.Fatalf("Len = %d, want %d", idx.Len(), len(rest.Tuples))
+			}
+			batch := StreamOf(m).Candidates(rest)
+			if d := diffSets(maintained, batch); len(d) != 0 {
+				t.Fatalf("maintained set diverges from batch after removals: %v", d[:min(len(d), 8)])
+			}
+		})
+	}
+}
+
+// TestIncrementalRemoveDropsAllPairsOfID checks the Remove contract
+// directly: every maintained pair involving the removed id is yielded
+// as a drop.
+func TestIncrementalRemoveDropsAllPairsOfID(t *testing.T) {
+	u := shuffledUnion(25, 13)
+	for _, m := range incrementalTestMethods(t, u.Schema) {
+		name := "nil"
+		if m != nil {
+			name = m.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			idx, err := IncrementalOf(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maintained := verify.PairSet{}
+			on := func(d PairDelta) bool {
+				applyDelta(t, maintained, d)
+				return true
+			}
+			for _, x := range u.Tuples {
+				idx.Insert(x, on)
+			}
+			victim := u.Tuples[len(u.Tuples)/2].ID
+			idx.Remove(victim, on)
+			for p := range maintained {
+				if p.A == victim || p.B == victim {
+					t.Fatalf("pair %v involving removed id survived", p)
+				}
+			}
+			// Removing an unknown id is a silent no-op.
+			before := len(maintained)
+			idx.Remove("no-such-id", on)
+			if len(maintained) != before {
+				t.Fatal("removing an unknown id changed the maintained set")
+			}
+		})
+	}
+}
+
+// TestSNMWindowDriftAndReentry exercises the windowed index's
+// hand-constructed drop and re-entry mechanics: a pair of adjacent
+// keys drops when a key lands between them, and re-enters when that
+// key is removed again.
+func TestSNMWindowDriftAndReentry(t *testing.T) {
+	schema := []string{"name"}
+	def, err := keys.ParseDef("name", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SNMCertain{Key: def, Window: 2}
+	idx, err := IncrementalOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id, name string) *pdb.XTuple {
+		return pdb.NewXTuple(id, pdb.NewAlt(1, name))
+	}
+	maintained := verify.PairSet{}
+	on := func(d PairDelta) bool {
+		applyDelta(t, maintained, d)
+		return true
+	}
+	idx.Insert(mk("a", "Anna"), on)
+	idx.Insert(mk("c", "Cleo"), on)
+	ac := verify.NewPair("a", "c")
+	if !maintained[ac] {
+		t.Fatal("adjacent pair (a,c) missing")
+	}
+	// b lands between a and c: (a,c) drifts out of the window.
+	idx.Insert(mk("b", "Bert"), on)
+	if maintained[ac] {
+		t.Fatal("pair (a,c) should have dropped when b landed between")
+	}
+	if !maintained[verify.NewPair("a", "b")] || !maintained[verify.NewPair("b", "c")] {
+		t.Fatal("new neighbor pairs of b missing")
+	}
+	// Removing b pulls (a,c) back into the window.
+	idx.Remove("b", on)
+	if !maintained[ac] {
+		t.Fatal("pair (a,c) should have re-entered when b was removed")
+	}
+	if len(maintained) != 1 {
+		t.Fatalf("maintained = %v, want only (a,c)", maintained)
+	}
+}
+
+// TestIncrementalUnsupported checks that globally-dependent methods
+// refuse incremental maintenance with a helpful error.
+func TestIncrementalUnsupported(t *testing.T) {
+	def := keys.NewDef(keys.Part{Attr: 0, Prefix: 3})
+	for _, m := range []Method{
+		SNMRanked{Key: def, Window: 3},
+		SNMAlternatives{Key: def, Window: 3},
+		SNMMultiPass{Key: def, Window: 3},
+		BlockingCluster{Key: def},
+		NewFilter(SNMRanked{Key: def, Window: 3}, Pruning{}),
+	} {
+		if _, err := IncrementalOf(m); err == nil {
+			t.Errorf("%s: expected an error, got nil", m.Name())
+		}
+	}
+}
+
+// TestIncrementalEarlyStopKeepsStructure verifies that a yield
+// returning false truncates delta delivery but leaves the structural
+// update applied.
+func TestIncrementalEarlyStopKeepsStructure(t *testing.T) {
+	def := keys.NewDef(keys.Part{Attr: 0, Prefix: 3})
+	idx, err := IncrementalOf(BlockingCertain{Key: def})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id, name string) *pdb.XTuple {
+		return pdb.NewXTuple(id, pdb.NewAlt(1, name))
+	}
+	idx.Insert(mk("a", "Tim"), func(PairDelta) bool { return true })
+	idx.Insert(mk("b", "Tim"), func(PairDelta) bool { return true })
+	if ok := idx.Insert(mk("c", "Tim"), func(PairDelta) bool { return false }); ok {
+		t.Fatal("expected early-stopped Insert to report false")
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d after early stop, want 3", idx.Len())
+	}
+}

@@ -1,29 +1,3 @@
-// Package ssr implements the search-space reduction methods of Sec. V,
-// adapted to probabilistic data. Every method consumes an x-relation (a
-// dependency-free relation is lifted first) and emits the set of candidate
-// tuple pairs that the decision model should compare.
-//
-// Sorted neighborhood (Sec. V-A):
-//
-//  1. SNMMultiPass    — one pass per possible world (all, top-k probable, or
-//     greedily dissimilar worlds), union of the per-world matchings.
-//  2. SNMCertain      — certain key values via a conflict resolution
-//     strategy (most probable alternative ≡ most probable world).
-//  3. SNMAlternatives — one key value per tuple alternative; neighboring
-//     same-tuple keys are omitted; an executed-matching matrix prevents
-//     duplicate matchings (Figs. 11–12).
-//  4. SNMRanked       — uncertain key values ranked with an expected-rank
-//     function in O(n log n) (Fig. 13).
-//
-// Blocking (Sec. V-B):
-//
-//  5. BlockingCertain      — conflict-resolved certain keys, classical
-//     blocking.
-//  6. BlockingAlternatives — an x-tuple joins the block of every
-//     alternative key value (Fig. 14).
-//  7. BlockingCluster      — clustering of uncertain key values (UK-means).
-//
-// CrossProduct is the no-reduction baseline.
 package ssr
 
 import (

@@ -1,21 +1,3 @@
-// Package xmatch implements the decision models adapted to the x-tuple
-// concept (Sec. IV-B, Fig. 6). The similarity of two x-tuples t1 = {t¹1..tᵏ1}
-// and t2 = {t¹2..tˡ2} is derived from their k×l alternative tuple pairs by a
-// derivation function ϑ:
-//
-//   - similarity-based derivation (Fig. 6 left): ϑ maps the similarity
-//     vector s⃗ ∈ ℝᵏˣˡ of all alternative pairs to one similarity; the
-//     canonical instance is the conditional expectation of Eq. 6,
-//   - decision-based derivation (Fig. 6 right): every alternative pair is
-//     first classified into {m,p,u}; ϑ maps the matching vector η⃗ to a
-//     similarity; the canonical instance is the matching weight
-//     P(m)/P(u) of Eq. 7–9,
-//   - expected matching result: ϑ = E(η(tⁱ1,tʲ2)|B) with {m=2, p=1, u=0},
-//     the further decision-based derivation the paper mentions.
-//
-// All derivations condition alternative probabilities on tuple membership
-// (p(tⁱ)/p(t)), because membership must not influence duplicate detection;
-// the Conditioned flag exists as an ablation hook.
 package xmatch
 
 import (

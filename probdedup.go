@@ -462,6 +462,66 @@ func StreamCandidates(m ReductionMethod, xr *XRelation, yield func(Pair) bool) b
 	return ssr.StreamOf(m).EnumeratePairs(xr, yield)
 }
 
+// ---- Incremental online detection ----
+
+type (
+	// Detector is the long-lived online detection engine: tuples
+	// arrive (Add/AddBatch) and leave (Remove) one at a time, each
+	// arrival is compared only against the candidates produced by
+	// incremental index maintenance, and Flush materializes the
+	// current classified state — always exactly the Result Detect
+	// would produce on the resident relation.
+	Detector = core.Detector
+	// MatchDelta is one change to a detector's classified pair set: a
+	// freshly classified pair (DeltaAdd) or a retracted one
+	// (DeltaDrop, after a removal or a sorted-neighborhood window
+	// drift).
+	MatchDelta = core.MatchDelta
+	// DeltaKind distinguishes additions from retractions.
+	DeltaKind = core.DeltaKind
+	// DetectorStats summarizes a detector's state and cumulative work.
+	DetectorStats = core.DetectorStats
+	// IncrementalIndex maintains a reduction method's candidate pair
+	// set under tuple insertion and removal; see NewIncrementalIndex.
+	IncrementalIndex = ssr.IncrementalIndex
+	// IncrementalReduction is a ReductionMethod that can maintain its
+	// candidate set online; user-defined methods implementing it plug
+	// into the Detector.
+	IncrementalReduction = ssr.IncrementalMethod
+	// CandidatePairDelta is one change to a maintained candidate set.
+	CandidatePairDelta = ssr.PairDelta
+)
+
+// Delta kinds emitted by a Detector.
+const (
+	DeltaAdd  = core.DeltaAdd
+	DeltaDrop = core.DeltaDrop
+)
+
+// NewDetector builds an empty online detection engine over the given
+// schema. Options are validated exactly as in Detect; additionally
+// the reduction method must support incremental maintenance (cross
+// product / nil, SNMCertain, BlockingCertain, BlockingAlternatives,
+// or a pruned ReductionFilter over one of them). emit receives every
+// change to the classified pair set as it happens and may be nil when
+// only Flush snapshots are needed; returning false permanently stops
+// delta delivery. Add-one-at-a-time is equivalent to batch Detect on
+// the resident relation, Options.Workers is ignored (per-arrival
+// candidate sets are small), and the run-wide bounded similarity
+// cache is shared across the detector's lifetime.
+func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*Detector, error) {
+	return core.NewDetector(schema, opts, emit)
+}
+
+// NewIncrementalIndex returns an empty incremental candidate index
+// for the reduction method (nil maintains the cross product), or an
+// error when the method's candidate set depends globally on the whole
+// relation (SNMMultiPass, SNMAlternatives, SNMRanked,
+// BlockingCluster) and cannot be maintained exactly under insertion.
+func NewIncrementalIndex(m ReductionMethod) (IncrementalIndex, error) {
+	return ssr.IncrementalOf(m)
+}
+
 // ---- Entity resolution with lineage (Sec. VI outlook) ----
 
 type (
@@ -526,4 +586,8 @@ var (
 	DecodeRelationJSON  = codec.DecodeRelationJSON
 	EncodeXRelationJSON = codec.EncodeXRelationJSON
 	DecodeXRelationJSON = codec.DecodeXRelationJSON
+	// EncodeXTupleJSON and DecodeXTupleJSON handle single tuples — the
+	// NDJSON unit of incremental pipelines (pdedup -follow).
+	EncodeXTupleJSON = codec.EncodeXTupleJSON
+	DecodeXTupleJSON = codec.DecodeXTupleJSON
 )
