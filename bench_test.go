@@ -407,6 +407,64 @@ func BenchmarkDetectorAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorAddBatch measures online ingestion throughput at a
+// fixed resident size: each iteration feeds one 256-tuple batch of
+// fresh arrivals through AddBatch — the unit the -follow read-ahead
+// loop produces under sustained traffic — and retires it again outside
+// the timer. The workers sweep documents the parallel verification
+// phase: at 4 workers the comparisons of a batch's net-new pairs fan
+// out while state updates and delta emission stay sequential, so
+// tuples/s scales with the cores actually available (GOMAXPROCS; on a
+// single-core machine the sweep documents that the fan-out costs
+// nothing) and classifications stay identical
+// (TestDetectorWorkersDoNotChangeDeltaStream). Memoization is disabled
+// so every pair pays its real comparison cost, as it would with
+// genuinely new user data; with the default shared cache enabled,
+// repeated values make ingestion faster but mask the scaling.
+func BenchmarkDetectorAddBatch(b *testing.B) {
+	const batchSize = 256
+	for _, reduction := range []string{"blocking", "snm"} {
+		for _, n := range []int{1000, 10000} {
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/resident=%d/workers=%d", reduction, n, workers), func(b *testing.B) {
+					resident, pool, schema := detectorBenchCorpus(b, n)
+					opts := detectorBenchOpts(b, schema, reduction)
+					opts.Workers = workers
+					opts.CacheCapacity = -1
+					det, err := probdedup.NewDetector(schema, opts, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := det.AddBatch(resident); err != nil {
+						b.Fatal(err)
+					}
+					batch := make([]*probdedup.XTuple, batchSize)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for j := range batch {
+							x := pool[(i*batchSize+j)%len(pool)].Clone()
+							x.ID = fmt.Sprintf("arrival-%d-%d", i, j)
+							batch[j] = x
+						}
+						if err := det.AddBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						for j := range batch {
+							if err := det.Remove(batch[j].ID); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.StartTimer()
+					}
+					b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkDetectStreamFromScratch is the cost one arrival would pay
 // without the incremental engine: re-running the batch streaming
 // pipeline over the whole resident relation. Compare ns/op against

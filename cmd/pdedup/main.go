@@ -31,13 +31,17 @@
 // candidates. Deltas are printed as they happen ("+" for a new pair,
 // "-" for a retracted one) and the summary follows at EOF. A line
 // "remove ID" drops a resident tuple. With no seed file, -schema
-// (comma-separated attribute names) defines the relation.
+// (comma-separated attribute names) defines the relation. Arrivals
+// already buffered in the pipe coalesce into batches so the
+// verification work fans out across -workers; interactive input is
+// still applied line by line.
 //
 //	pdgen ... | pdedup -follow -schema name,job -key 'name:3' -reduce blocking-certain
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -201,10 +205,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// followBatchCap bounds one AddBatch unit of the -follow loop: big
+// enough that the detector's parallel verification phase has work to
+// fan out across -workers, small enough that deltas still print
+// promptly under sustained traffic.
+const followBatchCap = 256
+
+// followLine is one content line read ahead from stdin; a final item
+// with err set reports a scanner failure.
+type followLine struct {
+	no   int
+	text string
+	err  error
+}
+
 // runFollow is the incremental online mode: the detector is seeded
 // with the loaded relation, then maintained from stdin — one NDJSON
 // tuple per line, or "remove ID" to drop a resident tuple. Match
 // deltas print as they happen; the summary prints at EOF.
+//
+// Arrivals are read ahead on a producer goroutine and applied in
+// batches (AddBatch) so the detector's parallel verification phase
+// honors -workers under sustained traffic: consecutive tuple lines
+// already buffered in the pipe coalesce into one batch, while
+// interactive use — the pipe momentarily empty — still applies every
+// line as it arrives, with no added latency. A "remove" line flushes
+// the pending batch first, so effects apply in input order.
 func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reader, stdout, stderr io.Writer, showAll bool) int {
 	wanted := func(c probdedup.Class) bool {
 		return showAll || c == probdedup.ClassM || c == probdedup.ClassP
@@ -229,36 +255,121 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 		return 1
 	}
 
-	sc := bufio.NewScanner(stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	lines := make(chan followLine, 4*followBatchCap)
+	// done releases the producer when the consumer returns early on an
+	// error: without it the goroutine would block forever on a full
+	// channel (run() is also driven in-process by the tests).
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		send := func(ln followLine) bool {
+			select {
+			case lines <- ln:
+				return true
+			case <-done:
+				return false
+			}
 		}
-		if id, ok := strings.CutPrefix(line, "remove "); ok {
+		no := 0
+		for sc.Scan() {
+			no++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			if !send(followLine{no: no, text: text}) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			send(followLine{err: err})
+		}
+	}()
+
+	batch := make([]*probdedup.XTuple, 0, followBatchCap)
+	batchLine := make([]int, 0, followBatchCap)
+	flush := func() int {
+		if len(batch) == 0 {
+			return 0
+		}
+		if err := det.AddBatch(batch); err != nil {
+			// Attribute the failure to its input line: BatchError.Index
+			// is the batch position of the failing tuple.
+			line, cause := batchLine[len(batchLine)-1], err
+			var be *probdedup.DetectorBatchError
+			if errors.As(err, &be) && be.Index < len(batchLine) {
+				line, cause = batchLine[be.Index], be.Err
+			}
+			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", line, cause)
+			return 1
+		}
+		batch = batch[:0]
+		batchLine = batchLine[:0]
+		return 0
+	}
+	handle := func(ln followLine) int {
+		if ln.err != nil {
+			fmt.Fprintln(stderr, "pdedup:", ln.err)
+			return 1
+		}
+		if id, ok := strings.CutPrefix(ln.text, "remove "); ok {
+			if rc := flush(); rc != 0 {
+				return rc
+			}
 			if err := det.Remove(strings.TrimSpace(id)); err != nil {
-				fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
+				fmt.Fprintf(stderr, "pdedup: line %d: %v\n", ln.no, err)
 				return 1
 			}
-			continue
+			return 0
 		}
-		x, err := probdedup.DecodeXTupleJSON([]byte(line))
+		x, err := probdedup.DecodeXTupleJSON([]byte(ln.text))
 		if err != nil {
-			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
+			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", ln.no, err)
 			return 1
 		}
-		if err := det.Add(x); err != nil {
-			fmt.Fprintf(stderr, "pdedup: line %d: %v\n", lineNo, err)
-			return 1
+		batch = append(batch, x)
+		batchLine = append(batchLine, ln.no)
+		if len(batch) >= followBatchCap {
+			return flush()
+		}
+		return 0
+	}
+
+	for {
+		ln, ok := <-lines
+		if !ok {
+			break
+		}
+		if rc := handle(ln); rc != 0 {
+			return rc
+		}
+		// Read-ahead: coalesce everything already buffered into the
+		// pending batch, stopping the moment the pipe is empty.
+	drain:
+		for len(batch) > 0 {
+			select {
+			case ln, ok := <-lines:
+				if !ok {
+					break drain
+				}
+				if rc := handle(ln); rc != 0 {
+					return rc
+				}
+			default:
+				break drain
+			}
+		}
+		if rc := flush(); rc != 0 {
+			return rc
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(stderr, "pdedup:", err)
-		return 1
+	if rc := flush(); rc != 0 {
+		return rc
 	}
+
 	st := det.Stats()
 	fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
 		st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"probdedup"
 	"probdedup/internal/paperdata"
@@ -236,6 +239,77 @@ func TestRunFollowSeededMatchesBatch(t *testing.T) {
 	summary = strings.TrimSpace(summary[strings.LastIndex(summary, "matches="):])
 	if !strings.Contains(out.String(), summary) {
 		t.Fatalf("follow summary diverges from batch %q:\n%s", summary, out.String())
+	}
+}
+
+// TestRunFollowBatchedWorkers pushes enough pre-buffered NDJSON
+// arrivals through -follow that the read-ahead loop coalesces them
+// into AddBatch units, and checks the summary is identical at
+// -workers 1 and 4 — batching and parallel verification must not
+// change classifications or counts.
+func TestRunFollowBatchedWorkers(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 600; i++ {
+		// Clusters of three near-identical names so matches exist.
+		fmt.Fprintf(&in, `{"id":"t%d","attrs":[[{"v":"Johnson%d"}],[{"v":"pilot"}]]}`+"\n", i, i/3)
+	}
+	in.WriteString("remove t0\n")
+	var summaries []string
+	for _, workers := range []string{"1", "4"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-follow", "-schema", "name,job", "-key", "name:6", "-reduce", "blocking-certain", "-workers", workers},
+			strings.NewReader(in.String()), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d: %s", workers, code, errOut.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "resident 599 tuples") {
+			t.Fatalf("workers=%s summary:\n%s", workers, s[max(0, len(s)-200):])
+		}
+		summaries = append(summaries, s[strings.LastIndex(s, "resident"):])
+	}
+	if summaries[0] != summaries[1] {
+		t.Fatalf("summaries diverge:\n%s\nvs\n%s", summaries[0], summaries[1])
+	}
+}
+
+// TestRunFollowBatchErrorLine checks that a failure inside a
+// coalesced batch is attributed to its input line, not to the batch.
+func TestRunFollowBatchErrorLine(t *testing.T) {
+	in := `{"id":"a","attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}
+{"id":"b","attrs":[[{"v":"Tom"}],[{"v":"baker"}]]}
+{"id":"a","attrs":[[{"v":"Dup"}],[{"v":"clerk"}]]}
+`
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-follow", "-schema", "name,job"}, strings.NewReader(in), &out, &errOut); code == 0 {
+		t.Fatal("want non-zero exit for a duplicate ID in the batch")
+	}
+	if !strings.Contains(errOut.String(), "line 3") {
+		t.Fatalf("error not attributed to line 3: %s", errOut.String())
+	}
+}
+
+// TestRunFollowErrorReleasesProducer is the goroutine-leak regression
+// test: when the consumer exits early on an error with far more input
+// pending than the read-ahead channel holds, the producer goroutine
+// must be released (done channel), not left blocked on a send.
+func TestRunFollowErrorReleasesProducer(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var in strings.Builder
+	in.WriteString("{bad json\n")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&in, `{"id":"t%d","attrs":[[{"v":"x"}]]}`+"\n", i)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-follow", "-schema", "name"}, strings.NewReader(in.String()), &out, &errOut); code == 0 {
+		t.Fatal("want non-zero exit for bad json")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines after the failed run, %d before: producer leaked", n, before)
 	}
 }
 

@@ -1,6 +1,7 @@
 package probdedup_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -58,6 +59,88 @@ func TestPublicDetectorMatchesDetectStream(t *testing.T) {
 		if im.Sim != bm.Sim || im.Class != bm.Class {
 			t.Fatalf("pair %v: incremental (%v,%v) vs batch (%v,%v)", p, im.Sim, im.Class, bm.Sim, bm.Class)
 		}
+	}
+}
+
+// TestPublicDetectorAddBatchParallel drives the parallel online
+// ingestion path through the exported surface: AddBatch with
+// Workers=4 over a shuffled synthetic relation reproduces the batch
+// streaming engine's classified pair set exactly.
+func TestPublicDetectorAddBatchParallel(t *testing.T) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(30, 43))
+	u := d.Union()
+	rng := rand.New(rand.NewSource(44))
+	rng.Shuffle(len(u.Tuples), func(i, j int) {
+		u.Tuples[i], u.Tuples[j] = u.Tuples[j], u.Tuples[i]
+	})
+	def, err := probdedup.ParseKeyDef("name:4+job:2", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+		Workers:   4,
+	}
+	batch := map[probdedup.Pair]probdedup.PairMatch{}
+	if _, err := probdedup.DetectStream(u, opts, func(m probdedup.PairMatch) bool {
+		batch[m.Pair] = m
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	det, err := probdedup.NewDetector(u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddBatch(u.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	res := det.Flush()
+	if len(res.Compared) != len(batch) {
+		t.Fatalf("parallel AddBatch compared %d pairs, batch %d", len(res.Compared), len(batch))
+	}
+	for p, bm := range batch {
+		im, ok := res.ByPair[p]
+		if !ok {
+			t.Fatalf("pair %v missing from incremental result", p)
+		}
+		if im.Sim != bm.Sim || im.Class != bm.Class {
+			t.Fatalf("pair %v: incremental (%v,%v) vs batch (%v,%v)", p, im.Sim, im.Class, bm.Sim, bm.Class)
+		}
+	}
+}
+
+// TestPublicDetectorErrors exercises the exported typed errors: a
+// failing AddBatch surfaces a *DetectorBatchError with the failing
+// position and the successful-prefix residency, and Remove of an
+// unknown ID wraps ErrUnknownID.
+func TestPublicDetectorErrors(t *testing.T) {
+	schema := []string{"name", "job"}
+	det, err := probdedup.NewDetector(schema, probdedup.Options{
+		Final: probdedup.Thresholds{Lambda: 0.4, Mu: 0.7},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = det.AddBatch([]*probdedup.XTuple{
+		probdedup.NewXTuple("a", probdedup.NewAlt(1, "Tim", "pilot")),
+		probdedup.NewXTuple("bad", probdedup.NewAlt(1, "only-one")),
+		probdedup.NewXTuple("c", probdedup.NewAlt(1, "Tom", "baker")),
+	})
+	var be *probdedup.DetectorBatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v (%T) is not a *DetectorBatchError", err, err)
+	}
+	if be.Index != 1 {
+		t.Fatalf("BatchError.Index = %d, want 1", be.Index)
+	}
+	if det.Len() != 1 {
+		t.Fatalf("residents = %d, want the successful prefix 1", det.Len())
+	}
+	if err := det.Remove("never-added"); !errors.Is(err, probdedup.ErrUnknownID) {
+		t.Fatalf("error %v does not wrap ErrUnknownID", err)
 	}
 }
 

@@ -1,11 +1,14 @@
 // Incremental: online duplicate detection with the Detector. Tuples
-// arrive one at a time — think a registration service receiving
-// probabilistic person records — and each arrival is compared only
-// against the candidates produced by incremental index maintenance
-// (here: blocking over conflict-resolved keys), never by re-running
-// the batch pipeline. Match deltas stream out as they happen; removing
-// a tuple retracts its pairs; Flush materializes the exact Result the
-// batch Detect would produce on the resident relation.
+// arrive one at a time or in batches — think a registration service
+// receiving probabilistic person records — and each arrival is
+// compared only against the candidates produced by incremental index
+// maintenance (here: blocking over conflict-resolved keys), never by
+// re-running the batch pipeline. A batch arrival (AddBatch) fans its
+// verification across Options.Workers while the emitted delta stream
+// stays sequential and deterministic. Match deltas stream out as they
+// happen; removing a tuple retracts its pairs; Flush materializes the
+// exact Result the batch Detect would produce on the resident
+// relation.
 //
 //	go run ./examples/incremental
 package main
@@ -27,6 +30,10 @@ func main() {
 		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein},
 		Reduction: probdedup.BlockingCertain{Key: def},
 		Final:     probdedup.Thresholds{Lambda: 0.5, Mu: 0.8},
+		// Workers fans the verification of large batches (AddBatch,
+		// big blocks) across goroutines; classifications and the
+		// delta stream are identical at any setting.
+		Workers: 4,
 	}
 
 	// Every change to the classified pair set arrives through the
@@ -43,19 +50,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	arrivals := []*probdedup.XTuple{
+	// A batch arrival — the unit a bulk load or a busy ingest queue
+	// produces. The deltas delivered are the batch's net effect, in a
+	// deterministic order, whatever the worker count.
+	seed := []*probdedup.XTuple{
 		probdedup.NewXTuple("t1", probdedup.NewAlt(1.0, "Johnson", "pilot")),
 		probdedup.NewXTuple("t2",
 			probdedup.NewAlt(0.7, "Johnson", "pilot"),
 			probdedup.NewAlt(0.3, "Jonson", "pilot")),
 		probdedup.NewXTuple("t3", probdedup.NewAlt(1.0, "Miller", "baker")),
-		probdedup.NewXTuple("t4", probdedup.NewAlt(1.0, "Johnsen", "pilot")),
 	}
-	for _, x := range arrivals {
-		fmt.Printf("add %s\n", x.ID)
-		if err := det.Add(x); err != nil {
-			log.Fatal(err)
-		}
+	fmt.Println("add batch t1 t2 t3")
+	if err := det.AddBatch(seed); err != nil {
+		log.Fatal(err)
+	}
+
+	// Single arrivals keep working the same way.
+	fmt.Println("add t4")
+	if err := det.Add(probdedup.NewXTuple("t4", probdedup.NewAlt(1.0, "Johnsen", "pilot"))); err != nil {
+		log.Fatal(err)
 	}
 
 	// t2 turns out to be a withdrawn record: removing it retracts its

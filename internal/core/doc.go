@@ -19,13 +19,15 @@
 //   - Detect / DetectRelations materialize the exact batch Result;
 //   - DetectStream emits matches through a callback and retains no
 //     per-pair state;
-//   - Detector is the long-lived online engine: tuples arrive (Add)
-//     and leave (Remove) one at a time, each arrival is compared only
+//   - Detector is the long-lived online engine: tuples arrive (Add,
+//     AddBatch) and leave (Remove), each arrival is compared only
 //     against the candidates produced by incremental index maintenance
-//     (ssr.IncrementalIndex), and Flush materializes exactly the
-//     Result Detect would produce on the resident relation — the
-//     continuous-arrival workload of the paper's Sec. III pipeline,
-//     without re-running it per tuple.
+//     (ssr.IncrementalIndex) — large delta batches fan the
+//     verification across Options.Workers, and deltas are emitted
+//     outside the internal lock so the callback can re-enter — and
+//     Flush materializes exactly the Result Detect would produce on
+//     the resident relation: the continuous-arrival workload of the
+//     paper's Sec. III pipeline, without re-running it per tuple.
 //
 // All entry points validate options identically (thresholds, the
 // comparison-function arity against the schema, the decision model's

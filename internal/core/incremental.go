@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"probdedup/internal/avm"
 	"probdedup/internal/decision"
@@ -13,6 +15,43 @@ import (
 	"probdedup/internal/verify"
 	"probdedup/internal/xmatch"
 )
+
+// minParallelCompares is the delta-batch size below which the online
+// verification phase stays on the caller's goroutine: per-arrival
+// candidate sets (a window, a small block) are cheaper to compare
+// inline than to fan out. Larger batches — AddBatch seeding, big
+// blocks — split across Options.Workers.
+const minParallelCompares = 32
+
+// ErrUnknownID reports a Remove whose tuple ID is not resident.
+// Removing is intentionally not idempotent: a remove-twice or a
+// remove-before-add is a caller bug the detector surfaces instead of
+// swallowing. Test with errors.Is.
+var ErrUnknownID = errors.New("unknown tuple ID")
+
+// BatchError reports the tuple that made an AddBatch call fail and
+// documents the partial-apply boundary. Index is the batch position
+// (0-based) of the failing tuple. For validation failures — nil
+// tuple, arity mismatch, duplicate ID; the only errors the built-in
+// reductions can produce — tuples before Index are fully applied and
+// resident, and tuples at and after Index are not. A comparison
+// failure (possible only with a misbehaving user-defined
+// IncrementalMethod yielding pairs of unregistered tuples) leaves
+// every batch tuple resident with the pair decisions up to the
+// failing delta applied; Index then names the tuple whose insertion
+// settled the failing pair. BatchError wraps the underlying cause.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch tuple %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
 
 // DeltaKind distinguishes the two changes an online detection run can
 // make to its classified pair set.
@@ -67,56 +106,83 @@ type DetectorStats struct {
 }
 
 // Detector is the long-lived online detection engine: tuples arrive
-// (and leave) one at a time, and each arrival is compared only against
-// the candidates produced by incremental index maintenance
-// (ssr.IncrementalIndex) instead of re-running the batch pipeline.
-// Add-one-at-a-time is equivalent to batch Detect: after any sequence
-// of Add and Remove calls, Flush returns exactly the Result Detect
-// would produce on the resident relation, for every reduction method
-// that supports incremental maintenance (cross product, SNMCertain,
-// BlockingCertain, BlockingAlternatives, and pruned compositions of
-// them).
+// (and leave) one at a time or in batches, and each arrival is
+// compared only against the candidates produced by incremental index
+// maintenance (ssr.IncrementalIndex) instead of re-running the batch
+// pipeline. Ingestion is equivalent to batch Detect: after any
+// sequence of Add, AddBatch and Remove calls, Flush returns exactly
+// the Result Detect would produce on the resident relation, for every
+// reduction method that supports incremental maintenance (cross
+// product, SNMCertain, BlockingCertain, BlockingAlternatives, and
+// pruned compositions of them) — at any Options.Workers setting.
 //
 // The detector reuses the batch engine's machinery: one bounded
 // similarity cache (Options.CacheCapacity) shared across the
-// detector's lifetime, the fold-based comparison kernel, and the
-// configured decision model. Comparison runs sequentially on the
-// caller's goroutine — per-arrival candidate sets are small (a window
-// or a block), so Options.Workers is ignored.
+// detector's lifetime and all workers, the fold-based comparison
+// kernel, and the configured decision model. Small per-arrival
+// candidate sets are compared inline on the calling goroutine; large
+// delta batches (AddBatch, big blocks) fan the verification across
+// Options.Workers goroutines, mirroring DetectStream's worker pool —
+// state updates and delta emission remain sequential and
+// deterministic either way.
 //
 // Unlike DetectStream, the detector retains per-pair state (the
 // current classified set) so it can retract decisions on Remove and
 // answer Flush exactly; memory grows with the live candidate pair
-// count. All methods are safe for concurrent use; the emit callback
-// is invoked with the detector's lock held and must not call back
-// into it.
+// count. All methods are safe for concurrent use. The emit callback
+// is invoked sequentially (never concurrently with itself), in
+// state-change order, strictly outside the detector's internal lock:
+// it may call back into the detector (Stats, Len, Flush, a follow-up
+// Add or Remove) without deadlocking. Deltas caused by a re-entrant
+// mutation are delivered after the deltas already queued.
 type Detector struct {
-	mu       sync.Mutex
-	eng      *engine
-	comparer *xmatch.Comparer
-	idx      ssr.IncrementalIndex
-	std      *prepare.Standardizer
-	live     map[verify.Pair]Match
+	mu   sync.Mutex
+	eng  *engine
+	idx  ssr.IncrementalIndex
+	std  *prepare.Standardizer
+	live map[verify.Pair]Match
 	// pairsOf indexes the live pairs by member tuple, so Remove
 	// retracts in O(degree) instead of sweeping the whole live set.
 	pairsOf map[string]map[verify.Pair]struct{}
 	// posOf locates a resident tuple in eng.xr.Tuples for O(1)
 	// swap-removal; nothing in the detector depends on tuple order.
 	posOf    map[string]int
-	emit     func(MatchDelta) bool
-	stopped  bool
 	compared int
 	dropped  int
+
+	// comparers is the lazily grown per-worker comparer pool: the
+	// fold scratch is not shareable, while every matcher memoizes
+	// into the engine's one bounded cache. comparers[0] serves the
+	// inline path. Guarded by mu.
+	comparers []*xmatch.Comparer
+
+	// deltaBuf is reusable scratch for collecting one operation's
+	// index deltas. Guarded by mu.
+	deltaBuf []ssr.PairDelta
+
+	// Emit pipeline: deltas are buffered onto queue in state-change
+	// order while mu is held and delivered by drainEmits strictly
+	// outside it, so the callback can re-enter the detector. emitMu
+	// guards queue and draining; stopped is atomic so enqueueing,
+	// draining and Stats consult it without the state lock.
+	emit     func(MatchDelta) bool
+	emitMu   sync.Mutex
+	queue    []MatchDelta
+	draining bool
+	stopped  atomic.Bool
 }
 
 // NewDetector builds an empty online detection engine over the given
 // schema. Options are validated exactly as in Detect (thresholds,
 // comparison function arity, decision model arity); additionally the
 // reduction method must support incremental maintenance (see
-// ssr.IncrementalOf). emit receives every change to the classified
-// pair set as it happens and may be nil when only Flush snapshots are
-// needed; a false return permanently stops delta delivery (state
-// maintenance continues).
+// ssr.IncrementalOf). Options.Workers bounds the goroutines the
+// verification phase fans out across when a single Add or AddBatch
+// produces enough candidate pairs; it never changes classifications
+// or the emitted delta stream, only throughput. emit receives every
+// change to the classified pair set as it happens and may be nil when
+// only Flush snapshots are needed; a false return permanently stops
+// delta delivery (state maintenance continues).
 func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*Detector, error) {
 	xr := pdb.NewXRelation("detector", schema...)
 	eng, err := newEngine(xr, opts)
@@ -128,43 +194,101 @@ func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*De
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Detector{
-		eng:      eng,
-		comparer: eng.newComparer(),
-		idx:      idx,
-		std:      opts.Standardizer,
-		live:     map[verify.Pair]Match{},
-		pairsOf:  map[string]map[verify.Pair]struct{}{},
-		posOf:    map[string]int{},
-		emit:     emit,
+		eng:       eng,
+		idx:       idx,
+		std:       opts.Standardizer,
+		live:      map[verify.Pair]Match{},
+		pairsOf:   map[string]map[verify.Pair]struct{}{},
+		posOf:     map[string]int{},
+		comparers: []*xmatch.Comparer{eng.newComparer()},
+		emit:      emit,
 	}, nil
 }
 
 // Add inserts one tuple: it is standardized (when a Standardizer is
 // configured), validated, registered with the incremental index, and
 // compared against each candidate pair the index yields. Deltas are
-// emitted as they are found. The tuple is deep-copied, so the caller
-// may keep mutating its own instance.
+// emitted after the state update, outside the detector's lock. The
+// tuple is deep-copied, so the caller may keep mutating its own
+// instance.
 func (d *Detector) Add(x *pdb.XTuple) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.addLocked(x)
+	err := d.addLocked(x)
+	d.mu.Unlock()
+	d.drainEmits()
+	return err
 }
 
-// AddBatch inserts the tuples in order, stopping at the first error.
+// AddBatch inserts the tuples in order, as one unit of work: the
+// whole batch is validated and registered first, the incremental
+// index enumerates the batch's net candidate-pair deltas (intra-batch
+// window churn cancels out, see ssr.InsertBatch), the expensive
+// verification of net-new pairs fans out across Options.Workers, and
+// state updates plus delta emission follow sequentially in a
+// deterministic order. The emitted delta stream is the batch's net
+// effect — a pair that enters and leaves the candidate set within the
+// same batch is not reported.
+//
+// On failure AddBatch returns a *BatchError naming the failing batch
+// position and the partial-apply boundary: the tuples before it are
+// resident with their pair decisions applied, exactly as if they had
+// been added alone.
 func (d *Detector) AddBatch(xs []*pdb.XTuple) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, x := range xs {
-		if err := d.addLocked(x); err != nil {
-			return err
+	err := d.addBatchLocked(xs)
+	d.mu.Unlock()
+	d.drainEmits()
+	return err
+}
+
+func (d *Detector) addBatchLocked(xs []*pdb.XTuple) error {
+	prepared := make([]*pdb.XTuple, 0, len(xs))
+	var prepErr *BatchError
+	for i, x := range xs {
+		y, err := d.prepareTuple(x)
+		if err != nil {
+			prepErr = &BatchError{Index: i, Err: err}
+			break
 		}
+		d.register(y)
+		prepared = append(prepared, y)
+	}
+	batch := ssr.InsertBatch(d.idx, prepared)
+	deltas := d.deltaBuf[:0]
+	for _, bd := range batch {
+		deltas = append(deltas, bd.PairDelta)
+	}
+	d.deltaBuf = deltas
+	if k, err := d.applyDeltas(deltas); err != nil {
+		return &BatchError{Index: batch[k].Source, Err: err}
+	}
+	if prepErr != nil {
+		return prepErr
 	}
 	return nil
 }
 
 func (d *Detector) addLocked(x *pdb.XTuple) error {
+	y, err := d.prepareTuple(x)
+	if err != nil {
+		return err
+	}
+	d.register(y)
+	deltas := d.deltaBuf[:0]
+	d.idx.Insert(y, func(pd ssr.PairDelta) bool {
+		deltas = append(deltas, pd)
+		return true
+	})
+	d.deltaBuf = deltas
+	_, err = d.applyDeltas(deltas)
+	return err
+}
+
+// prepareTuple standardizes, deep-copies and validates one arriving
+// tuple without touching detector state.
+func (d *Detector) prepareTuple(x *pdb.XTuple) (*pdb.XTuple, error) {
 	if x == nil {
-		return fmt.Errorf("core: Add of nil x-tuple")
+		return nil, fmt.Errorf("core: Add of nil x-tuple")
 	}
 	if d.std != nil {
 		x = d.std.XTuple(x)
@@ -172,24 +296,19 @@ func (d *Detector) addLocked(x *pdb.XTuple) error {
 		x = x.Clone()
 	}
 	if err := x.Validate(len(d.eng.xr.Schema)); err != nil {
-		return fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if _, dup := d.eng.byID[x.ID]; dup {
-		return fmt.Errorf("core: duplicate tuple ID %q", x.ID)
+		return nil, fmt.Errorf("core: duplicate tuple ID %q", x.ID)
 	}
+	return x, nil
+}
+
+// register appends a prepared tuple to the resident relation.
+func (d *Detector) register(x *pdb.XTuple) {
 	d.eng.byID[x.ID] = x
 	d.posOf[x.ID] = len(d.eng.xr.Tuples)
 	d.eng.xr.Append(x)
-
-	var firstErr error
-	d.idx.Insert(x, func(pd ssr.PairDelta) bool {
-		if err := d.applyDelta(pd); err != nil {
-			firstErr = err
-			return false
-		}
-		return true
-	})
-	return firstErr
 }
 
 // Remove drops the tuple from the resident relation: the index yields
@@ -200,23 +319,29 @@ func (d *Detector) addLocked(x *pdb.XTuple) error {
 // later re-Add with the same ID is classified from scratch, never from
 // a stale pair decision. The shared avm.Cache needs no invalidation:
 // its entries are keyed by attribute and value content, not tuple
-// identity, and similarities of values are immutable. Removing an
-// unknown ID is an error.
+// identity, and similarities of values are immutable. Removing an ID
+// that is not resident — never added, or already removed — fails with
+// an error wrapping ErrUnknownID and changes nothing.
 func (d *Detector) Remove(id string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	err := d.removeLocked(id)
+	d.mu.Unlock()
+	d.drainEmits()
+	return err
+}
+
+func (d *Detector) removeLocked(id string) error {
 	if _, ok := d.eng.byID[id]; !ok {
-		return fmt.Errorf("core: Remove of unknown tuple ID %q", id)
+		return fmt.Errorf("core: Remove: %w %q", ErrUnknownID, id)
 	}
 
-	var firstErr error
+	deltas := d.deltaBuf[:0]
 	d.idx.Remove(id, func(pd ssr.PairDelta) bool {
-		if err := d.applyDelta(pd); err != nil {
-			firstErr = err
-			return false
-		}
+		deltas = append(deltas, pd)
 		return true
 	})
+	d.deltaBuf = deltas
+	_, firstErr := d.applyDeltas(deltas)
 
 	// Defensive sweep: the index contract already retracts every pair
 	// of id, but a buggy user-defined IncrementalMethod must not be
@@ -246,9 +371,89 @@ func (d *Detector) Remove(id string) error {
 	return firstErr
 }
 
-// applyDelta folds one index delta into the classified set, comparing
-// added pairs and retracting dropped ones.
-func (d *Detector) applyDelta(pd ssr.PairDelta) error {
+// applyDeltas folds index deltas into the classified set: dropped
+// pairs are retracted, net-new pairs are compared and recorded, and
+// every resulting MatchDelta is enqueued for emission — all in delta
+// order, so the delivered stream is deterministic for a given delta
+// sequence. Large batches fan the comparisons across the engine's
+// workers first (compareAll); state updates are always applied
+// sequentially on the caller's goroutine. On a comparison error the
+// deltas preceding the failing one stay applied and its position in
+// deltas is returned.
+func (d *Detector) applyDeltas(deltas []ssr.PairDelta) (int, error) {
+	// Gate on the addition count, not the delta count: a high-degree
+	// Remove yields many drops and no comparison work, which the
+	// inline loop handles with plain map operations.
+	adds := 0
+	for _, pd := range deltas {
+		if !pd.Dropped {
+			adds++
+		}
+	}
+	if d.eng.workers <= 1 || adds < minParallelCompares {
+		c := d.comparers[0]
+		for i, pd := range deltas {
+			if err := d.applyOne(c, pd); err != nil {
+				return i, err
+			}
+		}
+		return 0, nil
+	}
+
+	// Parallel verification phase: collect the additions that need a
+	// comparison — drops and pairs live at their apply point (values
+	// are immutable while resident) don't. Liveness is projected
+	// through the slice rather than read from d.live alone, so a
+	// drop-then-re-add of one pair within a single delta sequence (a
+	// user-defined IncrementalMethod may yield one; the built-in
+	// indexes and InsertBatch never repeat a pair) is re-compared
+	// exactly as the sequential path would.
+	var compareIdx []int
+	overlay := map[verify.Pair]bool{}
+	projectedLive := func(p verify.Pair) bool {
+		if live, ok := overlay[p]; ok {
+			return live
+		}
+		_, ok := d.live[p]
+		return ok
+	}
+	for i, pd := range deltas {
+		if pd.Dropped {
+			overlay[pd.Pair] = false
+			continue
+		}
+		if projectedLive(pd.Pair) {
+			continue
+		}
+		overlay[pd.Pair] = true
+		compareIdx = append(compareIdx, i)
+	}
+	matches := make([]Match, len(compareIdx))
+	errs := make([]error, len(compareIdx))
+	d.compareAll(compareIdx, deltas, matches, errs)
+
+	// Sequential apply-and-enqueue phase, in delta order.
+	mi := 0
+	for i, pd := range deltas {
+		if pd.Dropped {
+			d.retractPair(pd.Pair)
+			continue
+		}
+		if mi >= len(compareIdx) || compareIdx[mi] != i {
+			continue // already live, nothing to recompute
+		}
+		if errs[mi] != nil {
+			return i, errs[mi]
+		}
+		d.recordMatch(pd.Pair, matches[mi])
+		mi++
+	}
+	return 0, nil
+}
+
+// applyOne folds a single delta inline: the sequential counterpart of
+// the parallel phases in applyDeltas.
+func (d *Detector) applyOne(c *xmatch.Comparer, pd ssr.PairDelta) error {
 	if pd.Dropped {
 		d.retractPair(pd.Pair)
 		return nil
@@ -258,16 +463,55 @@ func (d *Detector) applyDelta(pd ssr.PairDelta) error {
 		// to recompute.
 		return nil
 	}
-	m, err := d.eng.compare(d.comparer, pd.Pair)
+	m, err := d.eng.compare(c, pd.Pair)
 	if err != nil {
 		return err
 	}
-	d.compared++
-	d.live[pd.Pair] = m
-	d.indexPair(pd.Pair.A, pd.Pair)
-	d.indexPair(pd.Pair.B, pd.Pair)
-	d.emitDelta(MatchDelta{Kind: DeltaAdd, Match: m})
+	d.recordMatch(pd.Pair, m)
 	return nil
+}
+
+// recordMatch applies one freshly compared pair to the live state and
+// enqueues its add delta.
+func (d *Detector) recordMatch(p verify.Pair, m Match) {
+	d.compared++
+	d.live[p] = m
+	d.indexPair(p.A, p)
+	d.indexPair(p.B, p)
+	d.enqueueDelta(MatchDelta{Kind: DeltaAdd, Match: m})
+}
+
+// compareAll computes the match of deltas[compareIdx[j]] into
+// matches[j] (or errs[j]), fanning the work across the engine's
+// workers. Each worker owns a pooled comparer (the fold scratch is
+// not shareable) while all matchers memoize into the shared bounded
+// cache; comparison functions are deterministic, so the results are
+// identical to an inline run. Work is handed out pair by pair via an
+// atomic cursor so uneven comparison costs still balance.
+func (d *Detector) compareAll(compareIdx []int, deltas []ssr.PairDelta, matches []Match, errs []error) {
+	workers := d.eng.workers
+	if workers > len(compareIdx) {
+		workers = len(compareIdx)
+	}
+	for len(d.comparers) < workers {
+		d.comparers = append(d.comparers, d.eng.newComparer())
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(c *xmatch.Comparer) {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(compareIdx) {
+					return
+				}
+				matches[j], errs[j] = d.eng.compare(c, deltas[compareIdx[j]].Pair)
+			}
+		}(d.comparers[w])
+	}
+	wg.Wait()
 }
 
 // indexPair records a live pair under one member tuple.
@@ -280,7 +524,7 @@ func (d *Detector) indexPair(id string, p verify.Pair) {
 	set[p] = struct{}{}
 }
 
-// retractPair removes a live pair from both indexes and emits the
+// retractPair removes a live pair from both indexes and enqueues the
 // drop; unknown pairs are ignored.
 func (d *Detector) retractPair(p verify.Pair) {
 	m, ok := d.live[p]
@@ -297,16 +541,62 @@ func (d *Detector) retractPair(p verify.Pair) {
 		}
 	}
 	d.dropped++
-	d.emitDelta(MatchDelta{Kind: DeltaDrop, Match: m})
+	d.enqueueDelta(MatchDelta{Kind: DeltaDrop, Match: m})
 }
 
-// emitDelta forwards one delta unless delivery was stopped.
-func (d *Detector) emitDelta(md MatchDelta) {
-	if d.emit == nil || d.stopped {
+// enqueueDelta buffers one delta for delivery outside the state lock.
+// Callers hold d.mu, so the queue order is exactly the state-change
+// order across all goroutines.
+func (d *Detector) enqueueDelta(md MatchDelta) {
+	if d.emit == nil || d.stopped.Load() {
 		return
 	}
-	if !d.emit(md) {
-		d.stopped = true
+	d.emitMu.Lock()
+	d.queue = append(d.queue, md)
+	d.emitMu.Unlock()
+}
+
+// drainEmits delivers queued deltas in order, exactly one goroutine
+// at a time, with no detector lock held — the emit callback can
+// therefore re-enter the detector freely. A re-entrant call finds
+// draining set, enqueues its deltas and returns; the active drainer
+// picks them up before exiting. Every mutating operation calls
+// drainEmits after releasing the state lock, so no delta is ever
+// stranded: either this call delivers it, or the drainer that was
+// active when it was enqueued does.
+func (d *Detector) drainEmits() {
+	if d.emit == nil {
+		return
+	}
+	for {
+		d.emitMu.Lock()
+		if d.draining || len(d.queue) == 0 {
+			d.emitMu.Unlock()
+			return
+		}
+		d.draining = true
+		q := d.queue
+		d.queue = nil
+		d.emitMu.Unlock()
+
+		for _, md := range q {
+			if d.stopped.Load() {
+				break
+			}
+			if !d.emit(md) {
+				d.stopped.Store(true)
+			}
+		}
+
+		d.emitMu.Lock()
+		d.draining = false
+		if len(d.queue) == 0 {
+			// Reclaim the delivered batch's backing array so
+			// steady-state emission (one small queue per operation)
+			// allocates nothing.
+			d.queue = q[:0]
+		}
+		d.emitMu.Unlock()
 	}
 }
 
@@ -360,7 +650,7 @@ func (d *Detector) Stats() DetectorStats {
 		Dropped:    d.dropped,
 		Live:       len(d.live),
 		TotalPairs: ssr.TotalPairs(len(d.eng.xr.Tuples)),
-		Stopped:    d.stopped,
+		Stopped:    d.stopped.Load(),
 	}
 	for _, m := range d.live {
 		switch m.Class {

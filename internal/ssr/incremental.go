@@ -47,6 +47,67 @@ type IncrementalIndex interface {
 	Len() int
 }
 
+// BatchDelta is one net candidate-pair change of a batch insertion.
+// Source is the batch position (0-based) of the insertion that
+// settled the pair's final membership — the attribution callers need
+// to map a delta (or a failure while applying it) back to a tuple of
+// the batch.
+type BatchDelta struct {
+	PairDelta
+	Source int
+}
+
+// InsertBatch registers the tuples with the index in order and
+// returns the net pair deltas of the whole batch: intra-batch churn
+// cancels out (a pair admitted by one insertion and pushed out of a
+// sorted-neighborhood window by a later one never surfaces), and each
+// surviving pair appears exactly once, in first-affected order.
+// Folding the result into a candidate set yields exactly the state
+// that folding every Insert's deltas one at a time would — the
+// equivalence the incremental engine's determinism tests prove — but
+// the deduplicated form lets the expensive downstream verification
+// fan out over distinct pairs only.
+//
+// Structural updates are applied unconditionally for every tuple;
+// the caller is expected to have validated the batch first.
+func InsertBatch(idx IncrementalIndex, xs []*pdb.XTuple) []BatchDelta {
+	// Per pair, deltas alternate add/drop (the index maintains an
+	// exact set), so an even delta count nets to no change and an odd
+	// count nets to the first (= last) kind.
+	type churn struct {
+		firstDropped bool
+		count        int
+		source       int
+	}
+	seen := map[verify.Pair]*churn{}
+	var order []verify.Pair
+	for i, x := range xs {
+		idx.Insert(x, func(pd PairDelta) bool {
+			c := seen[pd.Pair]
+			if c == nil {
+				c = &churn{firstDropped: pd.Dropped}
+				seen[pd.Pair] = c
+				order = append(order, pd.Pair)
+			}
+			c.count++
+			c.source = i
+			return true
+		})
+	}
+	out := make([]BatchDelta, 0, len(order))
+	for _, p := range order {
+		c := seen[p]
+		if c.count%2 == 0 {
+			continue
+		}
+		out = append(out, BatchDelta{
+			PairDelta: PairDelta{Pair: p, Dropped: c.firstDropped},
+			Source:    c.source,
+		})
+	}
+	return out
+}
+
 // IncrementalMethod is a Method that can maintain its candidate set
 // online. IncrementalOf dispatches to it, so user-defined methods can
 // opt into the incremental detection engine.

@@ -1,6 +1,7 @@
 package ssr
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -237,6 +238,112 @@ func TestSNMWindowDriftAndReentry(t *testing.T) {
 	}
 	if len(maintained) != 1 {
 		t.Fatalf("maintained = %v, want only (a,c)", maintained)
+	}
+}
+
+// TestInsertBatchNetEquivalence proves the batched enumeration
+// contract: chunking a shuffled relation through InsertBatch and
+// folding the net deltas yields exactly the batch candidate set, for
+// every incremental-capable method and several chunk sizes. applyDelta
+// additionally enforces that net deltas are consistent with the
+// maintained set (no drop of an absent pair, no re-add of a present
+// one) — i.e. each batch's deltas really are deduplicated net changes.
+func TestInsertBatchNetEquivalence(t *testing.T) {
+	u := shuffledUnion(40, 17)
+	for _, chunk := range []int{1, 7, len(u.Tuples)} {
+		for _, m := range incrementalTestMethods(t, u.Schema) {
+			name := "nil"
+			if m != nil {
+				name = m.Name()
+			}
+			t.Run(fmt.Sprintf("%s/chunk=%d", name, chunk), func(t *testing.T) {
+				idx, err := IncrementalOf(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				maintained := verify.PairSet{}
+				for lo := 0; lo < len(u.Tuples); lo += chunk {
+					hi := min(lo+chunk, len(u.Tuples))
+					for _, d := range InsertBatch(idx, u.Tuples[lo:hi]) {
+						if d.Source < 0 || d.Source >= hi-lo {
+							t.Fatalf("delta %v attributes to batch position %d of %d", d.Pair, d.Source, hi-lo)
+						}
+						applyDelta(t, maintained, d.PairDelta)
+					}
+				}
+				if idx.Len() != len(u.Tuples) {
+					t.Fatalf("Len = %d, want %d", idx.Len(), len(u.Tuples))
+				}
+				batch := StreamOf(m).Candidates(u)
+				if d := diffSets(maintained, batch); len(d) != 0 {
+					t.Fatalf("maintained set diverges from batch: %v", d[:min(len(d), 8)])
+				}
+			})
+		}
+	}
+}
+
+// TestInsertBatchCancelsWindowChurn pins the dedup behavior down on
+// the hand-constructed window-drift case: inserting a, c, then b (which
+// lands between them, window 2) in ONE batch must never surface the
+// intra-batch churn pair (a,c) — it entered and left within the batch —
+// while sequential insertion yields both its add and its drop.
+func TestInsertBatchCancelsWindowChurn(t *testing.T) {
+	schema := []string{"name"}
+	def, err := keys.ParseDef("name", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SNMCertain{Key: def, Window: 2}
+	mk := func(id, name string) *pdb.XTuple {
+		return pdb.NewXTuple(id, pdb.NewAlt(1, name))
+	}
+	tuples := []*pdb.XTuple{mk("a", "Anna"), mk("c", "Cleo"), mk("b", "Bert")}
+
+	seq, err := IncrementalOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []PairDelta
+	for _, x := range tuples {
+		seq.Insert(x, func(d PairDelta) bool {
+			raw = append(raw, d)
+			return true
+		})
+	}
+	churned := 0
+	for _, d := range raw {
+		if d.Pair == verify.NewPair("a", "c") {
+			churned++
+		}
+	}
+	if churned != 2 {
+		t.Fatalf("sequential insertion yielded %d deltas for the churn pair (a,c), want add+drop", churned)
+	}
+
+	idx, err := IncrementalOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := InsertBatch(idx, tuples)
+	want := map[verify.Pair]int{ // pair -> settling batch position
+		verify.NewPair("a", "b"): 2,
+		verify.NewPair("b", "c"): 2,
+	}
+	if len(net) != len(want) {
+		t.Fatalf("net deltas = %v, want exactly the pairs of b", net)
+	}
+	for _, d := range net {
+		if d.Dropped {
+			t.Fatalf("net delta %v is a drop, want only adds", d.Pair)
+		}
+		src, ok := want[d.Pair]
+		if !ok {
+			t.Fatalf("unexpected net pair %v (intra-batch churn leaked?)", d.Pair)
+		}
+		if d.Source != src {
+			t.Fatalf("pair %v attributed to batch position %d, want %d", d.Pair, d.Source, src)
+		}
 	}
 }
 

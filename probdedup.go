@@ -466,12 +466,24 @@ func StreamCandidates(m ReductionMethod, xr *XRelation, yield func(Pair) bool) b
 
 type (
 	// Detector is the long-lived online detection engine: tuples
-	// arrive (Add/AddBatch) and leave (Remove) one at a time, each
-	// arrival is compared only against the candidates produced by
-	// incremental index maintenance, and Flush materializes the
-	// current classified state — always exactly the Result Detect
-	// would produce on the resident relation.
+	// arrive (Add/AddBatch) and leave (Remove), each arrival is
+	// compared only against the candidates produced by incremental
+	// index maintenance — fanned out across Options.Workers when a
+	// batch yields enough pairs — and Flush materializes the current
+	// classified state — always exactly the Result Detect would
+	// produce on the resident relation.
 	Detector = core.Detector
+	// DetectorBatchError reports the tuple that made an AddBatch call
+	// fail and the partial-apply boundary: tuples at batch positions
+	// before Index are resident with their pair decisions applied.
+	// For validation failures (nil tuple, arity mismatch, duplicate
+	// ID) — the only errors the built-in reductions produce — the
+	// failing tuple and those after it are not resident; a comparison
+	// failure (possible only with a misbehaving user-defined
+	// IncrementalReduction) leaves every batch tuple resident with
+	// the pair decisions up to the failing delta applied. Extract
+	// with errors.As.
+	DetectorBatchError = core.BatchError
 	// MatchDelta is one change to a detector's classified pair set: a
 	// freshly classified pair (DeltaAdd) or a retracted one
 	// (DeltaDrop, after a removal or a sorted-neighborhood window
@@ -498,17 +510,29 @@ const (
 	DeltaDrop = core.DeltaDrop
 )
 
+// ErrUnknownID is wrapped by Detector.Remove when the given tuple ID
+// is not resident — never added, or already removed. Test with
+// errors.Is; removal is intentionally not idempotent.
+var ErrUnknownID = core.ErrUnknownID
+
 // NewDetector builds an empty online detection engine over the given
 // schema. Options are validated exactly as in Detect; additionally
 // the reduction method must support incremental maintenance (cross
 // product / nil, SNMCertain, BlockingCertain, BlockingAlternatives,
-// or a pruned ReductionFilter over one of them). emit receives every
-// change to the classified pair set as it happens and may be nil when
-// only Flush snapshots are needed; returning false permanently stops
-// delta delivery. Add-one-at-a-time is equivalent to batch Detect on
-// the resident relation, Options.Workers is ignored (per-arrival
-// candidate sets are small), and the run-wide bounded similarity
-// cache is shared across the detector's lifetime.
+// or a pruned ReductionFilter over one of them). Online ingestion is
+// equivalent to batch Detect on the resident relation at any worker
+// count: Options.Workers fans the verification of a large delta
+// batch (AddBatch, big blocks) across goroutines sharing the
+// detector-lifetime bounded similarity cache, without changing
+// classifications or the emitted delta stream.
+//
+// emit receives every change to the classified pair set as it
+// happens and may be nil when only Flush snapshots are needed;
+// returning false permanently stops delta delivery. The callback is
+// invoked sequentially (never concurrently with itself), in
+// state-change order, outside the detector's internal lock — it may
+// safely call back into the detector (Stats, Len, Flush, a follow-up
+// Add or Remove).
 func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*Detector, error) {
 	return core.NewDetector(schema, opts, emit)
 }
