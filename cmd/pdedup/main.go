@@ -37,10 +37,20 @@
 // still applied line by line.
 //
 //	pdgen ... | pdedup -follow -schema name,job -key 'name:3' -reduce blocking-certain
+//
+// -integrate (with -follow) runs the online integration engine one
+// layer up: match deltas fold into a live entity set and every entity
+// change is printed as one NDJSON line —
+// {"event":"created|merged|split|refused|retired","id":...,
+// "members":[...],"from":[...]} — with an entity/uncertain-duplicate
+// summary at EOF.
+//
+//	pdgen ... | pdedup -follow -integrate -schema name,job -key 'name:3' -reduce blocking-certain
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,6 +83,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", 1, "parallel matching workers")
 		stream      = fs.Bool("stream", false, "stream results as they are found instead of materializing them (no per-pair state retained; unordered with -workers > 1)")
 		follow      = fs.Bool("follow", false, "incremental online mode: seed from FILEs (if any), then read NDJSON tuples from stdin and print match deltas as tuples arrive")
+		integrate   = fs.Bool("integrate", false, "with -follow: fold match deltas into a live entity set and print NDJSON entity deltas (created/merged/split/refused/retired) instead of pair deltas")
 		schemaSpec  = fs.String("schema", "", "comma-separated schema for -follow without a seed file, e.g. 'name,job'")
 		showAll     = fs.Bool("v", false, "print every compared pair, not only matches")
 	)
@@ -96,6 +107,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *schemaSpec != "" && (!*follow || fs.NArg() > 0) {
 		fmt.Fprintln(stderr, "pdedup: -schema only applies to -follow without seed files")
+		return 2
+	}
+	if *integrate && !*follow {
+		fmt.Fprintln(stderr, "pdedup: -integrate requires -follow")
+		return 2
+	}
+	if *integrate && *showAll {
+		fmt.Fprintln(stderr, "pdedup: -v applies to pair deltas only; -integrate always prints every entity delta")
 		return 2
 	}
 
@@ -166,7 +185,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *follow {
-		return runFollow(xr, opts, stdin, stdout, stderr, *showAll)
+		return runFollow(xr, opts, stdin, stdout, stderr, *showAll, *integrate)
 	}
 
 	if *stream {
@@ -219,38 +238,98 @@ type followLine struct {
 	err  error
 }
 
-// runFollow is the incremental online mode: the detector is seeded
-// with the loaded relation, then maintained from stdin — one NDJSON
-// tuple per line, or "remove ID" to drop a resident tuple. Match
-// deltas print as they happen; the summary prints at EOF.
+// onlineEngine is the shared surface of the two -follow engines: the
+// pairwise Detector and the entity-level Integrator.
+type onlineEngine interface {
+	AddBatch([]*probdedup.XTuple) error
+	Remove(string) error
+}
+
+// jsonEntityDelta is the NDJSON wire form of one entity delta
+// (-follow -integrate).
+type jsonEntityDelta struct {
+	Event   string   `json:"event"`
+	ID      string   `json:"id"`
+	Members []string `json:"members"`
+	From    []string `json:"from,omitempty"`
+}
+
+// runFollow is the incremental online mode: the engine is seeded with
+// the loaded relation, then maintained from stdin — one NDJSON tuple
+// per line, or "remove ID" to drop a resident tuple. By default a
+// Detector prints match deltas as they happen; with integrate, an
+// Integrator prints NDJSON entity deltas instead. The summary prints
+// at EOF.
 //
 // Arrivals are read ahead on a producer goroutine and applied in
-// batches (AddBatch) so the detector's parallel verification phase
+// batches (AddBatch) so the engine's parallel verification phase
 // honors -workers under sustained traffic: consecutive tuple lines
 // already buffered in the pipe coalesce into one batch, while
 // interactive use — the pipe momentarily empty — still applies every
 // line as it arrives, with no added latency. A "remove" line flushes
 // the pending batch first, so effects apply in input order.
-func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reader, stdout, stderr io.Writer, showAll bool) int {
-	wanted := func(c probdedup.Class) bool {
-		return showAll || c == probdedup.ClassM || c == probdedup.ClassP
-	}
-	det, err := probdedup.NewDetector(seed.Schema, opts, func(md probdedup.MatchDelta) bool {
-		if !wanted(md.Class) {
+func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reader, stdout, stderr io.Writer, showAll, integrate bool) int {
+	var (
+		eng     onlineEngine
+		summary func() int
+	)
+	if integrate {
+		enc := json.NewEncoder(stdout)
+		ig, err := probdedup.NewIntegrator(seed.Schema, opts, func(ev probdedup.EntityDelta) bool {
+			if err := enc.Encode(jsonEntityDelta{
+				Event:   ev.Kind.String(),
+				ID:      ev.Entity.ID,
+				Members: ev.Entity.Members,
+				From:    ev.From,
+			}); err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+			}
 			return true
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
 		}
-		sign := "+"
-		if md.Kind == probdedup.DeltaDrop {
-			sign = "-"
+		eng = ig
+		summary = func() int {
+			r, err := ig.Flush()
+			if err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "resident %d tuples, %d entities, %d uncertain duplicates\n",
+				ig.Len(), len(r.Entities), len(r.Uncertain))
+			return 0
 		}
-		fmt.Fprintf(stdout, "%s%-4s (%s,%s) sim=%.4f\n", sign, md.Class, md.Pair.A, md.Pair.B, md.Sim)
-		return true
-	})
-	if err != nil {
-		fmt.Fprintln(stderr, "pdedup:", err)
-		return 1
+	} else {
+		wanted := func(c probdedup.Class) bool {
+			return showAll || c == probdedup.ClassM || c == probdedup.ClassP
+		}
+		det, err := probdedup.NewDetector(seed.Schema, opts, func(md probdedup.MatchDelta) bool {
+			if !wanted(md.Class) {
+				return true
+			}
+			sign := "+"
+			if md.Kind == probdedup.DeltaDrop {
+				sign = "-"
+			}
+			fmt.Fprintf(stdout, "%s%-4s (%s,%s) sim=%.4f\n", sign, md.Class, md.Pair.A, md.Pair.B, md.Sim)
+			return true
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+		eng = det
+		summary = func() int {
+			st := det.Stats()
+			fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
+				st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)
+			fmt.Fprintf(stdout, "matches=%d possible=%d\n", st.Matches, st.Possible)
+			return 0
+		}
 	}
-	if err := det.AddBatch(seed.Tuples); err != nil {
+	if err := eng.AddBatch(seed.Tuples); err != nil {
 		fmt.Fprintln(stderr, "pdedup:", err)
 		return 1
 	}
@@ -295,7 +374,7 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 		if len(batch) == 0 {
 			return 0
 		}
-		if err := det.AddBatch(batch); err != nil {
+		if err := eng.AddBatch(batch); err != nil {
 			// Attribute the failure to its input line: BatchError.Index
 			// is the batch position of the failing tuple.
 			line, cause := batchLine[len(batchLine)-1], err
@@ -319,7 +398,7 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 			if rc := flush(); rc != 0 {
 				return rc
 			}
-			if err := det.Remove(strings.TrimSpace(id)); err != nil {
+			if err := eng.Remove(strings.TrimSpace(id)); err != nil {
 				fmt.Fprintf(stderr, "pdedup: line %d: %v\n", ln.no, err)
 				return 1
 			}
@@ -369,12 +448,7 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 	if rc := flush(); rc != 0 {
 		return rc
 	}
-
-	st := det.Stats()
-	fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
-		st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)
-	fmt.Fprintf(stdout, "matches=%d possible=%d\n", st.Matches, st.Possible)
-	return 0
+	return summary()
 }
 
 func loadUnion(paths []string) (*probdedup.XRelation, error) {

@@ -336,3 +336,54 @@ func TestRunFollowErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFollowIntegrateGolden pins the -follow -integrate path to an
+// exact expected transcript: the Sec. VI worked pipeline arriving
+// online (testdata/follow_integrate.input, with sentinel-removal
+// barriers making the batching deterministic) must produce the entity
+// delta stream checked into testdata/follow_integrate.golden, byte
+// for byte, so the online integration surface cannot silently drift.
+func TestRunFollowIntegrateGolden(t *testing.T) {
+	input, err := os.ReadFile(filepath.Join("testdata", "follow_integrate.input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "follow_integrate.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-follow", "-integrate", "-schema", "name,job",
+		"-compare", "levenshtein", "-lambda", "0.35", "-mu", "0.8"},
+		bytes.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if out.String() != string(want) {
+		t.Fatalf("-follow -integrate output drifted from golden\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestRunFollowIntegrateFlagValidation rejects -integrate without
+// -follow instead of silently ignoring it.
+func TestRunFollowIntegrateFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-integrate", "x.pdb"}, strings.NewReader(""), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-integrate requires -follow") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+	// -v configures pair-delta printing; entity deltas are always all
+	// printed, so the combination is rejected instead of ignored.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-follow", "-integrate", "-v", "-schema", "name"}, strings.NewReader(""), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-v applies to pair deltas only") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}

@@ -224,3 +224,45 @@ func ExampleResolve() {
 	// c [c]
 	// a+b ↔ c possible duplicate
 }
+
+// ExampleIntegrator maintains a live integrated result online: every
+// arrival and removal rebuilds only the touched entity components and
+// reports the change as a typed entity delta.
+func ExampleIntegrator() {
+	schema := []string{"name", "job"}
+	final := probdedup.Thresholds{Lambda: 0.5, Mu: 0.9}
+	ig, err := probdedup.NewIntegrator(schema, probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein},
+		Final:   final,
+	}, func(ev probdedup.EntityDelta) bool {
+		fmt.Printf("%s %s members=%v from=%v\n", ev.Kind, ev.Entity.ID, ev.Entity.Members, ev.From)
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(ig.Add(probdedup.NewXTuple("a", probdedup.NewAlt(1, "johnson", "pilot"))))
+	must(ig.Add(probdedup.NewXTuple("b", probdedup.NewAlt(1, "johnson", "pilot"))))
+	must(ig.Add(probdedup.NewXTuple("c", probdedup.NewAlt(1, "jonsen", "pilot"))))
+	must(ig.Remove("b"))
+	r, err := ig.Flush()
+	if err != nil {
+		panic(err)
+	}
+	for _, ud := range r.Uncertain {
+		fmt.Printf("%s ↔ %s uncertain duplicate, P=%.2f\n", ud.A, ud.B, ud.P)
+	}
+	// Output:
+	// created a members=[a] from=[]
+	// merged a+b members=[a b] from=[a]
+	// created c members=[c] from=[]
+	// refused a+b members=[a b] from=[]
+	// split a members=[a] from=[a+b]
+	// refused c members=[c] from=[]
+	// a ↔ c uncertain duplicate, P=0.81
+}

@@ -86,4 +86,42 @@ func main() {
 		m := res.ByPair[p]
 		fmt.Printf("  η(%s,%s) = %s (sim %.3f)\n", p.A, p.B, m.Class, m.Sim)
 	}
+
+	// One layer up: the Integrator folds the same delta stream into a
+	// live integrated result — entities maintained by component-local
+	// rebuilds, possible matches kept as uncertain duplicates — and
+	// reports every change as a typed entity delta. Flush returns
+	// exactly what batch Resolve over Detect would produce on the
+	// residents.
+	fmt.Println("\nlive integration (same arrivals, entity deltas)")
+	ig, err := probdedup.NewIntegrator(schema, opts, func(ev probdedup.EntityDelta) bool {
+		fmt.Printf("  %s %s members=%v from=%v\n", ev.Kind, ev.Entity.ID, ev.Entity.Members, ev.From)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, x := range seed {
+		if err := ig.Add(x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ig.Add(probdedup.NewXTuple("t4", probdedup.NewAlt(1.0, "Johnsen", "pilot"))); err != nil {
+		log.Fatal(err)
+	}
+	if err := ig.Remove("t2"); err != nil {
+		log.Fatal(err)
+	}
+	r, err := ig.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integrated result: %d entities, %d uncertain duplicates\n", len(r.Entities), len(r.Uncertain))
+	for _, lt := range r.Tuples {
+		conf, err := r.Confidence(lt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  conf=%.3f lineage=%-14s members of %s\n", conf, lt.Lineage, lt.Tuple.ID)
+	}
 }

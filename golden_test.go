@@ -1,0 +1,31 @@
+package probdedup_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestGoldenIntegrateExample pins examples/integrate — the paper's
+// Sec. VI worked integration pipeline — to its exact expected output
+// (testdata/integrate.golden): detection counts, resolved entities,
+// uncertain duplicates, and every lineage-annotated result tuple with
+// its confidence. Any drift in detection, fusion order, calibration
+// or lineage derivation fails this test with a byte diff instead of
+// slipping through a substring check.
+func TestGoldenIntegrateExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	want, err := os.ReadFile("testdata/integrate.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("go", "run", "./examples/integrate").Output()
+	if err != nil {
+		t.Fatalf("examples/integrate failed: %v", err)
+	}
+	if string(out) != string(want) {
+		t.Fatalf("examples/integrate output drifted from golden\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}

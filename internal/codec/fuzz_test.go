@@ -56,6 +56,44 @@ func FuzzDecodeXRelation(f *testing.F) {
 	})
 }
 
+// FuzzDecodeXTupleJSON covers the NDJSON tuple line — the untrusted
+// unit pdedup -follow reads from stdin: decoding arbitrary bytes must
+// never panic, and every accepted tuple must reach a round-trip fixed
+// point — decode→encode→decode yields a tuple whose re-encoding is
+// byte-identical (the encoded form is canonical).
+func FuzzDecodeXTupleJSON(f *testing.F) {
+	f.Add(`{"id":"t1","alts":[{"p":1,"values":[[{"v":"Tim"}],[{"v":"pilot"}]]}]}`)
+	f.Add(`{"id":"t2","p":0.8,"attrs":[[{"v":"x","p":0.5},{"v":null,"p":0.5}]]}`)
+	f.Add(`{"id":"t3","alts":[{"p":0.7,"values":[[{"v":"a"}]]},{"p":0.3,"values":[[{"v":"b"}]]}]}`)
+	f.Add(`{"id":"bad","p":1,"alts":[{"p":1,"values":[[{"v":"x"}]]}]}`)
+	f.Add(`{"id":"t4","attrs":[]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		x, err := DecodeXTupleJSON([]byte(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeXTupleJSON(&buf, x); err != nil {
+			t.Fatalf("decoded x-tuple failed to encode: %v", err)
+		}
+		once := buf.String()
+		back, err := DecodeXTupleJSON(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, once)
+		}
+		buf.Reset()
+		if err := EncodeXTupleJSON(&buf, back); err != nil {
+			t.Fatalf("re-decoded x-tuple failed to encode: %v", err)
+		}
+		if buf.String() != once {
+			t.Fatalf("decode→encode→decode is not a fixed point:\nfirst:  %ssecond: %s", once, buf.String())
+		}
+	})
+}
+
 func FuzzDecodeRelationJSON(f *testing.F) {
 	f.Add(`{"name":"R","schema":["a"],"tuples":[{"id":"t1","p":1,"attrs":[[{"v":"x"}]]}]}`)
 	f.Add(`{"name":"R","schema":["a"],"tuples":[{"id":"t1","p":1,"attrs":[[{"v":null,"p":1}]]}]}`)

@@ -160,16 +160,10 @@ type Detector struct {
 	// index deltas. Guarded by mu.
 	deltaBuf []ssr.PairDelta
 
-	// Emit pipeline: deltas are buffered onto queue in state-change
-	// order while mu is held and delivered by drainEmits strictly
-	// outside it, so the callback can re-enter the detector. emitMu
-	// guards queue and draining; stopped is atomic so enqueueing,
-	// draining and Stats consult it without the state lock.
-	emit     func(MatchDelta) bool
-	emitMu   sync.Mutex
-	queue    []MatchDelta
-	draining bool
-	stopped  atomic.Bool
+	// emits buffers deltas in state-change order while mu is held and
+	// delivers them strictly outside it, so the callback can re-enter
+	// the detector (see EmitQueue).
+	emits *EmitQueue[MatchDelta]
 }
 
 // NewDetector builds an empty online detection engine over the given
@@ -201,7 +195,7 @@ func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*De
 		pairsOf:   map[string]map[verify.Pair]struct{}{},
 		posOf:     map[string]int{},
 		comparers: []*xmatch.Comparer{eng.newComparer()},
-		emit:      emit,
+		emits:     NewEmitQueue(emit),
 	}, nil
 }
 
@@ -544,61 +538,12 @@ func (d *Detector) retractPair(p verify.Pair) {
 	d.enqueueDelta(MatchDelta{Kind: DeltaDrop, Match: m})
 }
 
-// enqueueDelta buffers one delta for delivery outside the state lock.
-// Callers hold d.mu, so the queue order is exactly the state-change
-// order across all goroutines.
-func (d *Detector) enqueueDelta(md MatchDelta) {
-	if d.emit == nil || d.stopped.Load() {
-		return
-	}
-	d.emitMu.Lock()
-	d.queue = append(d.queue, md)
-	d.emitMu.Unlock()
-}
+// enqueueDelta buffers one delta for delivery outside the state lock
+// (callers hold d.mu); drainEmits delivers after the lock is
+// released. Both delegate to the shared EmitQueue.
+func (d *Detector) enqueueDelta(md MatchDelta) { d.emits.Enqueue(md) }
 
-// drainEmits delivers queued deltas in order, exactly one goroutine
-// at a time, with no detector lock held — the emit callback can
-// therefore re-enter the detector freely. A re-entrant call finds
-// draining set, enqueues its deltas and returns; the active drainer
-// picks them up before exiting. Every mutating operation calls
-// drainEmits after releasing the state lock, so no delta is ever
-// stranded: either this call delivers it, or the drainer that was
-// active when it was enqueued does.
-func (d *Detector) drainEmits() {
-	if d.emit == nil {
-		return
-	}
-	for {
-		d.emitMu.Lock()
-		if d.draining || len(d.queue) == 0 {
-			d.emitMu.Unlock()
-			return
-		}
-		d.draining = true
-		q := d.queue
-		d.queue = nil
-		d.emitMu.Unlock()
-
-		for _, md := range q {
-			if d.stopped.Load() {
-				break
-			}
-			if !d.emit(md) {
-				d.stopped.Store(true)
-			}
-		}
-
-		d.emitMu.Lock()
-		d.draining = false
-		if len(d.queue) == 0 {
-			// Reclaim the delivered batch's backing array so
-			// steady-state emission (one small queue per operation)
-			// allocates nothing.
-			d.queue = q[:0]
-		}
-		d.emitMu.Unlock()
-	}
-}
+func (d *Detector) drainEmits() { d.emits.Drain() }
 
 // Flush materializes the current classified state as an exact Result —
 // the same Result Detect would produce on the resident relation:
@@ -633,6 +578,20 @@ func (d *Detector) Flush() *Result {
 	return res
 }
 
+// Resident returns the resident tuple stored for id — the
+// standardized deep copy the detector compares, not the instance the
+// caller passed to Add. Downstream consumers (the resolve.Integrator)
+// fuse these exact tuples so that incremental fusion is bit-identical
+// to the batch pipeline's. The returned tuple is shared with the
+// detector and must be treated as read-only; resident values are
+// immutable, so the pointer stays valid until the tuple is removed.
+func (d *Detector) Resident(id string) (*pdb.XTuple, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	x, ok := d.eng.byID[id]
+	return x, ok
+}
+
 // Len returns the resident tuple count.
 func (d *Detector) Len() int {
 	d.mu.Lock()
@@ -650,7 +609,7 @@ func (d *Detector) Stats() DetectorStats {
 		Dropped:    d.dropped,
 		Live:       len(d.live),
 		TotalPairs: ssr.TotalPairs(len(d.eng.xr.Tuples)),
-		Stopped:    d.stopped.Load(),
+		Stopped:    d.emits.Stopped(),
 	}
 	for _, m := range d.live {
 		switch m.Class {

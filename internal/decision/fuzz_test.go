@@ -1,6 +1,58 @@
 package decision
 
-import "testing"
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRules: parsing arbitrary multi-rule documents (comments,
+// blank lines, one rule per line) must never panic, and every accepted
+// document must yield only well-formed rules whose String forms parse
+// back to the same number of rules (round-trip fixed point).
+func FuzzParseRules(f *testing.F) {
+	f.Add("IF name > 0.8 AND job > 0.7 THEN DUPLICATES WITH CERTAINTY=0.8\nIF job > 0.5 THEN CERTAINTY=0.6\n")
+	f.Add("# comment\n\nIF name > 0.1 THEN CERTAINTY=0.5")
+	f.Add("IF name > 0.8 THEN CERTAINTY=1.0\nIF broken\n")
+	f.Add("IF name > x THEN CERTAINTY=y")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		schema := []string{"name", "job"}
+		rules, err := ParseRules(src, schema)
+		if err != nil {
+			return
+		}
+		var again []string
+		for _, r := range rules {
+			if len(r.Conditions) == 0 {
+				t.Fatal("accepted rule without conditions")
+			}
+			parts := make([]string, 0, len(r.Conditions))
+			for _, c := range r.Conditions {
+				if c.Attr < 0 || c.Attr >= len(schema) {
+					t.Fatalf("accepted unknown attribute %d", c.Attr)
+				}
+				parts = append(parts, fmt.Sprintf("%s > %v", schema[c.Attr], c.Threshold))
+			}
+			again = append(again, fmt.Sprintf("IF %s THEN DUPLICATES WITH CERTAINTY=%v",
+				strings.Join(parts, " AND "), r.Certainty))
+		}
+		// Accepted documents round-trip: rendering the parsed rules back
+		// to the paper syntax parses to the same structure counts.
+		back, err := ParseRules(strings.Join(again, "\n"), schema)
+		if err != nil {
+			t.Fatalf("rendered rules failed to parse: %v\n%s", err, strings.Join(again, "\n"))
+		}
+		if len(back) != len(rules) {
+			t.Fatalf("round trip changed rule count: %d → %d", len(rules), len(back))
+		}
+		for i := range back {
+			if len(back[i].Conditions) != len(rules[i].Conditions) {
+				t.Fatalf("round trip changed condition count of rule %d", i)
+			}
+		}
+	})
+}
 
 // FuzzParseRule: parsing arbitrary rule text must never panic, and every
 // accepted rule must be well-formed.

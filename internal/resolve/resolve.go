@@ -94,54 +94,103 @@ type Resolution struct {
 // Resolve builds the integrated result from a detection run on the given
 // x-relation. cal may be nil (LinearCalibration over opts' final
 // thresholds with lo=0.1, hi=0.9 is used).
+//
+// The result is canonical: member order inside an entity, entity order,
+// uncertain-duplicate order and lineage symbol declaration order all
+// derive from sorted tuple/entity IDs, so the same resident tuples and
+// the same match sets produce the same Resolution regardless of tuple
+// order or map iteration — the contract the incremental Integrator's
+// Flush reproduces.
 func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal Calibration) (*Resolution, error) {
 	if cal == nil {
 		cal = LinearCalibration(final, 0.1, 0.9)
 	}
 	byID := make(map[string]*pdb.XTuple, len(xr.Tuples))
-	order := make(map[string]int, len(xr.Tuples))
-	for i, x := range xr.Tuples {
+	ids := make([]string, 0, len(xr.Tuples))
+	for _, x := range xr.Tuples {
 		byID[x.ID] = x
-		order[x.ID] = i
+		ids = append(ids, x.ID)
 	}
 
-	// 1. Transitive closure over declared matches.
-	uf := newUnionFind()
-	for _, x := range xr.Tuples {
-		uf.add(x.ID)
-	}
-	for p := range res.Matches {
-		uf.union(p.A, p.B)
-	}
-	groups := map[string][]string{}
-	for _, x := range xr.Tuples {
-		root := uf.find(x.ID)
-		groups[root] = append(groups[root], x.ID)
-	}
-
-	// 2. Fuse each group into one entity (deterministic member order).
+	// 1+2. Transitive closure over declared matches, one fused entity
+	// per group.
 	r := &Resolution{Universe: lineage.NewUniverse()}
-	var roots []string
-	for root := range groups {
-		roots = append(roots, root)
-	}
-	sort.Slice(roots, func(i, j int) bool { return order[groups[roots[i]][0]] < order[groups[roots[j]][0]] })
-	for _, root := range roots {
-		members := groups[root]
-		sort.Slice(members, func(i, j int) bool { return order[members[i]] < order[members[j]] })
-		fused, err := fuseAll(members, byID)
+	for _, members := range matchGroups(ids, res.Matches) {
+		e, err := buildEntity(members, byID)
 		if err != nil {
 			return nil, err
 		}
-		r.Entities = append(r.Entities, Entity{ID: fused.ID, Members: members, Tuple: fused})
+		r.Entities = append(r.Entities, e)
 	}
+
+	// 3+4. Uncertain duplicates, lineage and the result relation.
+	if err := finishResolution(r, possibleOf(res), cal); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// matchGroups partitions the tuple IDs into transitive-closure groups
+// over the declared matches. Each group is sorted by tuple ID and the
+// groups are sorted by their smallest member — the canonical order
+// every caller (batch and incremental) agrees on.
+func matchGroups(ids []string, matches verify.PairSet) [][]string {
+	uf := newUnionFind()
+	for _, id := range ids {
+		uf.add(id)
+	}
+	for p := range matches {
+		uf.union(p.A, p.B)
+	}
+	groups := map[string][]string{}
+	for _, id := range ids {
+		root := uf.find(id)
+		groups[root] = append(groups[root], id)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// possibleOf extracts the possible matches of a detection result as a
+// pair → match map, the form the per-component steps consume.
+func possibleOf(res *core.Result) map[verify.Pair]core.Match {
+	possible := make(map[verify.Pair]core.Match, len(res.Possible))
+	for p := range res.Possible {
+		possible[p] = res.ByPair[p]
+	}
+	return possible
+}
+
+// buildEntity fuses one member group (sorted by ID) into an Entity —
+// the per-component unit of step 2, reused by the incremental
+// Integrator to re-fuse only touched components.
+func buildEntity(members []string, byID map[string]*pdb.XTuple) (Entity, error) {
+	fused, err := fuseMembers(members, byID)
+	if err != nil {
+		return Entity{}, err
+	}
+	return Entity{ID: fused.ID, Members: members, Tuple: fused}, nil
+}
+
+// finishResolution derives the cross-entity sections of a Resolution
+// whose Entities are already built: uncertain duplicates with lineage
+// symbols (step 3) and the lineage-annotated result relation (step 4).
+// possible holds the detection run's possible matches per pair. The
+// output is deterministic: uncertain pairs are processed in sorted
+// entity-ID order, which also fixes the universe's declaration order
+// and the ¬dup conjunction order of every entity's lineage.
+func finishResolution(r *Resolution, possible map[verify.Pair]core.Match, cal Calibration) error {
 	// Index the entities once, after the slice has stopped growing (so
 	// the pointers stay valid): by entity ID for the merge lookups of
 	// step 3, and by member tuple ID for mapping possible matches to
-	// entities. Both were previously O(E) scans per uncertain pair,
-	// making step 3 quadratic in the entity count.
+	// entities.
 	entitiesByID := make(map[string]*Entity, len(r.Entities))
-	entityOf := make(map[string]*Entity, len(xr.Tuples)) // source tuple ID → entity
+	entityOf := map[string]*Entity{} // source tuple ID → entity
 	for i := range r.Entities {
 		e := &r.Entities[i]
 		entitiesByID[e.ID] = e
@@ -154,13 +203,12 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 	// duplicates with lineage. Multiple P pairs between the same two
 	// entities collapse to the strongest one.
 	strongest := map[verify.Pair]core.Match{}
-	for p := range res.Possible {
+	for p, m := range possible {
 		ea, eb := entityOf[p.A], entityOf[p.B]
 		if ea == nil || eb == nil || ea.ID == eb.ID {
 			continue
 		}
 		key := verify.NewPair(ea.ID, eb.ID)
-		m := res.ByPair[p]
 		if cur, ok := strongest[key]; !ok || m.Sim > cur.Sim {
 			strongest[key] = m
 		}
@@ -183,11 +231,11 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 		p := cal(m.Sim)
 		sym, err := r.Universe.Declare(symID, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		merged, err := fusion.MergeXTuples(ea+"+"+eb, entitiesByID[ea].Tuple, entitiesByID[eb].Tuple, 1, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Uncertain = append(r.Uncertain, UncertainDuplicate{
 			A: ea, B: eb, Sym: symID, P: p, Merged: merged,
@@ -212,11 +260,15 @@ func Resolve(xr *pdb.XRelation, res *core.Result, final decision.Thresholds, cal
 		}
 		r.Tuples = append(r.Tuples, LTuple{Tuple: e.Tuple, Lineage: lin})
 	}
-	return r, nil
+	return nil
 }
 
-// fuseAll merges the member tuples pairwise with equal source weights.
-func fuseAll(members []string, byID map[string]*pdb.XTuple) (*pdb.XTuple, error) {
+// fuseMembers merges the member tuples pairwise with equal source
+// weights, folding in the canonical sorted-ID order the members arrive
+// in — never in map-iteration order, so two runs over the same input
+// produce bit-identical fused tuples. The fused ID is the member IDs
+// joined with '+'.
+func fuseMembers(members []string, byID map[string]*pdb.XTuple) (*pdb.XTuple, error) {
 	cur := byID[members[0]].Clone()
 	if len(members) == 1 {
 		return cur, nil

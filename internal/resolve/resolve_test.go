@@ -2,6 +2,7 @@ package resolve
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"probdedup/internal/core"
@@ -188,6 +189,43 @@ func TestResolvePossibleInsideEntityIgnored(t *testing.T) {
 	}
 	if len(r.Tuples) != 1 || r.Tuples[0].Lineage != nil && r.Tuples[0].Lineage.String() != "⊤" {
 		t.Fatalf("result tuples %v", r.Tuples)
+	}
+}
+
+// TestResolveDeterministicFusion is the regression test for the
+// member-fold order: fuseMembers folds in canonical sorted-ID order
+// (never map-iteration order), so two runs over the same input — and
+// runs over a shuffled relation — produce identical fused tuples,
+// entity lists, lineage and confidences, bit for bit.
+func TestResolveDeterministicFusion(t *testing.T) {
+	xr, res, final := detectR34(t)
+	first, err := Resolve(xr, res, final, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		again, err := Resolve(xr, res, final, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d differs from first run\n--- again ---\n%s--- first ---\n%s",
+				run, renderResolution(again), renderResolution(first))
+		}
+	}
+	// Canonical order also makes the result independent of tuple order:
+	// reverse the relation (the match sets are order-free pair sets).
+	rev := pdb.NewXRelation(xr.Name, xr.Schema...)
+	for i := len(xr.Tuples) - 1; i >= 0; i-- {
+		rev.Append(xr.Tuples[i])
+	}
+	shuffled, err := Resolve(rev, res, final, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shuffled, first) {
+		t.Fatalf("reversed relation changed the resolution\n--- reversed ---\n%s--- first ---\n%s",
+			renderResolution(shuffled), renderResolution(first))
 	}
 }
 

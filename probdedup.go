@@ -43,6 +43,13 @@
 // reductions additionally fan out per block. Worker count never
 // changes the classifications, only throughput and emission order.
 //
+// For continuously arriving data, NewDetector maintains the classified
+// pair set online (Add/AddBatch/Remove, exact at every prefix), and
+// NewIntegrator layers the paper's Sec. VI integration on top: a live
+// entity set with uncertain duplicates and lineage, maintained by
+// component-local rebuilds and reported as typed EntityDelta events —
+// Flush always equals batch Resolve over Detect on the residents.
+//
 // See the examples directory for complete programs and DESIGN.md /
 // EXPERIMENTS.md for the mapping to the paper.
 package probdedup
@@ -577,6 +584,67 @@ func Resolve(xr *XRelation, res *Result, final Thresholds, cal Calibration) (*Re
 // thresholds.
 func LinearCalibration(t Thresholds, lo, hi float64) Calibration {
 	return resolve.LinearCalibration(t, lo, hi)
+}
+
+// ---- Incremental online integration ----
+
+type (
+	// Integrator is the long-lived online integration engine: it
+	// composes a Detector and folds its match-delta stream into a live
+	// Resolution, rebuilding only the entity components an arrival or
+	// removal touches and emitting typed EntityDelta events. See
+	// NewIntegrator.
+	Integrator = resolve.Integrator
+	// EntityDelta is one change to the live integrated result.
+	EntityDelta = resolve.EntityDelta
+	// EntityDeltaKind classifies entity deltas (created, merged,
+	// split, refused, retired).
+	EntityDeltaKind = resolve.EntityDeltaKind
+	// IntegratorStats summarizes an Integrator's state and work.
+	IntegratorStats = resolve.IntegratorStats
+)
+
+// Entity delta kinds emitted by an Integrator.
+const (
+	// EntityCreated: a brand-new entity from fresh arrivals only.
+	EntityCreated = resolve.EntityCreated
+	// EntityMerged: an entity absorbed prior entities (EntityDelta.From).
+	EntityMerged = resolve.EntityMerged
+	// EntitySplit: an entity holds a strict subset of a prior entity's
+	// members after a match drop or removal.
+	EntitySplit = resolve.EntitySplit
+	// EntityRefused: membership unchanged, but the entity was
+	// re-derived — its uncertain-duplicate partners, lineage or
+	// confidence may differ.
+	EntityRefused = resolve.EntityRefused
+	// EntityRetired: the entity's last member was removed.
+	EntityRetired = resolve.EntityRetired
+)
+
+// NewIntegrator builds an empty online integration engine over the
+// given schema — the incremental form of Resolve, one layer above
+// NewDetector. Tuples arrive (Add/AddBatch) and leave (Remove); the
+// composed Detector maintains the classified pair set and the
+// integrator folds its delta stream into a live entity set: declared
+// matches maintain entity membership through component-local rebuilds
+// (only touched components are re-grouped and re-fused), and possible
+// matches are kept as uncertain duplicates whose lineage and
+// confidences are re-derived per touched entity.
+//
+// The exactness contract extends the Detector's one layer up: after
+// any sequence of Add, AddBatch and Remove calls, Flush returns
+// exactly the Resolution batch Resolve would produce over Detect on
+// the resident relation, at any Options.Workers setting — and the
+// emitted entity-delta stream is identical at every worker count.
+// Uncertain-duplicate probabilities are calibrated like Resolve's
+// default (LinearCalibration over Options.Final with lo=0.1, hi=0.9).
+//
+// emit receives every entity delta as it happens, sequentially and
+// outside the integrator's lock (it may call back into the
+// integrator); nil is allowed when only Flush snapshots are needed,
+// and a false return permanently stops delivery.
+func NewIntegrator(schema []string, opts Options, emit func(EntityDelta) bool) (*Integrator, error) {
+	return resolve.NewIntegrator(schema, opts, emit)
 }
 
 // ---- Dataset generation and IO ----

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Coverage ratchet: run the test suite with coverage and fail the
+# build when any package — or the total — drops below the floors
+# recorded in coverage-baseline.txt. Raising coverage? Ratchet the
+# floor up in the baseline so it cannot regress again.
+#
+# Usage: scripts/coverage_ratchet.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=coverage-baseline.txt
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+# One test run produces both the per-package "coverage: X% of
+# statements" lines and the merged profile for the total. Echo the
+# output before failing on a broken test, or the CI log would show
+# nothing about which test failed.
+if ! out=$(go test -count=1 -coverprofile="$profile" ./...); then
+  echo "$out"
+  echo "coverage ratchet: test run failed" >&2
+  exit 1
+fi
+echo "$out"
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub("%","",$3); print $3}')
+
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in '' | \#*) continue ;; esac
+  if [ "$pkg" = total ]; then
+    actual=$total
+  else
+    actual=$(echo "$out" | awk -v p="$pkg" '
+      $1 == "ok" && $2 == p {
+        for (i = 1; i <= NF; i++) if ($i == "coverage:") { gsub("%","",$(i+1)); print $(i+1) }
+      }')
+  fi
+  if [ -z "$actual" ]; then
+    echo "coverage ratchet: no coverage reported for $pkg (package removed? update $baseline)" >&2
+    fail=1
+    continue
+  fi
+  if awk -v a="$actual" -v f="$floor" 'BEGIN { exit !(a+0 < f+0) }'; then
+    echo "coverage ratchet: $pkg at ${actual}% dropped below its ${floor}% floor" >&2
+    fail=1
+  fi
+done <"$baseline"
+
+# Packages new since the baseline should be added with a floor.
+echo "$out" | awk '$1 == "ok" {print $2}' | while read -r pkg; do
+  if ! awk -v p="$pkg" '$1 == p {found=1} END {exit !found}' "$baseline"; then
+    echo "coverage ratchet: note: $pkg has no recorded floor in $baseline" >&2
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "coverage ratchet: FAILED (total ${total}%)" >&2
+  exit 1
+fi
+echo "coverage ratchet: OK (total ${total}%, all floors satisfied)"
