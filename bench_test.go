@@ -351,6 +351,14 @@ func detectorBenchOpts(b *testing.B, schema []string, reduction string) probdedu
 		opts.Reduction = probdedup.BlockingCertain{Key: def}
 	case "snm":
 		opts.Reduction = probdedup.SNMCertain{Key: def, Window: 4}
+	case "snm-alternatives":
+		opts.Reduction = probdedup.SNMAlternatives{Key: def, Window: 4}
+	case "snm-ranked":
+		opts.Reduction = probdedup.SNMRanked{Key: def, Window: 4}
+	case "snm-multipass":
+		opts.Reduction = probdedup.SNMMultiPass{Key: def, Window: 4, Select: probdedup.TopWorlds, K: 3}
+	case "blocking-cluster":
+		opts.Reduction = probdedup.BlockingCluster{Key: def, K: 16, Seed: 1}
 	default:
 		b.Fatalf("unknown reduction %q", reduction)
 	}
@@ -378,9 +386,33 @@ func detectorBenchCorpus(b *testing.B, n int) (resident, pool []*probdedup.XTupl
 // the resident size genuinely stays at n regardless of b.N; ns/op
 // therefore covers one Add plus one Remove (the Remove share is the
 // pair retraction, plus the window re-entry comparisons for SNM).
+//
+// Every incremental reduction is in the sweep. The per-alternative
+// sorted neighborhood and the epoch-based cluster blocking run at the
+// same sizes as the certain-key methods — their per-arrival cost must
+// stay roughly flat too (the cluster reseal is amortized over
+// MaxDrift·n arrivals). The ranked sorted neighborhood avoids any
+// from-scratch re-rank, but its order re-check is Θ(movers) per
+// arrival — residents whose key span overlaps the arrival's, a
+// data-dependent fraction that the synthetic corpus's fuzzy keys push
+// toward Θ(n) — so it sweeps smaller sizes, as does the multi-pass
+// method, which re-selects its possible-world sample per arrival
+// (linear in the residents by construction).
 func BenchmarkDetectorAdd(b *testing.B) {
-	for _, reduction := range []string{"blocking", "snm"} {
-		for _, n := range []int{1000, 5000, 10000} {
+	sweep := []struct {
+		reduction string
+		sizes     []int
+	}{
+		{"blocking", []int{1000, 5000, 10000}},
+		{"snm", []int{1000, 5000, 10000}},
+		{"snm-alternatives", []int{1000, 5000, 10000}},
+		{"snm-ranked", []int{500, 1000, 2000}},
+		{"blocking-cluster", []int{1000, 5000, 10000}},
+		{"snm-multipass", []int{100, 250}},
+	}
+	for _, sw := range sweep {
+		reduction := sw.reduction
+		for _, n := range sw.sizes {
 			b.Run(fmt.Sprintf("%s/resident=%d", reduction, n), func(b *testing.B) {
 				resident, pool, schema := detectorBenchCorpus(b, n)
 				det, err := probdedup.NewDetector(schema, detectorBenchOpts(b, schema, reduction), nil)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"probdedup"
+)
+
+// benchEntry is one method's online ingestion trajectory point: the
+// cost of seeding the resident relation plus the steady-state cost of
+// one arrival (an Add and the Remove that retires it) at that size.
+// Bounded-staleness methods also report their epoch drift so a
+// regression gate can correlate cost spikes with reseals.
+type benchEntry struct {
+	Method       string `json:"method"`
+	Tier         string `json:"tier"`
+	Residents    int    `json:"residents"`
+	SeedNs       int64  `json:"seed_ns"`
+	Arrivals     int    `json:"arrivals"`
+	NsPerArrival int64  `json:"ns_per_arrival"`
+	LivePairs    int    `json:"live_pairs"`
+	Compared     int    `json:"compared"`
+	Epoch        *int   `json:"epoch,omitempty"`
+	Drifted      *int   `json:"drifted,omitempty"`
+}
+
+// benchReport is the machine-readable BENCH_*.json payload.
+type benchReport struct {
+	Suite    string       `json:"suite"`
+	Entities int          `json:"entities"`
+	Seed     int64        `json:"seed"`
+	Entries  []benchEntry `json:"entries"`
+}
+
+// benchMethods enumerates every built-in reduction method the online
+// detector supports, in a fixed order so successive JSON files diff
+// cleanly.
+func benchMethods(def probdedup.KeyDef) []struct {
+	name      string
+	tier      string
+	reduction probdedup.ReductionMethod
+} {
+	return []struct {
+		name      string
+		tier      string
+		reduction probdedup.ReductionMethod
+	}{
+		{"cross-product", "exact", probdedup.CrossProduct{}},
+		{"blocking-certain", "exact", probdedup.BlockingCertain{Key: def}},
+		{"blocking-alternatives", "exact", probdedup.BlockingAlternatives{Key: def}},
+		{"snm-certain", "exact", probdedup.SNMCertain{Key: def, Window: 4}},
+		{"snm-alternatives", "exact", probdedup.SNMAlternatives{Key: def, Window: 4}},
+		{"snm-ranked", "exact", probdedup.SNMRanked{Key: def, Window: 4}},
+		{"snm-multipass", "exact", probdedup.SNMMultiPass{Key: def, Window: 4, Select: probdedup.TopWorlds, K: 3}},
+		{"blocking-cluster", "bounded-staleness", probdedup.BlockingCluster{Key: def, K: 8, Seed: 1}},
+	}
+}
+
+// runBenchJSON measures the online detector's per-arrival ingestion
+// cost for every built-in reduction method over a synthetic corpus and
+// writes the trajectory to path as machine-readable JSON — the
+// BENCH_*.json format the CI bench smoke checks and the scaling
+// roadmap grows (larger resident counts, worker sweeps).
+func runBenchJSON(path string, entities int, seed int64) error {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(entities, seed))
+	u := d.Union()
+	def, err := probdedup.ParseKeyDef("name:4+job:2", u.Schema)
+	if err != nil {
+		return err
+	}
+	// Four of five tuples seed the resident relation; the rest are the
+	// arrival pool that measures steady-state ingestion.
+	split := len(u.Tuples) * 4 / 5
+	resident, pool := u.Tuples[:split], u.Tuples[split:]
+	if len(pool) == 0 {
+		return fmt.Errorf("corpus too small: %d tuples leave no arrival pool", len(u.Tuples))
+	}
+
+	report := benchReport{Suite: "online-detector", Entities: entities, Seed: seed}
+	for _, m := range benchMethods(def) {
+		opts := probdedup.Options{
+			Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+			Reduction: m.reduction,
+			Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+		}
+		det, err := probdedup.NewDetector(u.Schema, opts, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		start := time.Now()
+		if err := det.AddBatch(resident); err != nil {
+			return fmt.Errorf("%s: seed: %w", m.name, err)
+		}
+		seedNs := time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		for i, x := range pool {
+			x = x.Clone()
+			x.ID = fmt.Sprintf("arrival-%d", i)
+			if err := det.Add(x); err != nil {
+				return fmt.Errorf("%s: add: %w", m.name, err)
+			}
+			if err := det.Remove(x.ID); err != nil {
+				return fmt.Errorf("%s: remove: %w", m.name, err)
+			}
+		}
+		perArrival := time.Since(start).Nanoseconds() / int64(len(pool))
+
+		stats := det.Stats()
+		entry := benchEntry{
+			Method:       m.name,
+			Tier:         m.tier,
+			Residents:    stats.Residents,
+			SeedNs:       seedNs,
+			Arrivals:     len(pool),
+			NsPerArrival: perArrival,
+			LivePairs:    stats.Live,
+			Compared:     stats.Compared,
+		}
+		if st := stats.Staleness; st != nil {
+			epoch, drifted := st.Epoch, st.Drifted
+			entry.Epoch = &epoch
+			entry.Drifted = &drifted
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunBenchJSON runs the trajectory writer over a small corpus and
+// checks the structural contract of the emitted file: one entry per
+// built-in reduction method, positive measurements, and epoch/drift
+// fields present exactly on the bounded-staleness tier.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_online.json")
+	if err := runBenchJSON(path, 30, 7); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if report.Suite != "online-detector" || report.Entities != 30 || report.Seed != 7 {
+		t.Fatalf("header = %+v", report)
+	}
+	want := map[string]string{
+		"cross-product":         "exact",
+		"blocking-certain":      "exact",
+		"blocking-alternatives": "exact",
+		"snm-certain":           "exact",
+		"snm-alternatives":      "exact",
+		"snm-ranked":            "exact",
+		"snm-multipass":         "exact",
+		"blocking-cluster":      "bounded-staleness",
+	}
+	if len(report.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(report.Entries), len(want))
+	}
+	for _, e := range report.Entries {
+		tier, ok := want[e.Method]
+		if !ok {
+			t.Fatalf("unexpected method %q", e.Method)
+		}
+		delete(want, e.Method)
+		if e.Tier != tier {
+			t.Fatalf("%s: tier = %q, want %q", e.Method, e.Tier, tier)
+		}
+		if e.Residents <= 0 || e.Arrivals <= 0 || e.SeedNs <= 0 || e.NsPerArrival <= 0 {
+			t.Fatalf("%s: non-positive measurement: %+v", e.Method, e)
+		}
+		if stale := tier == "bounded-staleness"; (e.Epoch != nil) != stale || (e.Drifted != nil) != stale {
+			t.Fatalf("%s: epoch/drift presence does not match tier: %+v", e.Method, e)
+		}
+	}
+	for m := range want {
+		t.Fatalf("missing method %q", m)
+	}
+}

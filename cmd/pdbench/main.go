@@ -4,10 +4,15 @@
 // Usage:
 //
 //	pdbench [-exp all|paper|s01|s02|s03|s04] [-entities n] [-seed n]
+//	pdbench -bench-json BENCH_online.json [-entities n] [-seed n]
 //
 // The E-experiments print the exact quantities of the paper's figures next
 // to the measured values; the S-experiments print the evaluation tables
-// recorded in EXPERIMENTS.md.
+// recorded in EXPERIMENTS.md. With -bench-json the command instead
+// measures the online detector's seeding and per-arrival ingestion cost
+// for every built-in reduction method and writes the trajectory to the
+// given file as machine-readable JSON (the BENCH_*.json regression
+// format).
 package main
 
 import (
@@ -22,7 +27,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, paper, s01, s02, s03, s04, s05, a01, a02")
 	entities := flag.Int("entities", 150, "entities in the synthetic corpus")
 	seed := flag.Int64("seed", 42, "generator seed")
+	benchJSON := flag.String("bench-json", "", "write the online ingestion trajectory to this BENCH_*.json file and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *entities, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *exp {
 	case "all":

@@ -75,6 +75,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		reduceName  = fs.String("reduce", "none", "reduction: none, snm-certain, snm-alternatives, snm-ranked, snm-ranked-median, snm-multipass, blocking-certain, blocking-alternatives, blocking-cluster")
 		window      = fs.Int("window", 3, "sorted neighborhood window size")
 		kWorlds     = fs.Int("worlds", 8, "worlds for snm-multipass")
+		kClusters   = fs.Int("k", 0, "clusters for blocking-cluster (0 = residents/8 heuristic, at least 2)")
+		seed        = fs.Int64("seed", 1, "clustering seed for blocking-cluster")
 		deriveName  = fs.String("derive", "similarity", "derivation: similarity, decision, eta, mpw, max")
 		lambda      = fs.Float64("lambda", 0.4, "threshold Tλ (below: non-match)")
 		mu          = fs.Float64("mu", 0.7, "threshold Tμ (above: match)")
@@ -115,6 +117,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *integrate && *showAll {
 		fmt.Fprintln(stderr, "pdedup: -v applies to pair deltas only; -integrate always prints every entity delta")
+		return 2
+	}
+	// -k / -seed shape the blocking-cluster clustering only; passing
+	// them with another reduction would be silently ignored, so reject.
+	clusterFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "k" || f.Name == "seed" {
+			clusterFlags[f.Name] = true
+		}
+	})
+	if len(clusterFlags) > 0 && *reduceName != "blocking-cluster" {
+		fmt.Fprintln(stderr, "pdedup: -k and -seed apply to -reduce blocking-cluster only")
+		return 2
+	}
+	if *kClusters < 0 {
+		fmt.Fprintln(stderr, "pdedup: -k must be >= 0 (0 selects the residents/8 heuristic)")
 		return 2
 	}
 
@@ -177,7 +195,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "pdedup:", err)
 			return 1
 		}
-		opts.Reduction, err = reductionByName(*reduceName, def, *window, *kWorlds)
+		opts.Reduction, err = reductionByName(*reduceName, def, *window, *kWorlds, *kClusters, *seed)
 		if err != nil {
 			fmt.Fprintln(stderr, "pdedup:", err)
 			return 1
@@ -546,7 +564,7 @@ func deriveByName(name string) (probdedup.Derivation, error) {
 	return nil, fmt.Errorf("unknown derivation %q", name)
 }
 
-func reductionByName(name string, def probdedup.KeyDef, window, kWorlds int) (probdedup.ReductionMethod, error) {
+func reductionByName(name string, def probdedup.KeyDef, window, kWorlds, kClusters int, seed int64) (probdedup.ReductionMethod, error) {
 	switch name {
 	case "snm-certain":
 		return probdedup.SNMCertain{Key: def, Window: window}, nil
@@ -563,7 +581,7 @@ func reductionByName(name string, def probdedup.KeyDef, window, kWorlds int) (pr
 	case "blocking-alternatives":
 		return probdedup.BlockingAlternatives{Key: def}, nil
 	case "blocking-cluster":
-		return probdedup.BlockingCluster{Key: def, Seed: 1}, nil
+		return probdedup.BlockingCluster{Key: def, K: kClusters, Seed: seed}, nil
 	}
 	return nil, fmt.Errorf("unknown reduction %q", name)
 }

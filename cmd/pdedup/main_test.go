@@ -132,6 +132,36 @@ func TestRunWorkersAndDerivations(t *testing.T) {
 	}
 }
 
+// TestRunBlockingCluster drives the blocking-cluster reduction through
+// the CLI with explicit -k and -seed, in batch mode and online under
+// -follow (the bounded-staleness tier).
+func TestRunBlockingCluster(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-key", "name:3+job:2", "-reduce", "blocking-cluster", "-k", "2", "-seed", "7", r3, r4,
+	}, strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "compared") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	stdin := strings.NewReader(`{"id":"x","attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}` + "\n")
+	code = run([]string{
+		"-follow", "-key", "name:3+job:2", "-reduce", "blocking-cluster", "-k", "2", r3, r4,
+	}, stdin, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("follow exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "resident 6 tuples") {
+		t.Fatalf("follow output:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	r3, _, _, _ := writeFixtures(t)
 	cases := []struct {
@@ -147,6 +177,9 @@ func TestRunErrors(t *testing.T) {
 		{"bad reduce", []string{"-key", "name:3", "-reduce", "nope", r3}},
 		{"bad key", []string{"-key", "zzz:3", "-reduce", "snm-certain", r3}},
 		{"bad flag", []string{"-definitely-not-a-flag", r3}},
+		{"k with other reduce", []string{"-key", "name:3", "-reduce", "snm-certain", "-k", "2", r3}},
+		{"seed with other reduce", []string{"-key", "name:3", "-reduce", "snm-certain", "-seed", "2", r3}},
+		{"negative k", []string{"-key", "name:3", "-reduce", "blocking-cluster", "-k", "-1", r3}},
 	}
 	for _, c := range cases {
 		var out, errOut bytes.Buffer
@@ -326,7 +359,8 @@ func TestRunFollowErrors(t *testing.T) {
 		{"schema with seed files", []string{"-follow", "-schema", "name", "/nonexistent.pdb"}, ""},
 		{"bad json", []string{"-follow", "-schema", "name"}, "{not json\n"},
 		{"remove unknown", []string{"-follow", "-schema", "name"}, "remove ghost\n"},
-		{"non-incremental reduce", []string{"-follow", "-schema", "name", "-key", "name:3", "-reduce", "snm-ranked"}, ""},
+		{"k without blocking-cluster", []string{"-follow", "-schema", "name", "-key", "name:3", "-reduce", "snm-certain", "-k", "3"}, ""},
+		{"seed without blocking-cluster", []string{"-follow", "-schema", "name", "-key", "name:3", "-reduce", "snm-ranked", "-seed", "7"}, ""},
 		{"arity mismatch", []string{"-follow", "-schema", "name,job"}, `{"id":"a","attrs":[[{"v":"Tim"}]]}` + "\n"},
 	}
 	for _, c := range cases {

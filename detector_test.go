@@ -144,8 +144,19 @@ func TestPublicDetectorErrors(t *testing.T) {
 	}
 }
 
+// batchOnlyReduction is a user-defined reduction without incremental
+// support; NewIncrementalIndex must reject it with ErrNotIncremental.
+type batchOnlyReduction struct{}
+
+func (batchOnlyReduction) Name() string { return "batch-only" }
+func (batchOnlyReduction) Candidates(*probdedup.XRelation) probdedup.PairSet {
+	return nil
+}
+
 // TestPublicIncrementalIndex checks the exported index constructor:
-// supported methods yield a working index, unsupported ones an error.
+// every built-in method yields a working index (BlockingCluster on
+// the bounded-staleness tier), and a user-defined method without
+// incremental support fails with ErrNotIncremental.
 func TestPublicIncrementalIndex(t *testing.T) {
 	idx, err := probdedup.NewIncrementalIndex(nil)
 	if err != nil {
@@ -164,7 +175,18 @@ func TestPublicIncrementalIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := probdedup.NewIncrementalIndex(probdedup.SNMRanked{Key: def, Window: 3}); err == nil {
-		t.Fatal("expected an error for a globally-dependent reduction")
+	if _, err := probdedup.NewIncrementalIndex(probdedup.SNMRanked{Key: def, Window: 3}); err != nil {
+		t.Fatalf("SNMRanked is incrementally maintainable, got error %v", err)
+	}
+	cidx, err := probdedup.NewIncrementalIndex(probdedup.BlockingCluster{Key: def, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cidx.(probdedup.EpochIndex); !ok {
+		t.Fatalf("BlockingCluster index is not an EpochIndex: %T", cidx)
+	}
+	_, err = probdedup.NewIncrementalIndex(batchOnlyReduction{})
+	if !errors.Is(err, probdedup.ErrNotIncremental) {
+		t.Fatalf("error %v does not wrap ErrNotIncremental", err)
 	}
 }

@@ -37,6 +37,11 @@ type Clustering struct {
 	Assign []int
 	// K is the number of clusters.
 	K int
+	// Centroids holds the final cluster centers in the embedded key
+	// space, indexed by cluster. Only UKMeans populates it; consumers
+	// use it to place later arrivals by nearest centroid without
+	// re-clustering.
+	Centroids []float64
 }
 
 // Blocks converts the clustering into blocks of item indices.
@@ -48,38 +53,66 @@ func (c Clustering) Blocks() [][]int {
 	return out
 }
 
-// embed maps each item to its expected position in the global sorted key
-// universe, normalized to [0,1].
-func embed(items []Item) []float64 {
-	universe := map[string]int{}
+// Embedding is the frozen key-position map of one clustering run: every
+// distinct key of the clustered items gets its rank in the sorted key
+// universe, normalized to [0,1]. Freezing it lets later arrivals be
+// embedded in the same space (and so compared against the run's
+// centroids) without re-clustering.
+type Embedding struct {
+	keys  []string
+	index map[string]int
+	denom float64
+}
+
+// NewEmbedding builds the embedding of the items' key universe.
+func NewEmbedding(items []Item) *Embedding {
+	index := map[string]int{}
 	var all []string
 	for _, it := range items {
 		for _, kp := range it.Keys {
-			if _, ok := universe[kp.Key]; !ok {
-				universe[kp.Key] = 0
+			if _, ok := index[kp.Key]; !ok {
+				index[kp.Key] = 0
 				all = append(all, kp.Key)
 			}
 		}
 	}
 	sort.Strings(all)
 	for i, k := range all {
-		universe[k] = i
+		index[k] = i
 	}
 	denom := float64(len(all) - 1)
 	if denom <= 0 {
 		denom = 1
 	}
+	return &Embedding{keys: all, index: index, denom: denom}
+}
+
+// Pos maps an uncertain key to its expected normalized position. Keys
+// outside the frozen universe take their would-be insertion rank, so
+// unseen arrivals still land between their lexicographic neighbors.
+func (e *Embedding) Pos(ks []keys.KeyProb) float64 {
+	sum, total := 0.0, 0.0
+	for _, kp := range ks {
+		idx, ok := e.index[kp.Key]
+		if !ok {
+			idx = sort.SearchStrings(e.keys, kp.Key)
+		}
+		sum += kp.P * float64(idx)
+		total += kp.P
+	}
+	if total > 0 {
+		sum /= total
+	}
+	return sum / e.denom
+}
+
+// embed maps each item to its expected position in the global sorted key
+// universe, normalized to [0,1].
+func embed(items []Item) []float64 {
+	e := NewEmbedding(items)
 	out := make([]float64, len(items))
 	for i, it := range items {
-		e, total := 0.0, 0.0
-		for _, kp := range it.Keys {
-			e += kp.P * float64(universe[kp.Key])
-			total += kp.P
-		}
-		if total > 0 {
-			e /= total
-		}
-		out[i] = e / denom
+		out[i] = e.Pos(it.Keys)
 	}
 	return out
 }
@@ -151,7 +184,7 @@ func UKMeans(items []Item, k int, maxIter int, rng *rand.Rand) Clustering {
 			break
 		}
 	}
-	return Clustering{Assign: assign, K: k}
+	return Clustering{Assign: assign, K: k, Centroids: centroids}
 }
 
 // ExpectedDistance returns E[d(a,b)] over the two key distributions, with

@@ -100,6 +100,10 @@ type DetectorStats struct {
 	TotalPairs int
 	// Stopped reports that the emit callback ended delta delivery.
 	Stopped bool
+	// Staleness reports the epoch drift of a bounded-staleness
+	// reduction index (ssr.EpochIndex, e.g. BlockingCluster); nil for
+	// exact-tier reductions.
+	Staleness *ssr.Staleness
 	// Cache holds the shared similarity cache counters (zero value
 	// when memoization is disabled).
 	Cache avm.CacheStats
@@ -109,12 +113,18 @@ type DetectorStats struct {
 // (and leave) one at a time or in batches, and each arrival is
 // compared only against the candidates produced by incremental index
 // maintenance (ssr.IncrementalIndex) instead of re-running the batch
-// pipeline. Ingestion is equivalent to batch Detect: after any
-// sequence of Add, AddBatch and Remove calls, Flush returns exactly
-// the Result Detect would produce on the resident relation, for every
-// reduction method that supports incremental maintenance (cross
-// product, SNMCertain, BlockingCertain, BlockingAlternatives, and
-// pruned compositions of them) — at any Options.Workers setting.
+// pipeline. Every built-in reduction method is supported. For the
+// exact tier — cross product, SNMCertain, SNMRanked (all strategies),
+// SNMAlternatives, SNMMultiPass, BlockingCertain,
+// BlockingAlternatives, and pruned compositions — ingestion is
+// equivalent to batch Detect: after any sequence of Add, AddBatch and
+// Remove calls, Flush returns exactly the Result Detect would produce
+// on the resident relation, at any Options.Workers setting.
+// BlockingCluster runs on the bounded-staleness tier (ssr.EpochIndex):
+// between epoch reseals arrivals join the block of their nearest
+// centroid, and Flush matches batch Detect right after a reseal —
+// automatic when the configured drift bound is crossed, or forced with
+// Reseal. Stats reports the current drift.
 //
 // The detector reuses the batch engine's machinery: one bounded
 // similarity cache (Options.CacheCapacity) shared across the
@@ -303,6 +313,38 @@ func (d *Detector) register(x *pdb.XTuple) {
 	d.eng.byID[x.ID] = x
 	d.posOf[x.ID] = len(d.eng.xr.Tuples)
 	d.eng.xr.Append(x)
+}
+
+// Reseal forces a bounded-staleness reduction index (ssr.EpochIndex,
+// e.g. BlockingCluster) to seal its epoch now: the index recomputes
+// its placement decisions batch-identically over the residents, and
+// the resulting pair churn flows through the ordinary delta path —
+// re-blocked pairs are compared, vanished ones retracted, and the
+// emit callback sees plain add/drop deltas. Right after Reseal, Flush
+// equals batch Detect on the resident relation. For exact-tier
+// reductions (every other built-in method) Reseal is a no-op: their
+// maintained set already equals the batch set after every operation.
+func (d *Detector) Reseal() error {
+	d.mu.Lock()
+	err := d.resealLocked()
+	d.mu.Unlock()
+	d.drainEmits()
+	return err
+}
+
+func (d *Detector) resealLocked() error {
+	ei, ok := d.idx.(ssr.EpochIndex)
+	if !ok {
+		return nil
+	}
+	deltas := d.deltaBuf[:0]
+	ei.Reseal(func(pd ssr.PairDelta) bool {
+		deltas = append(deltas, pd)
+		return true
+	})
+	d.deltaBuf = deltas
+	_, err := d.applyDeltas(deltas)
+	return err
 }
 
 // Remove drops the tuple from the resident relation: the index yields
@@ -618,6 +660,10 @@ func (d *Detector) Stats() DetectorStats {
 		case decision.P:
 			st.Possible++
 		}
+	}
+	if ei, ok := d.idx.(ssr.EpochIndex); ok {
+		stale := ei.Staleness()
+		st.Staleness = &stale
 	}
 	if d.eng.cache != nil {
 		st.Cache = d.eng.cache.Stats()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -48,11 +49,18 @@ func incrementalReductions(t *testing.T, schema []string) map[string]ssr.Method 
 		t.Fatal(err)
 	}
 	return map[string]ssr.Method{
-		"cross-product":         nil,
-		"snm-certain":           ssr.SNMCertain{Key: def, Window: 4},
-		"blocking-certain":      ssr.BlockingCertain{Key: def},
-		"blocking-alternatives": ssr.BlockingAlternatives{Key: def},
-		"snm-certain+pruned":    ssr.NewFilter(ssr.SNMCertain{Key: def, Window: 5}, ssr.Pruning{MaxDiff: map[int]int{0: 4}}),
+		"cross-product":            nil,
+		"snm-certain":              ssr.SNMCertain{Key: def, Window: 4},
+		"snm-ranked":               ssr.SNMRanked{Key: def, Window: 4},
+		"snm-ranked-median":        ssr.SNMRanked{Key: def, Window: 3, Strategy: ssr.MedianKey},
+		"snm-ranked-mode":          ssr.SNMRanked{Key: def, Window: 3, Strategy: ssr.ModeKey},
+		"snm-alternatives":         ssr.SNMAlternatives{Key: def, Window: 4},
+		"snm-multipass-top":        ssr.SNMMultiPass{Key: def, Window: 3, Select: ssr.TopWorlds, K: 3},
+		"snm-multipass-dissimilar": ssr.SNMMultiPass{Key: def, Window: 3, Select: ssr.DissimilarWorlds, K: 2},
+		"blocking-certain":         ssr.BlockingCertain{Key: def},
+		"blocking-alternatives":    ssr.BlockingAlternatives{Key: def},
+		"snm-certain+pruned":       ssr.NewFilter(ssr.SNMCertain{Key: def, Window: 5}, ssr.Pruning{MaxDiff: map[int]int{0: 4}}),
+		"snm-ranked+pruned":        ssr.NewFilter(ssr.SNMRanked{Key: def, Window: 4}, ssr.Pruning{MaxDiff: map[int]int{0: 4}}),
 	}
 }
 
@@ -251,18 +259,23 @@ func TestDetectorStandardizer(t *testing.T) {
 	sameResult(t, det.Flush(), batch)
 }
 
+// batchOnlyMethod is a third-party reduction without the Incremental
+// hook, standing in for user code that has not opted in.
+type batchOnlyMethod struct{}
+
+func (batchOnlyMethod) Name() string                             { return "batch-only" }
+func (batchOnlyMethod) Candidates(*pdb.XRelation) verify.PairSet { return verify.PairSet{} }
+
 // TestDetectorErrors exercises the validation surface: unsupported
 // reductions, arity mismatches, duplicate IDs, unknown removals, and
 // nil tuples.
 func TestDetectorErrors(t *testing.T) {
 	schema := []string{"name", "job", "age"}
-	def, err := keys.ParseDef("name:3", schema)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewDetector(schema, incrementalOpts(ssr.SNMRanked{Key: def, Window: 3}), nil); err == nil {
+	if _, err := NewDetector(schema, incrementalOpts(batchOnlyMethod{}), nil); err == nil {
 		t.Fatal("expected an error for a non-incremental reduction")
-	} else if !strings.Contains(err.Error(), "incremental") {
+	} else if !errors.Is(err, ssr.ErrNotIncremental) {
+		t.Fatalf("error %q does not wrap ssr.ErrNotIncremental", err)
+	} else if !strings.Contains(err.Error(), "batch-only") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 	det, err := NewDetector(schema, incrementalOpts(nil), nil)
@@ -344,4 +357,108 @@ func TestDetectorAddIsolatesCallerTuple(t *testing.T) {
 	if m.Sim != 1 {
 		t.Fatalf("sim = %v, want 1 (caller mutation leaked into resident tuple)", m.Sim)
 	}
+}
+
+// TestDetectorBlockingClusterEpochs runs the bounded-staleness tier
+// end to end: BlockingCluster tuples stream through the detector,
+// drift stays within the configured bound (auto-reseals happen
+// in-band), Stats exposes the staleness report, the emitted delta
+// stream folds exactly to the flushed state across epoch flips, and a
+// manual Reseal makes Flush equal batch Detect on the residents — at
+// Workers 1 and 4 with identical results.
+func TestDetectorBlockingClusterEpochs(t *testing.T) {
+	u := shuffledUnion(t, 40, 41)
+	def, err := keys.ParseDef("name:3+job:2", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduction := ssr.BlockingCluster{Key: def, K: 4, Seed: 1, MaxDrift: 0.2}
+	results := map[int]*Result{}
+	for _, workers := range []int{1, 4} {
+		opts := incrementalOpts(reduction)
+		opts.Workers = workers
+		folded := map[verify.Pair]Match{}
+		det, err := NewDetector(u.Schema, opts, func(md MatchDelta) bool {
+			if md.Kind == DeltaDrop {
+				delete(folded, md.Pair)
+			} else {
+				folded[md.Pair] = md.Match
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range u.Tuples {
+			if err := det.Add(x); err != nil {
+				t.Fatal(err)
+			}
+			st := det.Stats()
+			if st.Staleness == nil {
+				t.Fatal("Stats().Staleness is nil for blocking-cluster")
+			}
+			if float64(st.Staleness.Drifted) > st.Staleness.Bound*float64(st.Staleness.Residents) {
+				t.Fatalf("after add %d: drift %d exceeds bound", i, st.Staleness.Drifted)
+			}
+		}
+		if ep := det.Stats().Staleness.Epoch; ep < 2 {
+			t.Fatalf("expected several epochs over the stream, got %d", ep)
+		}
+		if err := det.Reseal(); err != nil {
+			t.Fatal(err)
+		}
+		st := det.Stats()
+		if st.Staleness.Drifted != 0 {
+			t.Fatalf("Drifted = %d right after Reseal, want 0", st.Staleness.Drifted)
+		}
+		res := det.Flush()
+		if len(folded) != len(res.ByPair) {
+			t.Fatalf("folded deltas hold %d pairs, flush %d", len(folded), len(res.ByPair))
+		}
+		for p, m := range folded {
+			fm, ok := res.ByPair[p]
+			if !ok || fm.Sim != m.Sim || fm.Class != m.Class {
+				t.Fatalf("folded pair %v diverges from flush", p)
+			}
+		}
+		results[workers] = res
+	}
+	sameResult(t, results[4], results[1])
+
+	batch, err := Detect(u, incrementalOpts(reduction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, results[1], batch)
+}
+
+// TestDetectorResealNoOpOnExactTier checks that Reseal on an
+// exact-tier reduction changes nothing and emits nothing.
+func TestDetectorResealNoOpOnExactTier(t *testing.T) {
+	u := shuffledUnion(t, 15, 43)
+	emitted := 0
+	det, err := NewDetector(u.Schema, incrementalOpts(nil), func(MatchDelta) bool {
+		emitted++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range u.Tuples {
+		if err := det.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det.Stats().Staleness != nil {
+		t.Fatal("exact-tier reduction reports a staleness")
+	}
+	before := det.Flush()
+	n := emitted
+	if err := det.Reseal(); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != n {
+		t.Fatalf("Reseal on exact tier emitted %d deltas", emitted-n)
+	}
+	sameResult(t, det.Flush(), before)
 }

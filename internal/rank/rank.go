@@ -28,72 +28,19 @@ type Item struct {
 
 // ExpectedRanks computes E[rank] for every item. The expectation treats
 // ties as contributing half a position, the standard convention.
+//
+// The computation builds a Universe by adding items in slice order and
+// evaluating RankOf on each — the exact code path the incremental
+// maintenance in internal/ssr uses, so batch and online expected ranks are
+// bit-identical for the same item sequence.
 func ExpectedRanks(items []Item) []float64 {
-	// Gather the global key-mass table: for every distinct key string, the
-	// total probability mass across all items, plus per-item mass.
-	type entry struct {
-		key  string
-		item int
-		p    float64
+	u := NewUniverse()
+	for _, it := range items {
+		u.Add(it)
 	}
-	var entries []entry
-	for i, it := range items {
-		for _, kp := range it.Keys {
-			entries = append(entries, entry{kp.Key, i, kp.P})
-		}
-	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
-
-	// Distinct keys with cumulative mass strictly below each key.
-	type keyInfo struct {
-		key    string
-		total  float64 // total mass at this key over all items
-		below  float64 // total mass strictly below this key
-		perIdx map[int]float64
-	}
-	var infos []keyInfo
-	for i := 0; i < len(entries); {
-		j := i
-		ki := keyInfo{key: entries[i].key, perIdx: map[int]float64{}}
-		for j < len(entries) && entries[j].key == ki.key {
-			ki.total += entries[j].p
-			ki.perIdx[entries[j].item] += entries[j].p
-			j++
-		}
-		infos = append(infos, ki)
-		i = j
-	}
-	running := 0.0
-	for i := range infos {
-		infos[i].below = running
-		running += infos[i].total
-	}
-	byKey := make(map[string]*keyInfo, len(infos))
-	for i := range infos {
-		byKey[infos[i].key] = &infos[i]
-	}
-
 	out := make([]float64, len(items))
 	for i, it := range items {
-		// Mass of item i strictly below each of its own keys is needed to
-		// exclude self-comparison.
-		// ownBelow(k) = Σ of item i's mass at keys < k.
-		ownSorted := append([]keys.KeyProb(nil), it.Keys...)
-		sort.Slice(ownSorted, func(a, b int) bool { return ownSorted[a].Key < ownSorted[b].Key })
-		ownBelow := map[string]float64{}
-		acc := 0.0
-		for _, kp := range ownSorted {
-			ownBelow[kp.Key] = acc
-			acc += kp.P
-		}
-		e := 0.0
-		for _, kp := range it.Keys {
-			ki := byKey[kp.Key]
-			othersBelow := ki.below - ownBelow[kp.Key]
-			othersAt := ki.total - ki.perIdx[i]
-			e += kp.P * (othersBelow + 0.5*othersAt)
-		}
-		out[i] = e
+		out[i] = u.RankOf(it)
 	}
 	return out
 }

@@ -1,0 +1,214 @@
+package rank
+
+import "sort"
+
+// Universe is the incrementally maintained global key-mass table behind the
+// expected-rank semantics: for every distinct key string it tracks the total
+// probability mass across all member items and the cumulative mass strictly
+// below the key. Add, Remove and RankOf together support exact online
+// maintenance of the expected-rank order: RankOf evaluates the same
+// summation, over the same values, in the same order as the batch
+// ExpectedRanks, so a Universe grown by Add calls over items in relation
+// order yields bit-identical ranks to a from-scratch batch computation over
+// that relation.
+//
+// Item IDs must be unique across members; contributions are attributed by
+// ID so that an item's own mass can be excluded from its rank.
+type Universe struct {
+	keys    []string    // distinct keys, ascending
+	contrib [][]contrib // per key: contributions in arrival order
+	total   []float64   // per key: left-fold sum of contrib masses
+	below   []float64   // per key: total mass strictly below the key
+	members int
+}
+
+type contrib struct {
+	id string
+	p  float64
+}
+
+// NewUniverse returns an empty key-mass table.
+func NewUniverse() *Universe { return &Universe{} }
+
+// Members reports how many items currently contribute mass.
+func (u *Universe) Members() int { return u.members }
+
+// keyIndex locates k in the sorted key list, reporting whether it is
+// present.
+func (u *Universe) keyIndex(k string) (int, bool) {
+	i := sort.SearchStrings(u.keys, k)
+	return i, i < len(u.keys) && u.keys[i] == k
+}
+
+// insertKeyAt splices an empty entry for key k at position i.
+func (u *Universe) insertKeyAt(i int, k string) {
+	u.keys = append(u.keys, "")
+	copy(u.keys[i+1:], u.keys[i:])
+	u.keys[i] = k
+	u.contrib = append(u.contrib, nil)
+	copy(u.contrib[i+1:], u.contrib[i:])
+	u.contrib[i] = nil
+	u.total = append(u.total, 0)
+	copy(u.total[i+1:], u.total[i:])
+	u.total[i] = 0
+	u.below = append(u.below, 0)
+	copy(u.below[i+1:], u.below[i:])
+}
+
+// removeKeyAt splices the key at position i out of the table.
+func (u *Universe) removeKeyAt(i int) {
+	u.keys = append(u.keys[:i], u.keys[i+1:]...)
+	u.contrib = append(u.contrib[:i], u.contrib[i+1:]...)
+	u.total = append(u.total[:i], u.total[i+1:]...)
+	u.below = append(u.below[:i], u.below[i+1:]...)
+}
+
+// rebuildBelow recomputes the strictly-below prefix sums from the first
+// touched key onward. The accumulation is the same ascending left fold the
+// batch computation uses, so the values match it bit for bit.
+func (u *Universe) rebuildBelow(from int) {
+	running := 0.0
+	if from > 0 {
+		running = u.below[from-1] + u.total[from-1]
+	}
+	for i := from; i < len(u.keys); i++ {
+		u.below[i] = running
+		running += u.total[i]
+	}
+}
+
+// Add registers the item's key mass. Adding an item twice corrupts the
+// table; callers guard against duplicate IDs.
+func (u *Universe) Add(it Item) {
+	minTouched := len(u.keys)
+	for _, kp := range it.Keys {
+		i, ok := u.keyIndex(kp.Key)
+		if !ok {
+			u.insertKeyAt(i, kp.Key)
+		}
+		u.contrib[i] = append(u.contrib[i], contrib{it.ID, kp.P})
+		u.total[i] += kp.P
+		if i < minTouched {
+			minTouched = i
+		}
+	}
+	u.rebuildBelow(minTouched)
+	u.members++
+}
+
+// Remove withdraws the item's key mass. The per-key total is re-summed over
+// the surviving contributions in arrival order, so it equals the value a
+// from-scratch build over the surviving items would produce.
+func (u *Universe) Remove(it Item) {
+	minTouched := len(u.keys)
+	for _, kp := range it.Keys {
+		i, ok := u.keyIndex(kp.Key)
+		if !ok {
+			continue
+		}
+		cs := u.contrib[i]
+		for j, c := range cs {
+			if c.id == it.ID {
+				cs = append(cs[:j], cs[j+1:]...)
+				break
+			}
+		}
+		if len(cs) == 0 {
+			u.removeKeyAt(i)
+		} else {
+			u.contrib[i] = cs
+			sum := 0.0
+			for _, c := range cs {
+				sum += c.p
+			}
+			u.total[i] = sum
+		}
+		if i < minTouched {
+			minTouched = i
+		}
+	}
+	if minTouched < len(u.keys) {
+		u.rebuildBelow(minTouched)
+	}
+	u.members--
+}
+
+// OwnStats is an item's own-mass exclusion tables — the mass the item
+// itself holds strictly below and exactly at each of its own keys. The
+// tables depend only on the item's distribution, never on the universe,
+// so callers that rank the same item repeatedly precompute them once.
+type OwnStats struct {
+	below map[string]float64
+	at    map[string]float64
+}
+
+// OwnStatsOf precomputes the item's own-mass exclusion tables by the
+// same ascending own-key accumulation the batch computation does.
+func OwnStatsOf(it Item) OwnStats {
+	ownSorted := append([]keyProb(nil), toKeyProbs(it)...)
+	sort.Slice(ownSorted, func(a, b int) bool { return ownSorted[a].key < ownSorted[b].key })
+	own := OwnStats{below: map[string]float64{}, at: map[string]float64{}}
+	acc := 0.0
+	for _, kp := range ownSorted {
+		own.below[kp.key] = acc
+		own.at[kp.key] += kp.p
+		acc += kp.p
+	}
+	return own
+}
+
+// RankOf evaluates the expected rank of a current member:
+//
+//	E[rank(t)] = Σ over t's keys k of P_t(k) · (othersBelow(k) + ½·othersAt(k))
+//
+// The item must have been Added (its own mass is subtracted out). The
+// summation order mirrors ExpectedRanks exactly.
+func (u *Universe) RankOf(it Item) float64 {
+	return u.RankOfWith(it, OwnStatsOf(it))
+}
+
+// RankOfWith is RankOf with the item's own-mass tables supplied by the
+// caller — bit-identical to RankOf, minus the per-call precomputation.
+func (u *Universe) RankOfWith(it Item, own OwnStats) float64 {
+	e := 0.0
+	for _, kp := range it.Keys {
+		i, ok := u.keyIndex(kp.Key)
+		if !ok {
+			continue
+		}
+		othersBelow := u.below[i] - own.below[kp.Key]
+		othersAt := u.total[i] - own.at[kp.Key]
+		e += kp.P * (othersBelow + 0.5*othersAt)
+	}
+	return e
+}
+
+// SpanOverlaps reports whether the item's key span [min, max] intersects
+// the closed key range [lo, hi]. Only items whose span overlaps an
+// inserted or removed item's span can change relative expected-rank order;
+// every other item's rank either stays bit-identical (all keys strictly
+// below) or shifts uniformly by exactly one position (all keys strictly
+// above), which preserves order — see the incremental SNMRanked notes in
+// internal/ssr.
+func SpanOverlaps(it Item, lo, hi string) bool {
+	min, max := KeySpan(it)
+	return min <= hi && max >= lo
+}
+
+// KeySpan returns the lexicographically smallest and largest key the item
+// has mass on. Empty-key items span ["", ""].
+func KeySpan(it Item) (string, string) {
+	if len(it.Keys) == 0 {
+		return "", ""
+	}
+	min, max := it.Keys[0].Key, it.Keys[0].Key
+	for _, kp := range it.Keys[1:] {
+		if kp.Key < min {
+			min = kp.Key
+		}
+		if kp.Key > max {
+			max = kp.Key
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/keys"
+)
+
+// randItems draws items with rng-valued key masses, the same shape the key
+// derivation produces for generated corpora.
+func randItems(rng *rand.Rand, n int) []Item {
+	letters := []string{"al", "bo", "ci", "du", "ek", "fi", "go", "hu"}
+	items := make([]Item, n)
+	for i := range items {
+		k := 1 + rng.Intn(3)
+		var kps []keys.KeyProb
+		seen := map[string]bool{}
+		rem := 1.0
+		for j := 0; j < k; j++ {
+			key := letters[rng.Intn(len(letters))]
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p := rem
+			if j < k-1 {
+				p = rng.Float64() * rem
+			}
+			rem -= p
+			kps = append(kps, keys.KeyProb{Key: key, P: p})
+		}
+		if len(kps) == 0 {
+			kps = []keys.KeyProb{{Key: letters[i%len(letters)], P: 1}}
+		}
+		items[i] = Item{ID: fmt.Sprintf("t%03d", i), Keys: kps}
+	}
+	return items
+}
+
+// TestUniverseMatchesBatchBitwise grows a universe one item at a time and
+// checks after every step that RankOf over the current members equals a
+// from-scratch ExpectedRanks over the same sequence, bit for bit. This is
+// the property the incremental SNMRanked index in internal/ssr relies on.
+func TestUniverseMatchesBatchBitwise(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		items := randItems(rng, 30)
+		u := NewUniverse()
+		var members []Item
+		for _, it := range items {
+			u.Add(it)
+			members = append(members, it)
+			batch := ExpectedRanks(members)
+			for i, m := range members {
+				if got := u.RankOf(m); got != batch[i] {
+					t.Fatalf("seed %d after adding %s: RankOf(%s)=%v, batch=%v",
+						seed, it.ID, m.ID, got, batch[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUniverseRemoveMatchesBatchBitwise interleaves removals: after
+// removing an item, ranks over the survivors (in original insertion order)
+// must equal a from-scratch batch over that survivor sequence, bit for bit.
+func TestUniverseRemoveMatchesBatchBitwise(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		items := randItems(rng, 25)
+		u := NewUniverse()
+		for _, it := range items {
+			u.Add(it)
+		}
+		members := append([]Item(nil), items...)
+		for len(members) > 1 {
+			victim := rng.Intn(len(members))
+			u.Remove(members[victim])
+			members = append(members[:victim], members[victim+1:]...)
+			batch := ExpectedRanks(members)
+			for i, m := range members {
+				if got := u.RankOf(m); got != batch[i] {
+					t.Fatalf("seed %d with %d members: RankOf(%s)=%v, batch=%v",
+						seed, len(members), m.ID, got, batch[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUniverseEmptyAndSpan(t *testing.T) {
+	u := NewUniverse()
+	if u.Members() != 0 {
+		t.Fatal("fresh universe has members")
+	}
+	it := Item{ID: "a", Keys: []keys.KeyProb{{Key: "m", P: 0.5}, {Key: "c", P: 0.5}}}
+	u.Add(it)
+	if u.Members() != 1 {
+		t.Fatal("member count")
+	}
+	if got := u.RankOf(it); got != 0 {
+		t.Fatalf("lone item rank %v", got)
+	}
+	min, max := KeySpan(it)
+	if min != "c" || max != "m" {
+		t.Fatalf("span [%s,%s]", min, max)
+	}
+	if !SpanOverlaps(it, "a", "d") || !SpanOverlaps(it, "d", "e") || SpanOverlaps(it, "n", "z") {
+		t.Fatal("span overlap")
+	}
+	if min, max := KeySpan(Item{ID: "x"}); min != "" || max != "" {
+		t.Fatal("empty span")
+	}
+	u.Remove(it)
+	if u.Members() != 0 || len(u.keys) != 0 {
+		t.Fatal("universe not empty after removal")
+	}
+	// Removing a key the universe never saw is a no-op.
+	u.Add(it)
+	u.Remove(Item{ID: "z", Keys: []keys.KeyProb{{Key: "zz", P: 1}}})
+	if got := u.RankOf(it); got != 0 {
+		t.Fatalf("rank after foreign removal %v", got)
+	}
+}

@@ -36,10 +36,17 @@
 // candidate set online: inserting a tuple yields exactly the pairs it
 // forms (and, for windowed methods, the straddling pairs pushed out of
 // the window), removing one retracts its pairs (and re-admits window
-// neighbors). The maintained set always equals the batch candidate set
-// over the resident tuples — insert-one-at-a-time ≡ Candidates.
-// Methods whose candidate set depends globally on the whole relation
-// (the ranked/multi-pass/per-alternative sorted neighborhoods and
-// UK-means blocking) are not incrementally maintainable and say so via
-// IncrementalOf.
+// neighbors). Every built-in method is incremental, on one of two
+// tiers. On the exact tier — every method except BlockingCluster —
+// the maintained set equals the batch candidate set over the resident
+// tuples after every operation: insert-one-at-a-time ≡ Candidates.
+// BlockingCluster is on the bounded-staleness tier (EpochIndex):
+// between epoch reseals arrivals are placed by a cheap stale rule
+// (nearest sealed centroid) and equality with Candidates is
+// guaranteed only at epoch boundaries, while Staleness bounds how
+// many residents a stale decision placed — crossing the bound
+// triggers an in-band reseal whose net deltas ride the ordinary
+// Insert/Remove yield stream. Methods that implement neither
+// IncrementalMethod tier fail IncrementalOf with an error wrapping
+// ErrNotIncremental.
 package ssr

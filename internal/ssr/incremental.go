@@ -1,6 +1,7 @@
 package ssr
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -45,6 +46,47 @@ type IncrementalIndex interface {
 	Remove(id string, yield func(PairDelta) bool) bool
 	// Len is the resident tuple count.
 	Len() int
+}
+
+// Staleness reports how far a bounded-staleness index has drifted from
+// its last exact reseal.
+type Staleness struct {
+	// Epoch counts the epochs sealed so far.
+	Epoch int
+	// Residents is the current resident tuple count.
+	Residents int
+	// Drifted counts the operations placed by stale decisions since
+	// the last reseal.
+	Drifted int
+	// Bound is the drift fraction (of Residents) that forces an
+	// in-band reseal; Drifted/Residents never exceeds it after an
+	// operation completes.
+	Bound float64
+}
+
+// EpochIndex is the bounded-staleness tier of the incremental
+// contract. An exact-tier IncrementalIndex reproduces the batch
+// candidate set after every operation; an EpochIndex is guaranteed to
+// match the batch set only at epoch boundaries, immediately after a
+// reseal. Between boundaries it places arrivals with cheap stale
+// decisions (nearest-centroid assignment against the sealed epoch's
+// centroids) and bounds the drift: once more than Bound of the
+// residents were placed by stale decisions, the index reseals in-band
+// — inside the Insert or Remove that crossed the bound — so epoch
+// transitions surface as ordinary pair deltas on the same yield path
+// and downstream consumers need no special casing.
+type EpochIndex interface {
+	IncrementalIndex
+	// Epoch is the number of epochs sealed so far.
+	Epoch() int
+	// Staleness reports the current drift relative to the bound.
+	Staleness() Staleness
+	// Reseal forces an epoch boundary now: the index recomputes its
+	// placement decisions from scratch — batch-identical over the
+	// residents in insertion order — and yields the net pair deltas.
+	// After Reseal the maintained set equals the batch candidate set
+	// of the residents.
+	Reseal(yield func(PairDelta) bool) bool
 }
 
 // BatchDelta is one net candidate-pair change of a batch insertion.
@@ -118,12 +160,19 @@ type IncrementalMethod interface {
 	Incremental() (IncrementalIndex, error)
 }
 
+// ErrNotIncremental reports that a reduction method cannot maintain
+// its candidate set online. IncrementalOf wraps it with the concrete
+// method's name; match it with errors.Is.
+var ErrNotIncremental = errors.New("does not support incremental maintenance")
+
 // IncrementalOf returns an empty incremental index for the method. A
 // nil method maintains the cross product, mirroring the detection
-// engine's default. Methods whose candidate set depends globally on
-// the whole relation (SNMMultiPass, SNMAlternatives, SNMRanked,
-// BlockingCluster) cannot be maintained exactly under insertion and
-// return an error.
+// engine's default. Every built-in reduction method is incremental:
+// most on the exact tier (the maintained set equals the batch
+// candidate set after every operation), BlockingCluster on the
+// bounded-staleness tier (equality holds at epoch boundaries; see
+// EpochIndex). Third-party methods that do not implement
+// IncrementalMethod get an error wrapping ErrNotIncremental.
 func IncrementalOf(m Method) (IncrementalIndex, error) {
 	if m == nil {
 		return CrossProduct{}.incremental(), nil
@@ -131,7 +180,7 @@ func IncrementalOf(m Method) (IncrementalIndex, error) {
 	if im, ok := m.(IncrementalMethod); ok {
 		return im.Incremental()
 	}
-	return nil, fmt.Errorf("ssr: reduction %q does not support incremental maintenance", m.Name())
+	return nil, fmt.Errorf("ssr: reduction %q %w", m.Name(), ErrNotIncremental)
 }
 
 // ---- Cross product ----

@@ -1,0 +1,431 @@
+package ssr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+	"probdedup/internal/worlds"
+)
+
+// pairLedger refcounts how many independent sources (kept-window position
+// pairs, per-world passes) currently cover each candidate pair and records
+// the 0↔positive transitions as deltas — the incremental form of the
+// executed-matching set (Fig. 12).
+type pairLedger struct {
+	counts map[verify.Pair]int
+	deltas []PairDelta
+}
+
+func newPairLedger() *pairLedger { return &pairLedger{counts: map[verify.Pair]int{}} }
+
+// bump counts one more coverage of the pair; the first yields an add.
+// Same-ID pairs are ignored (windowStream skips them).
+func (l *pairLedger) bump(a, b string) {
+	if a == b {
+		return
+	}
+	p := verify.NewPair(a, b)
+	l.counts[p]++
+	if l.counts[p] == 1 {
+		l.deltas = append(l.deltas, PairDelta{Pair: p})
+	}
+}
+
+// drop removes one coverage; the last yields a drop.
+func (l *pairLedger) drop(a, b string) {
+	if a == b {
+		return
+	}
+	p := verify.NewPair(a, b)
+	l.counts[p]--
+	if l.counts[p] == 0 {
+		delete(l.counts, p)
+		l.deltas = append(l.deltas, PairDelta{Pair: p, Dropped: true})
+	}
+}
+
+// flush coalesces and delivers the accumulated transition deltas.
+func (l *pairLedger) flush(yield func(PairDelta) bool) bool {
+	deltas := coalescePairDeltas(l.deltas)
+	l.deltas = l.deltas[:0]
+	for _, d := range deltas {
+		if !yield(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Multi-pass sorted neighborhood over possible worlds ----
+
+// mpWorld is one selected possible world of the incremental multi-pass
+// index: the per-resident raw choice indices that identify it, its sorted
+// (key, arrival-order) entry list, and the window pair set of its pass.
+type mpWorld struct {
+	rawIdx  []int
+	entries []KeyEntry
+	pairs   verify.PairSet
+}
+
+// snmMultiPassIndex maintains the exact SNMMultiPass candidate set online
+// by composing one SNMCertain-style pass per selected possible world.
+//
+// Per resident it caches the conditioned choice list (raw enumeration
+// order and the stable probability-sorted order the top-k expansion
+// uses), so re-running the world selection after every operation goes
+// through the exact same list-level code path (worlds.TopKIdx /
+// EnumerateIdx / DissimilarIdx) as the batch method — selected worlds,
+// probabilities and fallback behavior agree bit for bit with
+// selectWorlds over the residents in insertion order.
+//
+// Worlds are identified by their raw choice-index vectors. After an
+// insertion, a new world whose first n components match a previously
+// selected world extends it: the pass index is reused (or cloned when
+// several children share a parent) and only the new tuple is spliced in.
+// After a removal, old worlds match new ones by dropping the removed
+// component. Unmatched new worlds are built from scratch; old worlds
+// that left the selection retire. The union over passes is refcounted by
+// a pairLedger, so candidate pairs enter and leave the maintained set
+// exactly as the batch executed-matching union does.
+type snmMultiPassIndex struct {
+	method    SNMMultiPass
+	window    int
+	key       keys.Def
+	arrivals  []string
+	raw       [][]worlds.Choice
+	sorted    [][]worlds.Choice
+	s2r       [][]int    // sorted position -> raw position
+	choiceKey [][]string // raw position -> sorting key of the choice
+	worlds    []*mpWorld
+	ledger    *pairLedger
+}
+
+// Incremental implements IncrementalMethod.
+func (m SNMMultiPass) Incremental() (IncrementalIndex, error) {
+	w := m.Window
+	if w < 2 {
+		w = 2 // mirror windowStream's minimum
+	}
+	return &snmMultiPassIndex{
+		method: m,
+		window: w,
+		key:    m.Key,
+		ledger: newPairLedger(),
+	}, nil
+}
+
+func (s *snmMultiPassIndex) Len() int { return len(s.arrivals) }
+
+// sigOf renders a choice-index vector as a map key.
+func sigOf(idx []int) string {
+	var b strings.Builder
+	for _, v := range idx {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// selectRaw re-runs the method's world selection over the cached choice
+// lists and converts the result to raw-basis index vectors.
+func (s *snmMultiPassIndex) selectRaw() [][]int {
+	var sts []worlds.WorldIdx
+	sortedBasis := true
+	switch s.method.Select {
+	case TopWorlds:
+		sts = worlds.TopKIdx(s.sorted, s.method.K)
+	case DissimilarWorlds:
+		sts = worlds.DissimilarIdx(s.sorted, s.method.K, 4*s.method.K)
+	default:
+		limit := s.method.MaxWorlds
+		if limit <= 0 {
+			limit = 100_000
+		}
+		var err error
+		sts, err = worlds.EnumerateIdx(s.raw, limit)
+		if err != nil {
+			// Same fallback as the batch selection: the most probable
+			// worlds when enumeration is infeasible.
+			sts = worlds.TopKIdx(s.sorted, 1024)
+		} else {
+			sortedBasis = false
+		}
+	}
+	out := make([][]int, len(sts))
+	for i, st := range sts {
+		ri := make([]int, len(st.Idx))
+		for t, j := range st.Idx {
+			if sortedBasis {
+				ri[t] = s.s2r[t][j]
+			} else {
+				ri[t] = j
+			}
+		}
+		out[i] = ri
+	}
+	return out
+}
+
+// worldIDs projects the entry IDs of a world's pass in sorted order.
+func worldIDs(entries []KeyEntry) []string {
+	ids := make([]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// applyWorldDelta folds one pass-level window delta into the world's
+// pair set and the global union ledger.
+func (s *snmMultiPassIndex) applyWorldDelta(w *mpWorld, d PairDelta) {
+	if d.Dropped {
+		delete(w.pairs, d.Pair)
+		s.ledger.drop(d.Pair.A, d.Pair.B)
+	} else {
+		w.pairs[d.Pair] = true
+		s.ledger.bump(d.Pair.A, d.Pair.B)
+	}
+}
+
+// worldInsert splices (k, id) into the world's pass with the standard
+// sorted-neighborhood window delta math.
+func (s *snmMultiPassIndex) worldInsert(w *mpWorld, id, k string) {
+	p := sort.Search(len(w.entries), func(i int) bool { return w.entries[i].Key > k })
+	win := s.window
+	var ds []PairDelta
+	for a := p - win + 1; a <= p-1; a++ {
+		b := a + win - 1
+		if a < 0 || b >= len(w.entries) {
+			continue
+		}
+		ds = append(ds, PairDelta{Pair: verify.NewPair(w.entries[a].ID, w.entries[b].ID), Dropped: true})
+	}
+	for a := p - 1; a >= 0 && a >= p-win+1; a-- {
+		ds = append(ds, PairDelta{Pair: verify.NewPair(w.entries[a].ID, id)})
+	}
+	for b := p; b < len(w.entries) && b <= p+win-2; b++ {
+		ds = append(ds, PairDelta{Pair: verify.NewPair(id, w.entries[b].ID)})
+	}
+	w.entries = append(w.entries, KeyEntry{})
+	copy(w.entries[p+1:], w.entries[p:])
+	w.entries[p] = KeyEntry{Key: k, ID: id}
+	for _, d := range ds {
+		s.applyWorldDelta(w, d)
+	}
+}
+
+// worldRemove splices id out of the world's pass.
+func (s *snmMultiPassIndex) worldRemove(w *mpWorld, id string) {
+	p := -1
+	for i, e := range w.entries {
+		if e.ID == id {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		return
+	}
+	win := s.window
+	var ds []PairDelta
+	for j := p - win + 1; j <= p+win-1; j++ {
+		if j == p || j < 0 || j >= len(w.entries) {
+			continue
+		}
+		ds = append(ds, PairDelta{Pair: verify.NewPair(w.entries[j].ID, id), Dropped: true})
+	}
+	for a := p - win + 1; a <= p-1; a++ {
+		b := a + win
+		if a < 0 || b >= len(w.entries) {
+			continue
+		}
+		ds = append(ds, PairDelta{Pair: verify.NewPair(w.entries[a].ID, w.entries[b].ID)})
+	}
+	w.entries = append(w.entries[:p], w.entries[p+1:]...)
+	for _, d := range ds {
+		s.applyWorldDelta(w, d)
+	}
+}
+
+// worldBuild constructs a world's pass from scratch over all residents.
+func (s *snmMultiPassIndex) worldBuild(rawIdx []int) *mpWorld {
+	ents := make([]KeyEntry, len(s.arrivals))
+	for t, id := range s.arrivals {
+		ents[t] = KeyEntry{Key: s.choiceKey[t][rawIdx[t]], ID: id}
+	}
+	sort.SliceStable(ents, func(a, b int) bool { return ents[a].Key < ents[b].Key })
+	w := &mpWorld{rawIdx: rawIdx, entries: ents, pairs: verify.PairSet{}}
+	windowStream(worldIDs(ents), s.window, func(p verify.Pair) bool {
+		w.pairs[p] = true
+		s.ledger.bump(p.A, p.B)
+		return true
+	})
+	return w
+}
+
+// worldClone builds a world around a copy of an existing pass entry list
+// and registers its pair coverage with the ledger (deterministically, by
+// re-streaming the window pairs of the entry list).
+func (s *snmMultiPassIndex) worldClone(entries []KeyEntry) *mpWorld {
+	w := &mpWorld{
+		entries: append([]KeyEntry(nil), entries...),
+		pairs:   verify.PairSet{},
+	}
+	windowStream(worldIDs(w.entries), s.window, func(p verify.Pair) bool {
+		w.pairs[p] = true
+		s.ledger.bump(p.A, p.B)
+		return true
+	})
+	return w
+}
+
+// worldRetire withdraws a departing world's pair coverage
+// (deterministically, via the window stream of its entries).
+func (s *snmMultiPassIndex) worldRetire(w *mpWorld) {
+	windowStream(worldIDs(w.entries), s.window, func(p verify.Pair) bool {
+		s.ledger.drop(p.A, p.B)
+		return true
+	})
+}
+
+// registerTuple caches the tuple's choice lists (raw and sorted bases),
+// the sorted→raw permutation and the per-choice sorting keys.
+func (s *snmMultiPassIndex) registerTuple(x *pdb.XTuple) {
+	raw := worlds.Choices(x, true)
+	perm := make([]int, len(raw))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return raw[perm[a]].P > raw[perm[b]].P })
+	sortedCs := make([]worlds.Choice, len(raw))
+	for si, ri := range perm {
+		sortedCs[si] = raw[ri]
+	}
+	ck := make([]string, len(raw))
+	for j, c := range raw {
+		ck[j] = s.key.FromValues(c.Values)
+	}
+	s.arrivals = append(s.arrivals, x.ID)
+	s.raw = append(s.raw, raw)
+	s.sorted = append(s.sorted, sortedCs)
+	s.s2r = append(s.s2r, perm)
+	s.choiceKey = append(s.choiceKey, ck)
+}
+
+func (s *snmMultiPassIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	oldWorlds := s.worlds
+	oldBySig := make(map[string]*mpWorld, len(oldWorlds))
+	for _, w := range oldWorlds {
+		oldBySig[sigOf(w.rawIdx)] = w
+	}
+	s.registerTuple(x)
+	n := len(s.arrivals) - 1 // resident count before this insertion
+	newSel := s.selectRaw()
+
+	// Count children per parent so multi-child parents are snapshotted
+	// before the first child mutates them in place.
+	children := map[*mpWorld]int{}
+	for _, ri := range newSel {
+		if parent := oldBySig[sigOf(ri[:n])]; parent != nil {
+			children[parent]++
+		}
+	}
+	snapshots := map[*mpWorld][]KeyEntry{}
+	for parent, c := range children {
+		if c > 1 {
+			snapshots[parent] = append([]KeyEntry(nil), parent.entries...)
+		}
+	}
+
+	newWorlds := make([]*mpWorld, 0, len(newSel))
+	used := map[*mpWorld]int{}
+	for _, ri := range newSel {
+		parent := oldBySig[sigOf(ri[:n])]
+		var w *mpWorld
+		switch {
+		case parent == nil:
+			w = s.worldBuild(ri)
+			newWorlds = append(newWorlds, w)
+			continue
+		case used[parent] == 0:
+			w = parent
+		default:
+			// Later children clone the parent's pre-insertion pass.
+			w = s.worldClone(snapshots[parent])
+		}
+		used[parent]++
+		w.rawIdx = ri
+		s.worldInsert(w, x.ID, s.choiceKey[n][ri[n]])
+		newWorlds = append(newWorlds, w)
+	}
+	for _, w := range oldWorlds {
+		if used[w] == 0 {
+			s.worldRetire(w)
+		}
+	}
+	s.worlds = newWorlds
+	return s.ledger.flush(yield)
+}
+
+func (s *snmMultiPassIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	pos := -1
+	for i, a := range s.arrivals {
+		if a == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return true
+	}
+	oldWorlds := s.worlds
+	s.arrivals = append(s.arrivals[:pos], s.arrivals[pos+1:]...)
+	s.raw = append(s.raw[:pos], s.raw[pos+1:]...)
+	s.sorted = append(s.sorted[:pos], s.sorted[pos+1:]...)
+	s.s2r = append(s.s2r[:pos], s.s2r[pos+1:]...)
+	s.choiceKey = append(s.choiceKey[:pos], s.choiceKey[pos+1:]...)
+	newSel := s.selectRaw()
+
+	// Old worlds match new ones by dropping the removed component.
+	oldByReduced := map[string][]*mpWorld{}
+	for _, w := range oldWorlds {
+		reduced := make([]int, 0, len(w.rawIdx)-1)
+		reduced = append(reduced, w.rawIdx[:pos]...)
+		reduced = append(reduced, w.rawIdx[pos+1:]...)
+		sig := sigOf(reduced)
+		oldByReduced[sig] = append(oldByReduced[sig], w)
+	}
+	newWorlds := make([]*mpWorld, 0, len(newSel))
+	used := map[*mpWorld]bool{}
+	for _, ri := range newSel {
+		var w *mpWorld
+		for _, cand := range oldByReduced[sigOf(ri)] {
+			if !used[cand] {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			newWorlds = append(newWorlds, s.worldBuild(ri))
+			continue
+		}
+		used[w] = true
+		w.rawIdx = ri
+		s.worldRemove(w, id)
+		newWorlds = append(newWorlds, w)
+	}
+	for _, w := range oldWorlds {
+		if !used[w] {
+			s.worldRetire(w)
+		}
+	}
+	s.worlds = newWorlds
+	return s.ledger.flush(yield)
+}
+
+// Interface conformance check.
+var _ IncrementalMethod = SNMMultiPass{}

@@ -1,0 +1,347 @@
+package ssr
+
+import (
+	"sort"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/rank"
+	"probdedup/internal/verify"
+)
+
+// windowSeq maintains a totally ordered sequence of unique tuple IDs and
+// the exact sorted-neighborhood pair set over it: every splice records the
+// window-pair deltas it causes (straddling pairs pushed out or pulled back
+// in, neighbor pairs of the spliced ID). It is the ordering-agnostic core
+// shared by the incremental SNMRanked strategies; the caller owns the
+// comparator and all splice positions — including removal positions, so
+// the sequence never pays for id→position bookkeeping (the caller finds
+// them by binary search under its own order).
+type windowSeq struct {
+	window int
+	ids    []string
+}
+
+func newWindowSeq(window int) *windowSeq {
+	if window < 2 {
+		window = 2 // mirror windowStream's minimum
+	}
+	return &windowSeq{window: window}
+}
+
+// insertAt splices id in at position p, appending the caused window-pair
+// deltas: straddling pairs at distance exactly window-1 drop, and the new
+// ID pairs with its window neighbors on both sides.
+func (s *windowSeq) insertAt(p int, id string, deltas *[]PairDelta) {
+	w := s.window
+	for a := p - w + 1; a <= p-1; a++ {
+		b := a + w - 1
+		if a < 0 || b >= len(s.ids) {
+			continue
+		}
+		*deltas = append(*deltas, PairDelta{Pair: verify.NewPair(s.ids[a], s.ids[b]), Dropped: true})
+	}
+	for a := p - 1; a >= 0 && a >= p-w+1; a-- {
+		*deltas = append(*deltas, PairDelta{Pair: verify.NewPair(s.ids[a], id)})
+	}
+	for b := p; b < len(s.ids) && b <= p+w-2; b++ {
+		*deltas = append(*deltas, PairDelta{Pair: verify.NewPair(id, s.ids[b])})
+	}
+	s.ids = append(s.ids, "")
+	copy(s.ids[p+1:], s.ids[p:])
+	s.ids[p] = id
+}
+
+// removeAt splices the ID at position p out, appending the caused
+// deltas: every window pair of the ID drops, and straddling pairs at
+// distance exactly window re-enter.
+func (s *windowSeq) removeAt(p int, deltas *[]PairDelta) {
+	id := s.ids[p]
+	w := s.window
+	for j := p - w + 1; j <= p+w-1; j++ {
+		if j == p || j < 0 || j >= len(s.ids) {
+			continue
+		}
+		*deltas = append(*deltas, PairDelta{Pair: verify.NewPair(s.ids[j], id), Dropped: true})
+	}
+	for a := p - w + 1; a <= p-1; a++ {
+		b := a + w
+		if a < 0 || b >= len(s.ids) {
+			continue
+		}
+		*deltas = append(*deltas, PairDelta{Pair: verify.NewPair(s.ids[a], s.ids[b])})
+	}
+	s.ids = append(s.ids[:p], s.ids[p+1:]...)
+}
+
+// coalescePairDeltas nets out intra-operation churn: per pair, deltas
+// alternate add/drop (the indexes maintain exact sets), so an even count
+// cancels and an odd count nets to the first kind. Surviving deltas keep
+// first-affected order, the same convention as InsertBatch.
+func coalescePairDeltas(deltas []PairDelta) []PairDelta {
+	if len(deltas) <= 1 {
+		return deltas
+	}
+	type churn struct {
+		firstDropped bool
+		count        int
+	}
+	seen := map[verify.Pair]*churn{}
+	var order []verify.Pair
+	for _, d := range deltas {
+		c := seen[d.Pair]
+		if c == nil {
+			c = &churn{firstDropped: d.Dropped}
+			seen[d.Pair] = c
+			order = append(order, d.Pair)
+		}
+		c.count++
+	}
+	out := make([]PairDelta, 0, len(order))
+	for _, p := range order {
+		c := seen[p]
+		if c.count%2 == 0 {
+			continue
+		}
+		out = append(out, PairDelta{Pair: p, Dropped: c.firstDropped})
+	}
+	return out
+}
+
+// ---- Sorted neighborhood over ranked uncertain keys ----
+
+// snmRankedIndex maintains the exact SNMRanked window pair set online for
+// all three rank strategies.
+//
+// MedianKey and ModeKey order by per-tuple statistics that never change
+// once computed, so insertion is a plain ordered splice.
+//
+// ExpectedRank is the interesting case: a tuple's expected rank depends on
+// the whole relation's key-mass table (rank.Universe). The index exploits
+// a locality property of the expected-rank semantics: when a tuple with
+// key span [lo, hi] arrives or departs, a resident whose own key span lies
+// entirely below lo keeps a bit-identical rank, and one entirely above hi
+// shifts by exactly one position — and any strictly-above resident already
+// ranks at least one full position after any strictly-below one (for s
+// strictly below t, every third item contributes at least as much rank
+// mass to t as to s, and t gains a full unit from s itself, so
+// E[rank(t)] ≥ E[rank(s)] + 1). Both effects preserve relative order, so
+// only residents whose span overlaps [lo, hi] ("movers") can change
+// position. Movers are plentiful on fuzzy keys (any shared key mass
+// overlaps spans) but few of them actually change relative order, so
+// after the universe update the index re-checks order only at
+// mover-adjacent positions — two non-movers can never reorder, so
+// clean mover-adjacent pairs imply the whole sequence is still sorted
+// — and splices out exactly the movers caught out of order
+// (extractDisordered), re-placing that handful by binary search under
+// the new ranks. Intra-operation churn cancels via coalescePairDeltas.
+//
+// Rank values are evaluated through the same rank.Universe code path the
+// batch ExpectedRanks uses, over contributions in the same arrival order,
+// so incremental and batch ranks agree bit for bit and the maintained
+// order equals the batch RankedIDs order of the residents in insertion
+// order.
+type snmRankedIndex struct {
+	key      keys.Def
+	strategy RankStrategy
+	seq      *windowSeq
+	items    map[string]rank.Item
+	uni      *rank.Universe           // ExpectedRank only
+	own      map[string]rank.OwnStats // per-resident own-mass tables
+	sortKey  map[string]string        // MedianKey/ModeKey: static primary key
+	rankMemo map[string]float64       // per-operation expected-rank memo
+}
+
+// Incremental implements IncrementalMethod.
+func (m SNMRanked) Incremental() (IncrementalIndex, error) {
+	idx := &snmRankedIndex{
+		key:      m.Key,
+		strategy: m.Strategy,
+		seq:      newWindowSeq(m.Window),
+		items:    map[string]rank.Item{},
+		sortKey:  map[string]string{},
+	}
+	if m.Strategy == ExpectedRank {
+		idx.uni = rank.NewUniverse()
+		idx.own = map[string]rank.OwnStats{}
+	}
+	return idx, nil
+}
+
+func (s *snmRankedIndex) Len() int { return len(s.seq.ids) }
+
+func itemTopKey(it rank.Item) string {
+	if len(it.Keys) == 0 {
+		return ""
+	}
+	return it.Keys[0].Key
+}
+
+// rankOf memoizes expected ranks within one operation (the universe is
+// stable between mutations, so memoized values stay valid).
+func (s *snmRankedIndex) rankOf(id string) float64 {
+	if r, ok := s.rankMemo[id]; ok {
+		return r
+	}
+	r := s.uni.RankOfWith(s.items[id], s.own[id])
+	s.rankMemo[id] = r
+	return r
+}
+
+// less is the strategy's strict total order — the same comparator the
+// batch RankedIDs sort uses, with the unique tuple ID as final tiebreak.
+func (s *snmRankedIndex) less(a, b string) bool {
+	switch s.strategy {
+	case MedianKey:
+		if ka, kb := s.sortKey[a], s.sortKey[b]; ka != kb {
+			return ka < kb
+		}
+		if ta, tb := itemTopKey(s.items[a]), itemTopKey(s.items[b]); ta != tb {
+			return ta < tb
+		}
+		return a < b
+	case ModeKey:
+		if ka, kb := s.sortKey[a], s.sortKey[b]; ka != kb {
+			return ka < kb
+		}
+		return a < b
+	default:
+		if ra, rb := s.rankOf(a), s.rankOf(b); ra != rb {
+			return ra < rb
+		}
+		if ta, tb := itemTopKey(s.items[a]), itemTopKey(s.items[b]); ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+}
+
+// place splices id into its sorted position.
+func (s *snmRankedIndex) place(id string, deltas *[]PairDelta) {
+	p := sort.Search(len(s.seq.ids), func(i int) bool { return s.less(id, s.seq.ids[i]) })
+	s.seq.insertAt(p, id, deltas)
+}
+
+// locate finds a resident's current position by binary search under the
+// strategy order — valid only while the ranks backing the order are
+// unchanged since the resident was last placed, which is why every
+// splice-out happens before the universe mutates.
+func (s *snmRankedIndex) locate(id string) int {
+	return sort.Search(len(s.seq.ids), func(i int) bool { return !s.less(s.seq.ids[i], id) })
+}
+
+// moverSet returns the residents whose key span overlaps [lo, hi],
+// skipping skipID. Only these can have changed relative expected-rank
+// order after the universe mutation.
+func (s *snmRankedIndex) moverSet(lo, hi, skipID string) map[string]bool {
+	movers := map[string]bool{}
+	for _, id := range s.seq.ids {
+		if id != skipID && rank.SpanOverlaps(s.items[id], lo, hi) {
+			movers[id] = true
+		}
+	}
+	return movers
+}
+
+// extractDisordered splices out exactly the movers that ended up out of
+// order under the new (post-mutation) ranks, and returns them in
+// extraction order for re-placement. Each round scans the adjacent
+// pairs involving a mover — two non-movers can never reorder, so clean
+// mover-adjacent pairs imply global sortedness — and extracts the
+// mover side(s) of every violation; extraction creates new adjacencies,
+// so rounds repeat until the scan is clean. Movers that kept their
+// order are never touched, which is the common case even when the
+// mover set spans most of the relation.
+func (s *snmRankedIndex) extractDisordered(movers map[string]bool, deltas *[]PairDelta) []string {
+	var out []string
+	for {
+		ids := s.seq.ids
+		var bad []int
+		for i := 1; i < len(ids); i++ {
+			if !movers[ids[i-1]] && !movers[ids[i]] {
+				continue
+			}
+			if s.less(ids[i], ids[i-1]) {
+				if movers[ids[i-1]] && (len(bad) == 0 || bad[len(bad)-1] != i-1) {
+					bad = append(bad, i-1)
+				}
+				if movers[ids[i]] {
+					bad = append(bad, i)
+				}
+			}
+		}
+		if len(bad) == 0 {
+			return out
+		}
+		for i := len(bad) - 1; i >= 0; i-- {
+			out = append(out, s.seq.ids[bad[i]])
+			s.seq.removeAt(bad[i], deltas)
+		}
+	}
+}
+
+func (s *snmRankedIndex) Insert(x *pdb.XTuple, yield func(PairDelta) bool) bool {
+	it := rank.Item{ID: x.ID, Keys: s.key.XTupleKeyDist(x, true)}
+	var deltas []PairDelta
+	if s.strategy == ExpectedRank {
+		lo, hi := rank.KeySpan(it)
+		movers := s.moverSet(lo, hi, "")
+		s.uni.Add(it)
+		s.items[x.ID] = it
+		s.own[x.ID] = rank.OwnStatsOf(it)
+		s.rankMemo = map[string]float64{}
+		moved := s.extractDisordered(movers, &deltas)
+		s.place(x.ID, &deltas)
+		for _, id := range moved {
+			s.place(id, &deltas)
+		}
+	} else {
+		s.items[x.ID] = it
+		if s.strategy == MedianKey {
+			s.sortKey[x.ID] = rank.MedianKey(it)
+		} else {
+			s.sortKey[x.ID] = itemTopKey(it)
+		}
+		s.place(x.ID, &deltas)
+	}
+	for _, d := range coalescePairDeltas(deltas) {
+		if !yield(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *snmRankedIndex) Remove(id string, yield func(PairDelta) bool) bool {
+	it, ok := s.items[id]
+	if !ok {
+		return true
+	}
+	var deltas []PairDelta
+	if s.strategy == ExpectedRank {
+		lo, hi := rank.KeySpan(it)
+		idPos := s.locate(id) // old ranks still valid here
+		movers := s.moverSet(lo, hi, id)
+		s.seq.removeAt(idPos, &deltas)
+		s.uni.Remove(it)
+		delete(s.items, id)
+		delete(s.own, id)
+		s.rankMemo = map[string]float64{}
+		for _, mid := range s.extractDisordered(movers, &deltas) {
+			s.place(mid, &deltas)
+		}
+	} else {
+		s.seq.removeAt(s.locate(id), &deltas)
+		delete(s.items, id)
+		delete(s.sortKey, id)
+	}
+	for _, d := range coalescePairDeltas(deltas) {
+		if !yield(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Interface conformance check.
+var _ IncrementalMethod = SNMRanked{}

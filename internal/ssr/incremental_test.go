@@ -1,14 +1,17 @@
 package ssr
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"probdedup/internal/dataset"
 	"probdedup/internal/keys"
 	"probdedup/internal/pdb"
 	"probdedup/internal/verify"
+	"probdedup/internal/worlds"
 )
 
 // incrementalTestMethods returns every incremental-capable method
@@ -24,6 +27,12 @@ func incrementalTestMethods(t *testing.T, schema []string) []Method {
 		CrossProduct{},
 		SNMCertain{Key: def, Window: 4},
 		SNMCertain{Key: def, Window: 1}, // normalized to the minimum window
+		SNMRanked{Key: def, Window: 4},
+		SNMRanked{Key: def, Window: 3, Strategy: MedianKey},
+		SNMRanked{Key: def, Window: 3, Strategy: ModeKey},
+		SNMAlternatives{Key: def, Window: 4},
+		SNMMultiPass{Key: def, Window: 3, Select: TopWorlds, K: 3},
+		SNMMultiPass{Key: def, Window: 3, Select: DissimilarWorlds, K: 2},
 		BlockingCertain{Key: def},
 		BlockingAlternatives{Key: def},
 		NewFilter(SNMCertain{Key: def, Window: 5}, Pruning{MaxDiff: map[int]int{0: 3}}),
@@ -347,19 +356,49 @@ func TestInsertBatchCancelsWindowChurn(t *testing.T) {
 	}
 }
 
-// TestIncrementalUnsupported checks that globally-dependent methods
-// refuse incremental maintenance with a helpful error.
-func TestIncrementalUnsupported(t *testing.T) {
+// nonIncrementalMethod is a third-party Method without an Incremental
+// hook, standing in for user code that has not opted in.
+type nonIncrementalMethod struct{}
+
+func (nonIncrementalMethod) Name() string                                { return "third-party" }
+func (nonIncrementalMethod) Candidates(xr *pdb.XRelation) verify.PairSet { return verify.PairSet{} }
+
+// TestIncrementalOfCoverage checks that every built-in reduction method
+// supports incremental maintenance — the formerly batch-only ones
+// included — and that methods without the hook fail with the typed
+// ErrNotIncremental sentinel (wrapped with the method's name).
+func TestIncrementalOfCoverage(t *testing.T) {
 	def := keys.NewDef(keys.Part{Attr: 0, Prefix: 3})
 	for _, m := range []Method{
+		CrossProduct{},
+		SNMCertain{Key: def, Window: 3},
 		SNMRanked{Key: def, Window: 3},
+		SNMRanked{Key: def, Window: 3, Strategy: MedianKey},
+		SNMRanked{Key: def, Window: 3, Strategy: ModeKey},
 		SNMAlternatives{Key: def, Window: 3},
 		SNMMultiPass{Key: def, Window: 3},
+		BlockingCertain{Key: def},
+		BlockingAlternatives{Key: def},
 		BlockingCluster{Key: def},
 		NewFilter(SNMRanked{Key: def, Window: 3}, Pruning{}),
 	} {
-		if _, err := IncrementalOf(m); err == nil {
-			t.Errorf("%s: expected an error, got nil", m.Name())
+		if _, err := IncrementalOf(m); err != nil {
+			t.Errorf("%s: expected incremental support, got %v", m.Name(), err)
+		}
+	}
+	for _, m := range []Method{
+		nonIncrementalMethod{},
+		NewFilter(nonIncrementalMethod{}, Pruning{}),
+	} {
+		_, err := IncrementalOf(m)
+		if err == nil {
+			t.Fatalf("%s: expected an error, got nil", m.Name())
+		}
+		if !errors.Is(err, ErrNotIncremental) {
+			t.Errorf("%s: error %q does not wrap ErrNotIncremental", m.Name(), err)
+		}
+		if !strings.Contains(err.Error(), "third-party") {
+			t.Errorf("%s: error %q does not name the method", m.Name(), err)
 		}
 	}
 }
@@ -383,5 +422,60 @@ func TestIncrementalEarlyStopKeepsStructure(t *testing.T) {
 	}
 	if idx.Len() != 3 {
 		t.Fatalf("Len = %d after early stop, want 3", idx.Len())
+	}
+}
+
+// TestIncrementalMultiPassWorldSelection pins the all-worlds multipass
+// configurations at a scale where full enumeration is feasible, covering
+// both the EnumerateIdx success path and the top-k fallback for an
+// infeasible MaxWorlds — including the mid-stream switches between the
+// two bases as the relation grows past (and, via removals, shrinks back
+// under) the world limit.
+func TestIncrementalMultiPassWorldSelection(t *testing.T) {
+	u := shuffledUnion(3, 19)
+	def, err := keys.ParseDef("name:3+job:2", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := make([][]worlds.Choice, len(u.Tuples))
+	for i, x := range u.Tuples {
+		lists[i] = worlds.Choices(x, true)
+	}
+	const feasible = 1_000_000
+	if c := worlds.CountOf(lists); c >= feasible {
+		t.Fatalf("dataset has %g worlds; shrink it so enumeration stays feasible", c)
+	}
+	for _, m := range []Method{
+		SNMMultiPass{Key: def, Window: 3, MaxWorlds: feasible}, // enumeration succeeds
+		SNMMultiPass{Key: def, Window: 3, MaxWorlds: 8},        // falls back to top worlds
+	} {
+		t.Run(fmt.Sprintf("%s-max%d", m.Name(), m.(SNMMultiPass).MaxWorlds), func(t *testing.T) {
+			idx, err := IncrementalOf(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maintained := verify.PairSet{}
+			on := func(d PairDelta) bool {
+				applyDelta(t, maintained, d)
+				return true
+			}
+			for _, x := range u.Tuples {
+				idx.Insert(x, on)
+			}
+			if d := diffSets(maintained, StreamOf(m).Candidates(u)); len(d) != 0 {
+				t.Fatalf("maintained set diverges from batch: %v", d[:min(len(d), 8)])
+			}
+			rest := pdb.NewXRelation(u.Name, u.Schema...)
+			for i, x := range u.Tuples {
+				if i%2 == 0 {
+					idx.Remove(x.ID, on)
+					continue
+				}
+				rest.Append(x)
+			}
+			if d := diffSets(maintained, StreamOf(m).Candidates(rest)); len(d) != 0 {
+				t.Fatalf("maintained set diverges from batch after removals: %v", d[:min(len(d), 8)])
+			}
+		})
 	}
 }

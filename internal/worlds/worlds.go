@@ -156,18 +156,96 @@ var ErrTooManyWorlds = fmt.Errorf("worlds: possible world count exceeds limit")
 // Enumerate materializes all possible worlds. It fails with
 // ErrTooManyWorlds if more than limit worlds exist (limit ≤ 0 means 1e6).
 func Enumerate(xr *pdb.XRelation, cond bool, limit int) ([]World, error) {
+	n := len(xr.Tuples)
+	ids := make([]string, n)
+	lists := make([][]Choice, n)
+	for i, x := range xr.Tuples {
+		ids[i] = x.ID
+		lists[i] = Choices(x, cond)
+	}
+	states, err := EnumerateIdx(lists, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]World, len(states))
+	for i, s := range states {
+		out[i] = worldFromIdx(ids, lists, s)
+	}
+	return out, nil
+}
+
+// WorldIdx identifies a possible world by its per-tuple choice-list
+// indices plus the world probability — the representation the
+// incremental multi-pass index works with: prefix relationships between
+// index vectors expose parent/child worlds across insertions without
+// re-deriving canonical signatures from values.
+type WorldIdx struct {
+	// Idx holds one choice-list index per x-tuple (parallel to the list
+	// slice the selection ran over).
+	Idx []int
+	// P is the world probability.
+	P float64
+}
+
+// worldFromIdx materializes a WorldIdx against its choice lists.
+func worldFromIdx(ids []string, lists [][]Choice, s WorldIdx) World {
+	w := World{P: s.P, IDs: ids, Choices: make([]Choice, len(lists))}
+	for i, j := range s.Idx {
+		w.Choices[i] = lists[i][j]
+	}
+	return w
+}
+
+// CountOf returns the possible-world count over explicit choice lists,
+// as a float64 (the count can be astronomically large).
+func CountOf(lists [][]Choice) float64 {
+	total := 1.0
+	for _, cs := range lists {
+		total *= float64(len(cs))
+	}
+	return total
+}
+
+// EnumerateIdx enumerates every index combination of the given choice
+// lists in lexicographic (odometer) order — the list-level core of
+// Enumerate. It fails with ErrTooManyWorlds when more than limit worlds
+// exist (limit ≤ 0 means 1e6) and returns nil when any tuple has no
+// admissible choice.
+func EnumerateIdx(lists [][]Choice, limit int) ([]WorldIdx, error) {
 	if limit <= 0 {
 		limit = 1_000_000
 	}
-	if Count(xr, cond) > float64(limit) {
-		return nil, fmt.Errorf("%w: %.0f > %d", ErrTooManyWorlds, Count(xr, cond), limit)
+	if CountOf(lists) > float64(limit) {
+		return nil, fmt.Errorf("%w: %.0f > %d", ErrTooManyWorlds, CountOf(lists), limit)
 	}
-	var out []World
-	ForEach(xr, cond, func(w World) bool {
-		out = append(out, w)
-		return true
-	})
-	return out, nil
+	n := len(lists)
+	for _, cs := range lists {
+		if len(cs) == 0 {
+			return nil, nil // an x-tuple with no admissible choice kills all worlds
+		}
+	}
+	idx := make([]int, n)
+	var out []WorldIdx
+	for {
+		s := WorldIdx{Idx: make([]int, n), P: 1}
+		for i, j := range idx {
+			s.Idx[i] = j
+			s.P *= lists[i][j].P
+		}
+		out = append(out, s)
+		i := n - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] < len(lists[i]) {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
 }
 
 // ForEach streams every possible world to fn; fn returning false stops the
@@ -242,6 +320,13 @@ func MostProbable(xr *pdb.XRelation, cond bool) World {
 	return w
 }
 
+// SortChoices orders a choice list into the descending-probability order
+// the top-k expansion works over (stable, so equally probable choices
+// keep their enumeration order).
+func SortChoices(cs []Choice) {
+	sort.SliceStable(cs, func(a, b int) bool { return cs[a].P > cs[b].P })
+}
+
 // TopK returns the k most probable worlds in descending probability order
 // using lazy best-first expansion over the per-tuple sorted choice lists
 // (no full enumeration).
@@ -258,23 +343,40 @@ func TopK(xr *pdb.XRelation, cond bool, k int) []World {
 		if len(cs) == 0 {
 			return nil
 		}
-		sort.SliceStable(cs, func(a, b int) bool { return cs[a].P > cs[b].P })
+		SortChoices(cs)
 		lists[i] = cs
 	}
-	type state struct {
-		idx []int
-		p   float64
+	states := TopKIdx(lists, k)
+	out := make([]World, len(states))
+	for i, s := range states {
+		out[i] = worldFromIdx(ids, lists, s)
 	}
-	start := state{idx: make([]int, n), p: 1}
+	return out
+}
+
+// TopKIdx is the list-level core of TopK: lazy best-first expansion over
+// choice lists that must each be non-empty and ordered by SortChoices.
+// It returns nil when no list is given or any list is empty.
+func TopKIdx(lists [][]Choice, k int) []WorldIdx {
+	n := len(lists)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	for _, cs := range lists {
+		if len(cs) == 0 {
+			return nil
+		}
+	}
+	start := WorldIdx{Idx: make([]int, n), P: 1}
 	for i := range lists {
-		start.p *= lists[i][0].P
+		start.P *= lists[i][0].P
 	}
-	heap := []state{start}
-	seen := map[string]bool{key(start.idx): true}
-	pop := func() state {
+	heap := []WorldIdx{start}
+	seen := map[string]bool{key(start.Idx): true}
+	pop := func() WorldIdx {
 		best := 0
 		for i := 1; i < len(heap); i++ {
-			if heap[i].p > heap[best].p {
+			if heap[i].P > heap[best].P {
 				best = i
 			}
 		}
@@ -283,28 +385,24 @@ func TopK(xr *pdb.XRelation, cond bool, k int) []World {
 		heap = heap[:len(heap)-1]
 		return s
 	}
-	var out []World
+	var out []WorldIdx
 	for len(out) < k && len(heap) > 0 {
 		s := pop()
-		w := World{P: s.p, IDs: ids, Choices: make([]Choice, n)}
-		for i, j := range s.idx {
-			w.Choices[i] = lists[i][j]
-		}
-		out = append(out, w)
+		out = append(out, s)
 		for i := 0; i < n; i++ {
-			if s.idx[i]+1 >= len(lists[i]) {
+			if s.Idx[i]+1 >= len(lists[i]) {
 				continue
 			}
 			next := make([]int, n)
-			copy(next, s.idx)
+			copy(next, s.Idx)
 			next[i]++
 			kk := key(next)
 			if seen[kk] {
 				continue
 			}
 			seen[kk] = true
-			p := s.p / lists[i][s.idx[i]].P * lists[i][next[i]].P
-			heap = append(heap, state{idx: next, p: p})
+			p := s.P / lists[i][s.Idx[i]].P * lists[i][next[i]].P
+			heap = append(heap, WorldIdx{Idx: next, P: p})
 		}
 	}
 	return out
@@ -323,14 +421,55 @@ func key(idx []int) string {
 // the `pool` most probable worlds and greedily picks worlds maximizing the
 // product of probability and minimum distance to the already selected set.
 func Dissimilar(xr *pdb.XRelation, cond bool, k, pool int) []World {
+	n := len(xr.Tuples)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	ids := make([]string, n)
+	lists := make([][]Choice, n)
+	for i, x := range xr.Tuples {
+		ids[i] = x.ID
+		cs := Choices(x, cond)
+		if len(cs) == 0 {
+			return nil
+		}
+		SortChoices(cs)
+		lists[i] = cs
+	}
+	states := DissimilarIdx(lists, k, pool)
+	out := make([]World, len(states))
+	for i, s := range states {
+		out[i] = worldFromIdx(ids, lists, s)
+	}
+	return out
+}
+
+// DissimilarIdx is the list-level core of Dissimilar over choice lists
+// ordered by SortChoices. Distance between index vectors counts the
+// tuples whose choice indices differ — identical to Distance on the
+// materialized worlds, because the choices of one list are pairwise
+// distinct.
+func DissimilarIdx(lists [][]Choice, k, pool int) []WorldIdx {
 	if pool < k {
 		pool = k * 4
 	}
-	cands := TopK(xr, cond, pool)
+	cands := TopKIdx(lists, pool)
 	if len(cands) == 0 || k <= 0 {
 		return nil
 	}
-	out := []World{cands[0]} // most probable world always included
+	dist := func(a, b WorldIdx) float64 {
+		if len(a.Idx) == 0 {
+			return 0
+		}
+		diff := 0
+		for i := range a.Idx {
+			if a.Idx[i] != b.Idx[i] {
+				diff++
+			}
+		}
+		return float64(diff) / float64(len(a.Idx))
+	}
+	out := []WorldIdx{cands[0]} // most probable world always included
 	used := map[int]bool{0: true}
 	for len(out) < k && len(out) < len(cands) {
 		bestIdx, bestScore := -1, math.Inf(-1)
@@ -340,7 +479,7 @@ func Dissimilar(xr *pdb.XRelation, cond bool, k, pool int) []World {
 			}
 			minDist := math.Inf(1)
 			for _, s := range out {
-				if d := Distance(c, s); d < minDist {
+				if d := dist(c, s); d < minDist {
 					minDist = d
 				}
 			}

@@ -44,7 +44,9 @@
 // changes the classifications, only throughput and emission order.
 //
 // For continuously arriving data, NewDetector maintains the classified
-// pair set online (Add/AddBatch/Remove, exact at every prefix), and
+// pair set online (Add/AddBatch/Remove) for every built-in reduction —
+// exact at every prefix, except BlockingCluster which runs on a
+// bounded-staleness tier (see EpochIndex) — and
 // NewIntegrator layers the paper's Sec. VI integration on top: a live
 // entity set with uncertain duplicates and lineage, maintained by
 // component-local rebuilds and reported as typed EntityDelta events —
@@ -507,6 +509,15 @@ type (
 	// candidate set online; user-defined methods implementing it plug
 	// into the Detector.
 	IncrementalReduction = ssr.IncrementalMethod
+	// EpochIndex is an IncrementalIndex on the bounded-staleness tier:
+	// between epoch reseals a bounded fraction of residents may be
+	// placed by a cheap stale rule; Reseal restores batch equality and
+	// Staleness reports the current drift. BlockingCluster's index is
+	// the built-in example.
+	EpochIndex = ssr.EpochIndex
+	// IndexStaleness is an EpochIndex's drift report; the invariant
+	// Drifted <= Bound*Residents holds after every operation.
+	IndexStaleness = ssr.Staleness
 	// CandidatePairDelta is one change to a maintained candidate set.
 	CandidatePairDelta = ssr.PairDelta
 )
@@ -522,13 +533,23 @@ const (
 // errors.Is; removal is intentionally not idempotent.
 var ErrUnknownID = core.ErrUnknownID
 
+// ErrNotIncremental is wrapped by NewIncrementalIndex (and therefore
+// NewDetector) when the reduction method cannot maintain its candidate
+// set online. Every built-in method is incremental, so this only
+// concerns user-defined methods that do not implement
+// IncrementalReduction. Test with errors.Is; the error message names
+// the offending method.
+var ErrNotIncremental = ssr.ErrNotIncremental
+
 // NewDetector builds an empty online detection engine over the given
 // schema. Options are validated exactly as in Detect; additionally
-// the reduction method must support incremental maintenance (cross
-// product / nil, SNMCertain, BlockingCertain, BlockingAlternatives,
-// or a pruned ReductionFilter over one of them). Online ingestion is
+// the reduction method must support incremental maintenance — every
+// built-in method does (also under a pruned ReductionFilter), and
+// user-defined methods opt in by implementing IncrementalReduction;
+// anything else fails with ErrNotIncremental. Online ingestion is
 // equivalent to batch Detect on the resident relation at any worker
-// count: Options.Workers fans the verification of a large delta
+// count — for BlockingCluster, at every epoch boundary (see
+// EpochIndex; Detector.Stats reports the staleness in between): Options.Workers fans the verification of a large delta
 // batch (AddBatch, big blocks) across goroutines sharing the
 // detector-lifetime bounded similarity cache, without changing
 // classifications or the emitted delta stream.
@@ -545,10 +566,12 @@ func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*De
 }
 
 // NewIncrementalIndex returns an empty incremental candidate index
-// for the reduction method (nil maintains the cross product), or an
-// error when the method's candidate set depends globally on the whole
-// relation (SNMMultiPass, SNMAlternatives, SNMRanked,
-// BlockingCluster) and cannot be maintained exactly under insertion.
+// for the reduction method (nil maintains the cross product). Every
+// built-in method is supported: all of them maintain the exact batch
+// candidate set under insertion and removal, except BlockingCluster,
+// whose index is an EpochIndex on the bounded-staleness tier. A
+// user-defined method must implement IncrementalReduction; otherwise
+// the call fails with an error wrapping ErrNotIncremental.
 func NewIncrementalIndex(m ReductionMethod) (IncrementalIndex, error) {
 	return ssr.IncrementalOf(m)
 }
