@@ -9,6 +9,8 @@ package probdedup_test
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
 	"testing"
 
 	"probdedup"
@@ -583,6 +585,127 @@ func BenchmarkDetectStreamFromScratch(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// skewedBenchCorpus builds the skewed-key corpus of the scale suite
+// (cmd/pdbench -bench-scale): long random fields under a blocking key
+// that concentrates half the tuples in hot blocks of ~192 members, so
+// every arrival is enumerated against hundreds of candidates of which
+// almost none can reach the decision threshold. A small duplicate
+// fraction keeps real matches flowing.
+func skewedBenchCorpus(n, arrivals int, seed int64) (resident, pool []*probdedup.XTuple, schema []string) {
+	const (
+		hotBlock  = 192
+		coldBlock = 16
+	)
+	rng := rand.New(rand.NewSource(seed))
+	hotBlocks := n / 2 / hotBlock
+	if hotBlocks < 1 {
+		hotBlocks = 1
+	}
+	word := func() string {
+		b := make([]byte, 36+rng.Intn(25))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	var prevName, prevJob, prevBlock string
+	mk := func(id int, block string) *probdedup.XTuple {
+		xid := fmt.Sprintf("t%07d", id)
+		if prevName != "" && prevBlock == block && rng.Float64() < 0.02 {
+			prevName += "x"
+			return probdedup.NewXTuple(xid, probdedup.NewAlt(1, prevName, prevJob, block))
+		}
+		prevName, prevJob, prevBlock = word(), word(), block
+		return probdedup.NewXTuple(xid, probdedup.NewAlt(1, prevName, prevJob, block))
+	}
+	schema = []string{"name", "job", "block"}
+	for i := 0; i < n; i++ {
+		block := fmt.Sprintf("c%07d", (i-n/2)/coldBlock)
+		if i < n/2 {
+			block = fmt.Sprintf("h%07d", i/hotBlock)
+		}
+		resident = append(resident, mk(i, block))
+	}
+	for i := 0; i < arrivals; i++ {
+		pool = append(pool, mk(n+i, fmt.Sprintf("h%07d", rng.Intn(hotBlocks))))
+	}
+	return resident, pool, schema
+}
+
+// skewedBenchOpts is the scale-suite configuration: blocking on the
+// skewed key, Levenshtein everywhere, thresholds wide enough for the
+// q-gram count filter to prove non-duplicates out. The default shared
+// similarity cache stays on — the symbol-keyed fast path is part of
+// what the prefilter dimension measures.
+func skewedBenchOpts(b *testing.B, schema []string, workers int, filtered bool) probdedup.Options {
+	b.Helper()
+	def, err := probdedup.ParseKeyDef("block:8", schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.75, Mu: 0.9},
+		Workers:   workers,
+		PreFilter: filtered,
+	}
+}
+
+// BenchmarkDetectorAddBatchSkewed is BenchmarkDetectorAddBatch on the
+// skewed corpus with the candidate pre-filter as a sweep dimension:
+// the prefilter=true/false pairs at equal size and workers measure
+// what constant-time rejection from precomputed symbol statistics buys
+// when verification cost dominates (the committed evidence at 10k/100k
+// residents lives in BENCH_scale.json; classifications are identical
+// by the filter's soundness contract, enforced by
+// TestPreFilterEquivalence). The 1000-resident size keeps the CI
+// smoke affordable; set PDBENCH_LARGE=1 to sweep 10k and 100k too.
+func BenchmarkDetectorAddBatchSkewed(b *testing.B) {
+	const batchSize = 256
+	sizes := []int{1000}
+	if os.Getenv("PDBENCH_LARGE") != "" {
+		sizes = append(sizes, 10000, 100000)
+	}
+	for _, n := range sizes {
+		for _, filtered := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("resident=%d/prefilter=%t/workers=%d", n, filtered, workers), func(b *testing.B) {
+					resident, pool, schema := skewedBenchCorpus(n, batchSize, 42)
+					det, err := probdedup.NewDetector(schema, skewedBenchOpts(b, schema, workers, filtered), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := det.AddBatch(resident); err != nil {
+						b.Fatal(err)
+					}
+					batch := make([]*probdedup.XTuple, batchSize)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for j := range batch {
+							x := pool[j].Clone()
+							x.ID = fmt.Sprintf("arrival-%d-%d", i, j)
+							batch[j] = x
+						}
+						if err := det.AddBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						for j := range batch {
+							if err := det.Remove(batch[j].ID); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.StartTimer()
+					}
+					b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				})
+			}
 		}
 	}
 }

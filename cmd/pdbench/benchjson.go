@@ -4,10 +4,50 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"probdedup"
 )
+
+// benchEnv pins the machine and source context of a measurement so
+// regression diffs compare like with like: numbers taken at a
+// different parallelism or from a different commit are not comparable.
+type benchEnv struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Commit     string `json:"commit"`
+}
+
+// captureEnv records GOMAXPROCS, the CPU count, and the source
+// revision. The revision comes from the binary's embedded VCS stamp
+// when present (go build), from `git rev-parse` when running out of a
+// checkout (go run, go test), and is "unknown" otherwise.
+func captureEnv() benchEnv {
+	env := benchEnv{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Commit:     "unknown",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				env.Commit = s.Value[:12]
+			}
+		}
+	}
+	if env.Commit == "unknown" {
+		if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+			if rev := strings.TrimSpace(string(out)); rev != "" {
+				env.Commit = rev
+			}
+		}
+	}
+	return env
+}
 
 // benchEntry is one method's online ingestion trajectory point: the
 // cost of seeding the resident relation plus the steady-state cost of
@@ -32,6 +72,7 @@ type benchReport struct {
 	Suite    string       `json:"suite"`
 	Entities int          `json:"entities"`
 	Seed     int64        `json:"seed"`
+	Env      benchEnv     `json:"env"`
 	Entries  []benchEntry `json:"entries"`
 }
 
@@ -79,7 +120,7 @@ func runBenchJSON(path string, entities int, seed int64) error {
 		return fmt.Errorf("corpus too small: %d tuples leave no arrival pool", len(u.Tuples))
 	}
 
-	report := benchReport{Suite: "online-detector", Entities: entities, Seed: seed}
+	report := benchReport{Suite: "online-detector", Entities: entities, Seed: seed, Env: captureEnv()}
 	for _, m := range benchMethods(def) {
 		opts := probdedup.Options{
 			Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},

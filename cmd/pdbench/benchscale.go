@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"probdedup"
+)
+
+// The scale suite measures what the symbol-plane candidate pre-filter
+// buys on skewed data: residents whose blocking keys concentrate in a
+// few hot blocks, so every arrival is enumerated against hundreds of
+// candidates of which almost none can reach the decision threshold.
+// Each configuration is run with the filter off and on; the report
+// records the per-batch ingestion cost of both, the resulting speedup,
+// and whether the declared match/possible sets were identical (the
+// filter's soundness contract, checked on every run, not assumed).
+
+// scaleEntry is one measured configuration of the scale suite.
+type scaleEntry struct {
+	Residents    int     `json:"residents"`
+	Workers      int     `json:"workers"`
+	PreFilter    bool    `json:"prefilter"`
+	SeedNs       int64   `json:"seed_ns"`
+	Batches      int     `json:"batches"`
+	BatchSize    int     `json:"batch_size"`
+	NsPerBatch   int64   `json:"ns_per_batch"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	Enumerated   int     `json:"enumerated"`
+	Filtered     int     `json:"filtered"`
+	Compared     int     `json:"compared"`
+	Matches      int     `json:"matches"`
+	Possible     int     `json:"possible"`
+}
+
+// scaleSpeedup pairs the off/on runs of one configuration: the
+// ingestion speedup and the result-identity verdict.
+type scaleSpeedup struct {
+	Residents int     `json:"residents"`
+	Workers   int     `json:"workers"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// scaleReport is the BENCH_scale.json payload.
+type scaleReport struct {
+	Suite    string         `json:"suite"`
+	Seed     int64          `json:"seed"`
+	Env      benchEnv       `json:"env"`
+	Entries  []scaleEntry   `json:"entries"`
+	Speedups []scaleSpeedup `json:"speedups"`
+}
+
+// scaleBatchSize is the arrival batch unit, matching the -follow
+// read-ahead cap so the measured cost is the cost of the unit the CLI
+// actually ingests.
+const scaleBatchSize = 256
+
+// scaleCorpus is a skewed synthetic corpus: half the tuples land in
+// hot blocks of ~192 members, the rest in cold blocks of 16, under the
+// blocking key "block:8". Names and jobs are random strings with
+// essentially no shared q-grams across distinct entities, so a
+// non-duplicate pair is provably below the threshold from the
+// precomputed symbol statistics alone; a small duplicate fraction
+// (near-identical name, same job and block) keeps the match machinery
+// honest. Arrivals target hot blocks only — the skew is the point.
+type scaleCorpus struct {
+	schema    []string
+	residents []*probdedup.XTuple
+	arrivals  []*probdedup.XTuple
+}
+
+const (
+	scaleHotBlock  = 192
+	scaleColdBlock = 16
+	scaleDupFrac   = 0.02
+)
+
+// genScaleCorpus builds the deterministic skewed corpus: n residents
+// plus the given number of arrivals.
+func genScaleCorpus(n, arrivals int, seed int64) scaleCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	hotBlocks := n / 2 / scaleHotBlock
+	if hotBlocks < 1 {
+		hotBlocks = 1
+	}
+	// Long fields (36–60 chars, think titles or street addresses) put
+	// the measurement in the regime the filter targets: quadratic
+	// verification cost per pair, constant-time rejection from the
+	// precomputed symbol statistics.
+	randWord := func() string {
+		b := make([]byte, 36+rng.Intn(25))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	var prev *probdedup.XTuple
+	mk := func(id int, block string) *probdedup.XTuple {
+		xid := fmt.Sprintf("t%07d", id)
+		// A duplicate repeats its predecessor's values with one edit in
+		// the name — same block, so the reduction enumerates the pair
+		// and the filter must let it through.
+		if prev != nil && rng.Float64() < scaleDupFrac && prev.Alts[0].Values[2].Alternatives()[0].Value.S() == block {
+			name := prev.Alts[0].Values[0].Alternatives()[0].Value.S() + "x"
+			job := prev.Alts[0].Values[1].Alternatives()[0].Value.S()
+			x := probdedup.NewXTuple(xid, probdedup.NewAlt(1, name, job, block))
+			prev = x
+			return x
+		}
+		name, job := randWord(), randWord()
+		var x *probdedup.XTuple
+		if rng.Float64() < 0.3 {
+			// A genuinely probabilistic tuple: two alternatives with
+			// distinct names, exercising the alternative cross product in
+			// both verification and the filter's per-attribute bound.
+			x = probdedup.NewXTuple(xid,
+				probdedup.NewAlt(0.7, name, job, block),
+				probdedup.NewAlt(0.3, randWord(), job, block))
+		} else {
+			x = probdedup.NewXTuple(xid, probdedup.NewAlt(1, name, job, block))
+		}
+		prev = x
+		return x
+	}
+	blockOf := func(i int) string {
+		if i < n/2 {
+			return fmt.Sprintf("h%07d", i/scaleHotBlock)
+		}
+		return fmt.Sprintf("c%07d", (i-n/2)/scaleColdBlock)
+	}
+	c := scaleCorpus{schema: []string{"name", "job", "block"}}
+	for i := 0; i < n; i++ {
+		c.residents = append(c.residents, mk(i, blockOf(i)))
+	}
+	for i := 0; i < arrivals; i++ {
+		block := fmt.Sprintf("h%07d", rng.Intn(hotBlocks))
+		c.arrivals = append(c.arrivals, mk(n+i, block))
+	}
+	return c
+}
+
+// scaleOpts is the measured configuration: blocking on the skewed key,
+// Levenshtein on every attribute, thresholds wide enough that the
+// q-gram count filter can prove non-duplicates out.
+func scaleOpts(schema []string, workers int, filtered bool) (probdedup.Options, error) {
+	def, err := probdedup.ParseKeyDef("block:8", schema)
+	if err != nil {
+		return probdedup.Options{}, err
+	}
+	return probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.75, Mu: 0.9},
+		Workers:   workers,
+		PreFilter: filtered,
+	}, nil
+}
+
+// seedChunk bounds one seeding AddBatch so the delta scratch buffer
+// stays moderate at 100k residents.
+const seedChunk = 4096
+
+// runScaleOnce seeds the detector and ingests every arrival batch,
+// returning the measurements and the declared M/P pair set of the
+// final state (the identity witness).
+func runScaleOnce(c scaleCorpus, workers int, filtered bool) (scaleEntry, map[string]probdedup.Class, error) {
+	opts, err := scaleOpts(c.schema, workers, filtered)
+	if err != nil {
+		return scaleEntry{}, nil, err
+	}
+	det, err := probdedup.NewDetector(c.schema, opts, nil)
+	if err != nil {
+		return scaleEntry{}, nil, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(c.residents); lo += seedChunk {
+		hi := lo + seedChunk
+		if hi > len(c.residents) {
+			hi = len(c.residents)
+		}
+		if err := det.AddBatch(c.residents[lo:hi]); err != nil {
+			return scaleEntry{}, nil, fmt.Errorf("seed: %w", err)
+		}
+	}
+	seedNs := time.Since(start).Nanoseconds()
+
+	batches := 0
+	start = time.Now()
+	for lo := 0; lo+scaleBatchSize <= len(c.arrivals); lo += scaleBatchSize {
+		if err := det.AddBatch(c.arrivals[lo : lo+scaleBatchSize]); err != nil {
+			return scaleEntry{}, nil, fmt.Errorf("ingest: %w", err)
+		}
+		batches++
+	}
+	ingestNs := time.Since(start).Nanoseconds()
+
+	declared := map[string]probdedup.Class{}
+	r := det.Flush()
+	for p := range r.Matches {
+		declared[p.A+"\x00"+p.B] = probdedup.ClassM
+	}
+	for p := range r.Possible {
+		declared[p.A+"\x00"+p.B] = probdedup.ClassP
+	}
+
+	st := det.Stats()
+	ingested := batches * scaleBatchSize
+	entry := scaleEntry{
+		Residents:    len(c.residents),
+		Workers:      workers,
+		PreFilter:    filtered,
+		SeedNs:       seedNs,
+		Batches:      batches,
+		BatchSize:    scaleBatchSize,
+		NsPerBatch:   ingestNs / int64(batches),
+		TuplesPerSec: float64(ingested) / (float64(ingestNs) / 1e9),
+		Enumerated:   st.Enumerated,
+		Filtered:     st.Filtered,
+		Compared:     st.Compared,
+		Matches:      st.Matches,
+		Possible:     st.Possible,
+	}
+	return entry, declared, nil
+}
+
+// sameDeclared reports whether two declared pair→class maps are
+// identical.
+func sameDeclared(a, b map[string]probdedup.Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// runBenchScale measures filtered-vs-unfiltered online ingestion over
+// the skewed corpus for every residents × workers configuration and
+// writes BENCH_scale.json. batches ≤ 0 picks the default per size:
+// 8 per run, scaled down to 4 at 100k so those configurations stay
+// affordable.
+func runBenchScale(path string, sizes []int, workerSweep []int, seed int64, batches int) error {
+	report := scaleReport{Suite: "scale-prefilter", Seed: seed, Env: captureEnv()}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		batches := batches
+		if batches <= 0 {
+			batches = 8
+			if n >= 100000 {
+				batches = 4
+			}
+		}
+		c := genScaleCorpus(n, batches*scaleBatchSize, seed)
+		for _, w := range workerSweep {
+			var (
+				perBatch [2]int64
+				declared [2]map[string]probdedup.Class
+			)
+			for i, filtered := range []bool{false, true} {
+				entry, decl, err := runScaleOnce(c, w, filtered)
+				if err != nil {
+					return fmt.Errorf("residents=%d workers=%d prefilter=%t: %w", n, w, filtered, err)
+				}
+				report.Entries = append(report.Entries, entry)
+				perBatch[i] = entry.NsPerBatch
+				declared[i] = decl
+				fmt.Fprintf(os.Stderr, "pdbench: residents=%d workers=%d prefilter=%t ns/batch=%d filtered=%d/%d\n",
+					n, w, filtered, entry.NsPerBatch, entry.Filtered, entry.Enumerated)
+			}
+			report.Speedups = append(report.Speedups, scaleSpeedup{
+				Residents: n,
+				Workers:   w,
+				Speedup:   float64(perBatch[0]) / float64(perBatch[1]),
+				Identical: sameDeclared(declared[0], declared[1]),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,19 +19,52 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"probdedup/internal/experiments"
 )
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size list %q: entries must be positive integers", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, paper, s01, s02, s03, s04, s05, a01, a02")
 	entities := flag.Int("entities", 150, "entities in the synthetic corpus")
 	seed := flag.Int64("seed", 42, "generator seed")
 	benchJSON := flag.String("bench-json", "", "write the online ingestion trajectory to this BENCH_*.json file and exit")
+	benchScale := flag.String("bench-scale", "", "write the skewed-corpus filtered-vs-unfiltered ingestion sweep to this BENCH_*.json file and exit")
+	scaleSizes := flag.String("scale-sizes", "10000,100000", "comma-separated resident sizes for -bench-scale")
+	scaleWorkers := flag.String("scale-workers", "1,4", "comma-separated worker counts for -bench-scale")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *entities, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchScale != "" {
+		sizes, err := parseIntList(*scaleSizes)
+		if err == nil {
+			var workers []int
+			workers, err = parseIntList(*scaleWorkers)
+			if err == nil {
+				err = runBenchScale(*benchScale, sizes, workers, *seed, 0)
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
 			os.Exit(1)
 		}

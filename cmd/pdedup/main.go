@@ -87,7 +87,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		follow      = fs.Bool("follow", false, "incremental online mode: seed from FILEs (if any), then read NDJSON tuples from stdin and print match deltas as tuples arrive")
 		integrate   = fs.Bool("integrate", false, "with -follow: fold match deltas into a live entity set and print NDJSON entity deltas (created/merged/split/refused/retired) instead of pair deltas")
 		schemaSpec  = fs.String("schema", "", "comma-separated schema for -follow without a seed file, e.g. 'name,job'")
-		showAll     = fs.Bool("v", false, "print every compared pair, not only matches")
+		preFilter   = fs.Bool("prefilter", false, "enable the symbol-plane candidate pre-filter: skip enumerated pairs provably below -lambda (results are identical, only fewer pairs are verified)")
+		qgram       = fs.Int("qgram", 0, "gram size of the pre-filter's q-gram count filters (0 = 2); applies with -prefilter only")
+		showAll     = fs.Bool("v", false, "print every compared pair, not only matches, plus filter/cache effectiveness counters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -135,6 +137,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pdedup: -k must be >= 0 (0 selects the residents/8 heuristic)")
 		return 2
 	}
+	// -qgram shapes the pre-filter's precomputed gram statistics only;
+	// passing it without -prefilter would be silently ignored, so reject.
+	qgramSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "qgram" {
+			qgramSet = true
+		}
+	})
+	if qgramSet && !*preFilter {
+		fmt.Fprintln(stderr, "pdedup: -qgram applies with -prefilter only")
+		return 2
+	}
+	if *qgram < 0 {
+		fmt.Fprintln(stderr, "pdedup: -qgram must be >= 0 (0 selects the default gram size 2)")
+		return 2
+	}
 
 	var xr *probdedup.XRelation
 	if fs.NArg() > 0 {
@@ -172,12 +190,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	opts := probdedup.Options{
 		Compare: compare,
-		AltModel: probdedup.SimpleModel{
-			Phi: equalWeights(len(xr.Schema)),
-			T:   probdedup.Thresholds{Lambda: *altLambda, Mu: *altMu},
+		// WeightedSumModel is bit-identical to the former
+		// SimpleModel{Phi: WeightedSum(...)} but exposes its weights, so
+		// the -prefilter bound machinery can box-bound it.
+		AltModel: probdedup.WeightedSumModel{
+			Weights: equalWeights(len(xr.Schema)),
+			T:       probdedup.Thresholds{Lambda: *altLambda, Mu: *altMu},
 		},
-		Final:   probdedup.Thresholds{Lambda: *lambda, Mu: *mu},
-		Workers: *workers,
+		Final:     probdedup.Thresholds{Lambda: *lambda, Mu: *mu},
+		Workers:   *workers,
+		PreFilter: *preFilter,
+		FilterQ:   *qgram,
 	}
 	opts.Derivation, err = deriveByName(*deriveName)
 	if err != nil {
@@ -206,6 +229,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return runFollow(xr, opts, stdin, stdout, stderr, *showAll, *integrate)
 	}
 
+	// The -v effectiveness footer: how much verification work the
+	// pre-filter removed and how well the shared similarity cache
+	// served the rest.
+	effectiveness := func(enumerated, filtered, verified int, active bool, cache probdedup.SimCacheStats) {
+		state := "off"
+		if active {
+			state = "on"
+		}
+		fmt.Fprintf(stdout, "prefilter %s: enumerated=%d filtered=%d verified=%d\n",
+			state, enumerated, filtered, verified)
+		fmt.Fprintf(stdout, "cache: hits=%d misses=%d hit-rate=%.3f\n",
+			cache.Hits, cache.Misses, cache.HitRate())
+	}
+
 	if *stream {
 		// Streaming path: emit pairs as the engine finds them, retain
 		// nothing. The summary line moves after the pairs because the
@@ -222,10 +259,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "compared %d of %d pairs\n", stats.Compared, stats.TotalPairs)
 		fmt.Fprintf(stdout, "matches=%d possible=%d\n", stats.Matches, stats.Possible)
+		if *showAll {
+			effectiveness(stats.Enumerated, stats.Filtered, stats.Compared, stats.FilterActive, stats.Cache)
+		}
 		return 0
 	}
 
-	res, err := probdedup.Detect(xr, opts)
+	res, stats, err := probdedup.DetectWithStats(xr, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "pdedup:", err)
 		return 1
@@ -239,6 +279,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-4s (%s,%s) sim=%.4f\n", m.Class, p.A, p.B, m.Sim)
 	}
 	fmt.Fprintf(stdout, "matches=%d possible=%d\n", len(res.Matches), len(res.Possible))
+	if *showAll {
+		effectiveness(stats.Enumerated, stats.Filtered, stats.Compared, stats.FilterActive, stats.Cache)
+	}
 	return 0
 }
 
@@ -344,6 +387,16 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 			fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
 				st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)
 			fmt.Fprintf(stdout, "matches=%d possible=%d\n", st.Matches, st.Possible)
+			if showAll {
+				state := "off"
+				if st.FilterActive {
+					state = "on"
+				}
+				fmt.Fprintf(stdout, "prefilter %s: enumerated=%d filtered=%d verified=%d\n",
+					state, st.Enumerated, st.Filtered, st.Compared)
+				fmt.Fprintf(stdout, "cache: hits=%d misses=%d hit-rate=%.3f\n",
+					st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate())
+			}
 			return 0
 		}
 	}
@@ -586,10 +639,10 @@ func reductionByName(name string, def probdedup.KeyDef, window, kWorlds, kCluste
 	return nil, fmt.Errorf("unknown reduction %q", name)
 }
 
-func equalWeights(n int) probdedup.Combine {
+func equalWeights(n int) []float64 {
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = 1 / float64(n)
 	}
-	return probdedup.WeightedSum(w...)
+	return w
 }

@@ -421,3 +421,134 @@ func TestRunFollowIntegrateFlagValidation(t *testing.T) {
 		t.Fatalf("stderr: %s", errOut.String())
 	}
 }
+
+// TestRunBatchVerboseGolden pins the batch -v -prefilter transcript —
+// per-pair lines, summary, and the effectiveness footer (pre-filter and
+// cache counters) — byte for byte against
+// testdata/batch_verbose.golden. The run is sequential, so the
+// enumeration order, the filter decisions, and the cache counters are
+// all deterministic. Regenerate with PDEDUP_UPDATE_GOLDEN=1.
+func TestRunBatchVerboseGolden(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-v", "-prefilter", "-compare", "levenshtein",
+		"-lambda", "0.35", "-mu", "0.8", r3, r4},
+		strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "batch_verbose.golden")
+	if os.Getenv("PDEDUP_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Fatalf("batch -v -prefilter output drifted from golden\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestRunPreFilterIdenticalResults runs the same batch detection with
+// and without -prefilter and demands byte-identical declared output —
+// the CLI-level witness of the filter's soundness contract. Only the
+// "compared N of M" header may differ (the filter's whole point is
+// verifying fewer pairs); every printed M/P line and the summary must
+// match exactly.
+func TestRunPreFilterIdenticalResults(t *testing.T) {
+	r3, r4, _, _ := writeFixtures(t)
+	base := []string{"-compare", "levenshtein", "-lambda", "0.35", "-mu", "0.8"}
+	var plain, filtered bytes.Buffer
+	var errOut bytes.Buffer
+	if code := run(append(append([]string{}, base...), r3, r4), strings.NewReader(""), &plain, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run(append(append([]string{"-prefilter"}, base...), r3, r4), strings.NewReader(""), &filtered, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	behead := func(s string) (string, string) {
+		head, rest, _ := strings.Cut(s, "\n")
+		return head, rest
+	}
+	plainHead, plainRest := behead(plain.String())
+	filtHead, filtRest := behead(filtered.String())
+	if plainRest != filtRest {
+		t.Fatalf("-prefilter changed the declared result\n--- plain ---\n%s--- filtered ---\n%s", plain.String(), filtered.String())
+	}
+	var pc, pt, fc, ft int
+	if _, err := fmt.Sscanf(plainHead, "compared %d of %d pairs", &pc, &pt); err != nil {
+		t.Fatalf("header %q: %v", plainHead, err)
+	}
+	if _, err := fmt.Sscanf(filtHead, "compared %d of %d pairs", &fc, &ft); err != nil {
+		t.Fatalf("header %q: %v", filtHead, err)
+	}
+	if fc > pc || ft != pt {
+		t.Fatalf("filtered run compared %d of %d, plain %d of %d", fc, ft, pc, pt)
+	}
+}
+
+// TestRunQGramRequiresPreFilter pins the flag-consistency contract.
+func TestRunQGramRequiresPreFilter(t *testing.T) {
+	r3, _, _, _ := writeFixtures(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-qgram", "3", r3}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("want exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-qgram applies with -prefilter only") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+// TestRunFollowVerbosePreFilter: the online path prints the filter
+// effectiveness and cache lines under -v, and the filter actually
+// rejects pairs on disjoint long values.
+func TestRunFollowVerbosePreFilter(t *testing.T) {
+	stdin := strings.NewReader(`
+{"id":"a","attrs":[[{"v":"aaaaaaaaaaaaaaaaaaaa"}],[{"v":"cccccccccccccccccccc"}]]}
+{"id":"b","attrs":[[{"v":"zzzzzzzzzzzzzzzzzzzz"}],[{"v":"xxxxxxxxxxxxxxxxxxxx"}]]}
+{"id":"c","attrs":[[{"v":"aaaaaaaaaaaaaaaaaaax"}],[{"v":"cccccccccccccccccccc"}]]}
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-follow", "-v", "-prefilter", "-compare", "levenshtein",
+		"-lambda", "0.75", "-mu", "0.9", "-schema", "name,job"}, stdin, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "prefilter on: enumerated=") {
+		t.Fatalf("missing prefilter summary in:\n%s", s)
+	}
+	if !strings.Contains(s, "cache: hits=") {
+		t.Fatalf("missing cache summary in:\n%s", s)
+	}
+	if !strings.Contains(s, "+m    (a,c)") {
+		t.Fatalf("near-duplicate pair not declared in:\n%s", s)
+	}
+	var en, fi, ve int
+	if _, err := fmt.Sscanf(s[strings.Index(s, "prefilter on:"):],
+		"prefilter on: enumerated=%d filtered=%d verified=%d", &en, &fi, &ve); err != nil {
+		t.Fatalf("parse summary: %v\n%s", err, s)
+	}
+	if en != fi+ve || fi == 0 {
+		t.Fatalf("filter counters enumerated=%d filtered=%d verified=%d", en, fi, ve)
+	}
+}
+
+// TestRunFollowVerboseNoFilter: without -prefilter the summary reports
+// the filter off with nothing filtered.
+func TestRunFollowVerboseNoFilter(t *testing.T) {
+	stdin := strings.NewReader(`
+{"id":"a","attrs":[[{"v":"Tim"}],[{"v":"pilot"}]]}
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-follow", "-v", "-schema", "name,job"}, stdin, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "prefilter off: enumerated=0 filtered=0") {
+		t.Fatalf("missing off summary in:\n%s", out.String())
+	}
+}

@@ -1,0 +1,124 @@
+package probdedup_test
+
+import (
+	"testing"
+
+	"probdedup"
+	"probdedup/internal/keys"
+	"probdedup/internal/rank"
+)
+
+// TestPublicConstructors exercises the thin façade constructors that the
+// scenario tests build through internal packages instead.
+func TestPublicConstructors(t *testing.T) {
+	d, err := probdedup.NewDist(probdedup.Alternative{Value: probdedup.V("a"), P: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.NullP(), 0.6) {
+		t.Fatalf("⊥ mass = %v", d.NullP())
+	}
+	u := probdedup.Uniform("x", "y")
+	if got := u.Len(); got != 2 {
+		t.Fatalf("Uniform len = %d", got)
+	}
+	alt := probdedup.NewAltDists(0.5, probdedup.Certain("Tim"), u)
+	if !almost(alt.P, 0.5) || len(alt.Values) != 2 {
+		t.Fatalf("NewAltDists = %+v", alt)
+	}
+	def := probdedup.NewKeyDef(probdedup.KeyPart{Attr: 0, Prefix: 3})
+	if len(def.Parts) != 1 || def.Parts[0].Prefix != 3 {
+		t.Fatalf("NewKeyDef = %+v", def)
+	}
+	s := probdedup.NewStandardizer(probdedup.TrimSpace, nil)
+	if s == nil {
+		t.Fatal("NewStandardizer returned nil")
+	}
+}
+
+func TestPublicCompareFuncs(t *testing.T) {
+	if got := probdedup.BandedLevenshtein(0.8)("duplicate", "xyzzyplugh"); got != 0 {
+		t.Fatalf("BandedLevenshtein below band = %v", got)
+	}
+	if d, ok := probdedup.LevenshteinWithin("kitten", "sitting", 3); !ok || d != 3 {
+		t.Fatalf("LevenshteinWithin = %d, %v", d, ok)
+	}
+	if _, ok := probdedup.LevenshteinWithin("a", "abcdef", 2); ok {
+		t.Fatal("LevenshteinWithin accepted a distance beyond the band")
+	}
+	if got := probdedup.QGramDice(2)("night", "night"); !almost(got, 1) {
+		t.Fatalf("QGramDice = %v", got)
+	}
+	if got := probdedup.QGramJaccard(2)("night", "nacht"); got <= 0 || got >= 1 {
+		t.Fatalf("QGramJaccard = %v", got)
+	}
+	me := probdedup.MongeElkan(probdedup.Levenshtein)
+	if got := me("paul john", "john paul"); !almost(got, 1) {
+		t.Fatalf("MongeElkan = %v", got)
+	}
+	g := probdedup.NewGlossary(probdedup.Exact, []string{"doctor", "physician"})
+	if got := g.Sim("doctor", "physician"); !almost(got, 1) {
+		t.Fatalf("Glossary = %v", got)
+	}
+}
+
+func TestPublicEstimateEM(t *testing.T) {
+	patterns := []probdedup.Pattern{
+		{true, true}, {true, true}, {true, false},
+		{false, false}, {false, false}, {false, true},
+	}
+	res, err := probdedup.EstimateEM(patterns, 2, 50, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.M) != 2 || len(res.U) != 2 || res.Iterations <= 0 {
+		t.Fatalf("EstimateEM = %+v", res)
+	}
+	if res.PMatch <= 0 || res.PMatch >= 1 {
+		t.Fatalf("PMatch = %v", res.PMatch)
+	}
+}
+
+func TestPublicExpectedRanks(t *testing.T) {
+	ranks := probdedup.ExpectedRanks([]rank.Item{
+		{ID: "a", Keys: []keys.KeyProb{{Key: "aa", P: 1}}},
+		{ID: "b", Keys: []keys.KeyProb{{Key: "bb", P: 1}}},
+	})
+	if len(ranks) != 2 || ranks[0] >= ranks[1] {
+		t.Fatalf("ExpectedRanks = %v", ranks)
+	}
+}
+
+func TestPublicDetectWithStats(t *testing.T) {
+	src := probdedup.NewXRelation("S", "name", "job").Append(
+		probdedup.NewXTuple("a", probdedup.NewAlt(1, "Tim", "mechanic")),
+		probdedup.NewXTuple("b", probdedup.NewAlt(1, "Tim", "mechanic")),
+		probdedup.NewXTuple("c", probdedup.NewAlt(1, "Zo", "welder")),
+	)
+	final := probdedup.Thresholds{Lambda: 0.5, Mu: 0.9}
+	res, stats, err := probdedup.DetectWithStats(src, probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein},
+		Final:     final,
+		PreFilter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	if !stats.FilterActive || stats.Enumerated != stats.Compared+stats.Filtered {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// The same input with filtering off classifies identically.
+	plain, err := probdedup.Detect(src, probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein},
+		Final:   final,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Matches) != len(res.Matches) || len(plain.Possible) != len(res.Possible) {
+		t.Fatalf("filtered result diverged: %+v vs %+v", res, plain)
+	}
+}

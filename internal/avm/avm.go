@@ -44,12 +44,14 @@ func Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
 // runs over the explicit alternatives; the ⊥ terms are added in closed
 // form from the null masses, so no Support slice is materialized.
 func (ns NullSemantics) Sim(f strsim.Func, a1, a2 pdb.Dist) float64 {
-	return ns.sim(a1, a2, f)
+	return ns.sim(a1, a2, func(x, y pdb.Value) float64 { return f(x.S(), y.S()) })
 }
 
 // sim is the shared Eq. 5 evaluator, parameterized over the existing-value
-// comparison so the Matcher can inject its memoized lookup.
-func (ns NullSemantics) sim(a1, a2 pdb.Dist, f func(a, b string) float64) float64 {
+// comparison so the Matcher can inject its memoized lookup. f receives
+// the full Values (never ⊥), giving the memo access to their interned
+// symbols.
+func (ns NullSemantics) sim(a1, a2 pdb.Dist, f func(x, y pdb.Value) float64) float64 {
 	alts1, alts2 := a1.Alternatives(), a2.Alternatives()
 	total := 0.0
 	sum1, sum2 := 0.0, 0.0
@@ -59,7 +61,7 @@ func (ns NullSemantics) sim(a1, a2 pdb.Dist, f func(a, b string) float64) float6
 	for _, x := range alts1 {
 		sum1 += x.P
 		for _, y := range alts2 {
-			total += x.P * y.P * f(x.Value.S(), y.Value.S())
+			total += x.P * y.P * f(x.Value, y.Value)
 		}
 	}
 	n1, n2 := a1.NullP(), a2.NullP()
@@ -147,19 +149,33 @@ func (m *Matcher) nulls() NullSemantics {
 }
 
 // valueSim memoizes the comparison function of attribute k on existing
-// values.
-func (m *Matcher) valueSim(k int, a, b string) float64 {
+// values. Pairs of interned values are memoized under their symbol pair
+// (hashing two uint32s instead of two strings); un-interned values fall
+// back to the string-keyed memo. Both kinds share one cache bound.
+func (m *Matcher) valueSim(k int, a, b pdb.Value) float64 {
 	if m.cache == nil {
-		return m.Funcs[k](a, b)
+		return m.Funcs[k](a.S(), b.S())
 	}
-	key := cacheKey{attr: k, a: a, b: b}
+	if sa, sb := a.Sym(), b.Sym(); sa != 0 && sb != 0 {
+		key := symKey{attr: uint32(k), a: sa, b: sb}
+		if key.a > key.b {
+			key.a, key.b = key.b, key.a
+		}
+		if v, ok := m.cache.getSym(key); ok {
+			return v
+		}
+		v := m.Funcs[k](a.S(), b.S())
+		m.cache.putSym(key, v)
+		return v
+	}
+	key := cacheKey{attr: k, a: a.S(), b: b.S()}
 	if key.a > key.b {
 		key.a, key.b = key.b, key.a
 	}
 	if v, ok := m.cache.get(key); ok {
 		return v
 	}
-	v := m.Funcs[k](a, b)
+	v := m.Funcs[k](a.S(), b.S())
 	m.cache.put(key, v)
 	return v
 }
@@ -167,7 +183,7 @@ func (m *Matcher) valueSim(k int, a, b string) float64 {
 // AttrSim computes Eq. 5 for attribute k with memoization.
 func (m *Matcher) AttrSim(k int, a1, a2 pdb.Dist) float64 {
 	ns := m.nulls()
-	return ns.sim(a1, a2, func(a, b string) float64 { return m.valueSim(k, a, b) })
+	return ns.sim(a1, a2, func(x, y pdb.Value) float64 { return m.valueSim(k, x, y) })
 }
 
 // CompareTuples computes the comparison vector c⃗ of two dependency-free

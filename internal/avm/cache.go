@@ -23,13 +23,59 @@ type cacheKey struct {
 	a, b string
 }
 
-// cacheShard is one lock stripe of the cache.
+// symKey is the symbol-plane form of cacheKey: when both values carry
+// interned symbols (see internal/sym) the memo is keyed by a 12-byte
+// integer triple instead of two strings — cheaper to hash, compare and
+// store, and independent of value length.
+type symKey struct {
+	attr uint32
+	a, b uint32
+}
+
+// cacheShard is one lock stripe of the cache. The string-keyed and
+// symbol-keyed entries live in separate maps but share the shard's
+// entry bound; a run uses almost exclusively one of the two, depending
+// on whether its values were interned.
 type cacheShard struct {
 	mu     sync.Mutex
 	m      map[cacheKey]float64
+	ms     map[symKey]float64
 	hits   uint64
 	misses uint64
 	evics  uint64
+}
+
+// evictLocked drops entries so an insert keeps the shard within
+// perShard, preferring the map the insert targets (symFirst) so steady
+// workloads evict their own kind. Must be called with s.mu held.
+func (s *cacheShard) evictLocked(drop int, symFirst bool) {
+	evictSyms := func() {
+		for old := range s.ms {
+			if drop == 0 {
+				return
+			}
+			delete(s.ms, old)
+			s.evics++
+			drop--
+		}
+	}
+	evictStrs := func() {
+		for old := range s.m {
+			if drop == 0 {
+				return
+			}
+			delete(s.m, old)
+			s.evics++
+			drop--
+		}
+	}
+	if symFirst {
+		evictSyms()
+		evictStrs()
+	} else {
+		evictStrs()
+		evictSyms()
+	}
 }
 
 // Cache is a sharded, bounded, concurrency-safe memo of value-pair
@@ -130,23 +176,59 @@ func (c *Cache) put(k cacheKey, v float64) {
 		// capacity up front even for runs that never fill the cache.
 		s.m = make(map[cacheKey]float64)
 	}
-	if _, exists := s.m[k]; !exists && len(s.m) >= c.perShard {
+	if _, exists := s.m[k]; !exists && len(s.m)+len(s.ms) >= c.perShard {
 		// Evict an eighth of the shard (at least one entry) in map order.
 		// Batching amortizes the eviction walk over many inserts.
-		drop := c.perShard / 8
-		if drop < 1 {
-			drop = 1
-		}
-		for old := range s.m {
-			delete(s.m, old)
-			s.evics++
-			drop--
-			if drop == 0 {
-				break
-			}
-		}
+		s.evictLocked(c.evictBatch(), false)
 	}
 	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// evictBatch is the number of entries dropped per eviction.
+func (c *Cache) evictBatch() int {
+	drop := c.perShard / 8
+	if drop < 1 {
+		drop = 1
+	}
+	return drop
+}
+
+// shardOfSym hashes a symbol key to its stripe (multiplicative mixing;
+// the top bits carry the entropy, so the stripe index is taken there).
+func (c *Cache) shardOfSym(k symKey) *cacheShard {
+	const mix = 0x9E3779B97F4A7C15
+	h := (uint64(k.attr)*mix ^ uint64(k.a)) * mix
+	h = (h ^ uint64(k.b)) * mix
+	return &c.shards[h>>(64-6)&(cacheShards-1)]
+}
+
+// getSym returns the memoized similarity of the symbol key.
+func (c *Cache) getSym(k symKey) (float64, bool) {
+	s := c.shardOfSym(k)
+	s.mu.Lock()
+	v, ok := s.ms[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// putSym memoizes the similarity of the symbol key under the same shard
+// bound as put.
+func (c *Cache) putSym(k symKey, v float64) {
+	s := c.shardOfSym(k)
+	s.mu.Lock()
+	if s.ms == nil {
+		s.ms = make(map[symKey]float64)
+	}
+	if _, exists := s.ms[k]; !exists && len(s.m)+len(s.ms) >= c.perShard {
+		s.evictLocked(c.evictBatch(), true)
+	}
+	s.ms[k] = v
 	s.mu.Unlock()
 }
 
@@ -156,7 +238,7 @@ func (c *Cache) Len() int {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += len(s.m)
+		n += len(s.m) + len(s.ms)
 		s.mu.Unlock()
 	}
 	return n
@@ -171,7 +253,7 @@ func (c *Cache) Stats() CacheStats {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		st.Entries += len(s.m)
+		st.Entries += len(s.m) + len(s.ms)
 		st.Hits += s.hits
 		st.Misses += s.misses
 		st.Evictions += s.evics
@@ -189,6 +271,11 @@ func (c *Cache) SizeByAttr(nattrs int) []int {
 		s.mu.Lock()
 		for k := range s.m {
 			if k.attr >= 0 && k.attr < nattrs {
+				out[k.attr]++
+			}
+		}
+		for k := range s.ms {
+			if int(k.attr) < nattrs {
 				out[k.attr]++
 			}
 		}

@@ -53,6 +53,21 @@ type Options struct {
 	// means the paper's sim(⊥,⊥)=1, sim(a,⊥)=0 (ablation hook, DESIGN.md
 	// §5).
 	Nulls *avm.NullSemantics
+	// PreFilter enables the symbol-plane candidate pre-filter: between
+	// candidate enumeration and verification, pairs whose derived
+	// similarity provably cannot reach Final.Lambda are skipped
+	// (ssr.PreFilter). The filter is sound by construction — the M and
+	// P sets are bit-identical with it on or off; only the number of
+	// verified pairs shrinks. When the configuration cannot be bounded
+	// (an opaque AltModel, an unboundable Derivation, ⊥ similarities
+	// outside [0,1]) the filter is silently inert; StreamStats and
+	// DetectorStats report FilterActive.
+	PreFilter bool
+	// FilterQ is the gram size of the precomputed symbol statistics
+	// the pre-filter's q-gram count filters use; 0 means 2. Larger
+	// sizes reject less on short values; sizes above sym.MaxExactQ
+	// fall back to hashed grams (still sound).
+	FilterQ int
 }
 
 // Match is one compared pair with its derived similarity and class.
@@ -80,6 +95,14 @@ type Result struct {
 // in deterministic order, with similarity and class per pair. Use
 // DetectStream directly when the result sets need not be retained.
 func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
+	res, _, err := DetectWithStats(xr, opts)
+	return res, err
+}
+
+// DetectWithStats is Detect additionally returning the run's
+// StreamStats — cache counters, pre-filter effectiveness, partition
+// fan-out — without changing the materialized Result.
+func DetectWithStats(xr *pdb.XRelation, opts Options) (*Result, StreamStats, error) {
 	res := &Result{
 		Matches:  verify.PairSet{},
 		Possible: verify.PairSet{},
@@ -97,7 +120,7 @@ func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	res.TotalPairs = stats.TotalPairs
 	sort.Slice(res.Compared, func(i, j int) bool {
@@ -106,7 +129,7 @@ func Detect(xr *pdb.XRelation, opts Options) (*Result, error) {
 		}
 		return res.Compared[i].B < res.Compared[j].B
 	})
-	return res, nil
+	return res, stats, nil
 }
 
 // DetectRelations lifts two dependency-free relations, unions them, and

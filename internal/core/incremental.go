@@ -107,6 +107,17 @@ type DetectorStats struct {
 	// Cache holds the shared similarity cache counters (zero value
 	// when memoization is disabled).
 	Cache avm.CacheStats
+	// Enumerated counts the candidate pairs the pre-filter inspected
+	// since construction: the comparisons that would have run without
+	// it are Enumerated − (pairs found already live); Compared plus
+	// Filtered in steady state.
+	Enumerated int
+	// Filtered counts the inspected pairs rejected as provable
+	// non-matches.
+	Filtered int
+	// FilterActive reports whether the candidate pre-filter is
+	// constructed and consulted.
+	FilterActive bool
 }
 
 // Detector is the long-lived online detection engine: tuples arrive
@@ -305,14 +316,24 @@ func (d *Detector) prepareTuple(x *pdb.XTuple) (*pdb.XTuple, error) {
 	if _, dup := d.eng.byID[x.ID]; dup {
 		return nil, fmt.Errorf("core: duplicate tuple ID %q", x.ID)
 	}
+	if d.eng.symtab != nil {
+		// Populate the symbol plane at arrival time: the tuple is the
+		// detector's private copy, so interning (which replaces value
+		// annotations) never touches the caller's instance.
+		prepare.InternXTuple(d.eng.symtab, x)
+	}
 	return x, nil
 }
 
-// register appends a prepared tuple to the resident relation.
+// register appends a prepared tuple to the resident relation and
+// summarizes it for the pre-filter.
 func (d *Detector) register(x *pdb.XTuple) {
 	d.eng.byID[x.ID] = x
 	d.posOf[x.ID] = len(d.eng.xr.Tuples)
 	d.eng.xr.Append(x)
+	if d.eng.filter != nil {
+		d.eng.filter.Insert(x)
+	}
 }
 
 // Reseal forces a bounded-staleness reduction index (ssr.EpochIndex,
@@ -404,6 +425,9 @@ func (d *Detector) removeLocked(id string) error {
 	d.eng.xr.Tuples = ts[:last]
 	ts[last] = nil
 	delete(d.posOf, id)
+	if d.eng.filter != nil {
+		d.eng.filter.Remove(id)
+	}
 	return firstErr
 }
 
@@ -461,6 +485,13 @@ func (d *Detector) applyDeltas(deltas []ssr.PairDelta) (int, error) {
 		if projectedLive(pd.Pair) {
 			continue
 		}
+		if d.eng.filter != nil && !d.eng.filter.Admit(pd.Pair) {
+			// Provably class U: never verified, never live. The overlay
+			// stays false so a repeated add of the pair in the same
+			// sequence re-consults the filter, exactly like the inline
+			// path would.
+			continue
+		}
 		overlay[pd.Pair] = true
 		compareIdx = append(compareIdx, i)
 	}
@@ -498,6 +529,9 @@ func (d *Detector) applyOne(c *xmatch.Comparer, pd ssr.PairDelta) error {
 		// Already live (values are immutable while resident), nothing
 		// to recompute.
 		return nil
+	}
+	if d.eng.filter != nil && !d.eng.filter.Admit(pd.Pair) {
+		return nil // provably class U: skip verification
 	}
 	m, err := d.eng.compare(c, pd.Pair)
 	if err != nil {
@@ -667,6 +701,12 @@ func (d *Detector) Stats() DetectorStats {
 	}
 	if d.eng.cache != nil {
 		st.Cache = d.eng.cache.Stats()
+	}
+	if d.eng.filter != nil {
+		fs := d.eng.filter.Stats()
+		st.FilterActive = true
+		st.Enumerated = int(fs.Enumerated)
+		st.Filtered = int(fs.Filtered)
 	}
 	return st
 }

@@ -7,8 +7,10 @@ import (
 	"probdedup/internal/avm"
 	"probdedup/internal/decision"
 	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
 	"probdedup/internal/ssr"
 	"probdedup/internal/strsim"
+	"probdedup/internal/sym"
 	"probdedup/internal/verify"
 	"probdedup/internal/xmatch"
 )
@@ -37,6 +39,17 @@ type StreamStats struct {
 	// cache — entries, capacity, hits, misses, evictions (zero value
 	// when memoization was disabled via Options.CacheCapacity < 0).
 	Cache avm.CacheStats
+	// Enumerated counts the candidate pairs the reduction produced:
+	// Compared plus Filtered (pairs the run did not reach after an
+	// early stop are not counted).
+	Enumerated int
+	// Filtered counts the enumerated pairs the pre-filter rejected as
+	// provable non-matches (0 when the filter is off or inert).
+	Filtered int
+	// FilterActive reports whether the candidate pre-filter was
+	// constructed and consulted (Options.PreFilter set and the
+	// configuration boundable).
+	FilterActive bool
 }
 
 // engine is the validated, defaulted configuration shared by the
@@ -50,6 +63,13 @@ type engine struct {
 	// cache is the run's shared similarity memo (nil when disabled);
 	// every worker's matcher writes into and reads from it.
 	cache *avm.Cache
+	// symtab is the run's symbol plane (nil when neither the cache nor
+	// the pre-filter wants interned values): every standardized value
+	// is interned once and annotated with its dense symbol.
+	symtab *sym.Table
+	// filter is the sound candidate pre-filter (nil when off or when
+	// the configuration cannot be bounded).
+	filter *ssr.PreFilter
 }
 
 // newEngine validates the options and applies the defaults documented
@@ -67,6 +87,29 @@ func newEngine(xr *pdb.XRelation, opts Options) (*engine, error) {
 		xr = opts.Standardizer.XRelation(xr)
 	}
 
+	// The run-wide symbol plane: intern every standardized value so the
+	// similarity cache keys value pairs by symbol and the pre-filter
+	// reads precomputed stats. Gram statistics are only computed when
+	// the pre-filter consumes them. Without a Standardizer the relation
+	// is still the caller's — clone before the interning pass replaces
+	// value annotations. A detector's relation starts empty; its
+	// arrivals are interned in prepareTuple.
+	var symtab *sym.Table
+	if opts.PreFilter || opts.CacheCapacity >= 0 {
+		q := 0
+		if opts.PreFilter {
+			q = opts.FilterQ
+			if q <= 0 {
+				q = 2
+			}
+		}
+		symtab = sym.NewTable(q)
+		if opts.Standardizer == nil {
+			xr = xr.Clone()
+		}
+		prepare.InternXRelation(symtab, xr)
+	}
+
 	// Step C prerequisites: comparison functions.
 	compare := opts.Compare
 	if len(compare) == 0 {
@@ -81,11 +124,13 @@ func newEngine(xr *pdb.XRelation, opts Options) (*engine, error) {
 
 	altModel := opts.AltModel
 	if altModel == nil {
-		weights := make([]float64, len(xr.Schema))
-		for i := range weights {
-			weights[i] = 1 / float64(len(xr.Schema))
+		// The explicit weighted-sum model is bit-identical to
+		// SimpleModel{Phi: WeightedSum(equal weights)} and, unlike the
+		// closure, exposes its structure to the pre-filter's bounds.
+		altModel = decision.WeightedSumModel{
+			Weights: decision.EqualWeights(len(xr.Schema)),
+			T:       opts.Final,
 		}
-		altModel = decision.SimpleModel{Phi: decision.WeightedSum(weights...), T: opts.Final}
 	}
 	// Reject weight/schema arity mismatches here instead of letting them
 	// skew (or panic in) every comparison.
@@ -120,12 +165,39 @@ func newEngine(xr *pdb.XRelation, opts Options) (*engine, error) {
 		cache = avm.NewCache(opts.CacheCapacity)
 	}
 
+	// The candidate pre-filter: constructed only when the configuration
+	// is provably boundable (explicit model, boundable derivation,
+	// ⊥ similarities in [0,1]); otherwise the run proceeds unfiltered
+	// and the stats report FilterActive=false.
+	var filter *ssr.PreFilter
+	if opts.PreFilter {
+		nulls := avm.PaperNulls
+		if opts.Nulls != nil {
+			nulls = *opts.Nulls
+		}
+		filter, _ = ssr.NewPreFilter(ssr.PreFilterConfig{
+			Table:  symtab,
+			Funcs:  compare,
+			Model:  altModel,
+			Derive: derive,
+			Lambda: opts.Final.Lambda,
+			Nulls:  nulls,
+		})
+		if filter != nil {
+			for _, x := range xr.Tuples {
+				filter.Insert(x)
+			}
+		}
+	}
+
 	return &engine{
 		xr:        xr,
 		byID:      byID,
 		reduction: reduction,
 		workers:   workers,
 		cache:     cache,
+		symtab:    symtab,
+		filter:    filter,
 		newComparer: func() *xmatch.Comparer {
 			m := avm.NewMatcherWithCache(cache, compare...)
 			m.Nulls = opts.Nulls
@@ -188,6 +260,11 @@ func DetectStream(xr *pdb.XRelation, opts Options, emit func(Match) bool) (Strea
 	if eng.cache != nil {
 		stats.Cache = eng.cache.Stats()
 	}
+	if eng.filter != nil {
+		stats.FilterActive = true
+		stats.Filtered = int(eng.filter.Stats().Filtered)
+	}
+	stats.Enumerated = stats.Compared + stats.Filtered
 	return stats, err
 }
 
@@ -208,6 +285,9 @@ func (e *engine) runSequential(stats *StreamStats, emit func(Match) bool) error 
 	comparer := e.newComparer()
 	var err error
 	ssr.StreamOf(e.reduction).EnumeratePairs(e.xr, func(p verify.Pair) bool {
+		if e.filter != nil && !e.filter.Admit(p) {
+			return true // provably class U: skip verification
+		}
 		var m Match
 		if m, err = e.compare(comparer, p); err != nil {
 			return false
@@ -268,6 +348,12 @@ func (e *engine) runParallel(stats *StreamStats, emit func(Match) bool) error {
 		defer prodWg.Done()
 		batch := make([]verify.Pair, 0, streamBatchSize)
 		enumerate(func(p verify.Pair) bool {
+			// Filter at the producer: rejected pairs never enter a
+			// batch, so workers and channels only see pairs that need
+			// real verification (Admit is safe for concurrent use).
+			if e.filter != nil && !e.filter.Admit(p) {
+				return true
+			}
 			batch = append(batch, p)
 			if len(batch) == streamBatchSize {
 				if !sendBatch(batch) {

@@ -1,0 +1,107 @@
+package decision
+
+import "probdedup/internal/avm"
+
+// This file is the decision-model side of the candidate pre-filter's
+// soundness chain (see internal/ssr): a model that can bound its own
+// similarity from per-attribute upper bounds lets the filter prove that
+// a pair cannot leave class U without computing a single comparison
+// vector. Models built from opaque closures (SimpleModel with an
+// arbitrary Combine) cannot be introspected, so the engine prefers the
+// explicit WeightedSumModel whenever the configuration is a weighted
+// sum.
+
+// UpperBounded is implemented by models that can bound φ over the box
+// [0,hi₁]×…×[0,hiₙ]: SimilarityUpperBound must return a value ≥
+// Similarity(c) for every comparison vector c with 0 ≤ cᵢ ≤ hiᵢ. The
+// candidate pre-filter requires this to translate per-attribute value
+// bounds into a per-cell similarity bound.
+type UpperBounded interface {
+	Model
+	// SimilarityUpperBound returns an upper bound of Similarity over
+	// all comparison vectors dominated by hi.
+	SimilarityUpperBound(hi []float64) float64
+}
+
+// NonMatchBounded is implemented by models that expose a similarity
+// level below which every pair classifies as U. Derivations that
+// aggregate per-cell classes (decision based, expected matching
+// result) need it to conclude that an x-tuple pair whose every cell is
+// a certain non-match derives similarity 0.
+type NonMatchBounded interface {
+	// NonMatchBelow returns a threshold t such that Classify(sim) == U
+	// for every sim < t.
+	NonMatchBelow() float64
+}
+
+// NonMatchBelow implements NonMatchBounded: Thresholds classify U
+// exactly below Tλ.
+func (s SimpleModel) NonMatchBelow() float64 { return s.T.Lambda }
+
+// WeightedSumModel is the weighted-sum decision model in explicit form:
+// φ(c⃗) = Σ wᵢ·cᵢ followed by threshold classification. It is
+// behaviorally identical to SimpleModel{Phi: WeightedSum(w...), T: t}
+// — same summation order, same ArityError panic on a length mismatch —
+// but, unlike a model built from an opaque closure, it exposes its
+// structure: arity validation reads Arity() and the candidate
+// pre-filter obtains sound similarity bounds via SimilarityUpperBound
+// and NonMatchBelow. The detection engine's default alternative-tuple
+// model is a WeightedSumModel over equal weights.
+type WeightedSumModel struct {
+	// Weights are the per-attribute weights wᵢ (normally summing to 1).
+	Weights []float64
+	// T are the classification thresholds.
+	T Thresholds
+}
+
+// EqualWeights returns the weight vector (1/n, …, 1/n) of n attributes.
+func EqualWeights(n int) []float64 {
+	ws := make([]float64, n)
+	if n == 0 {
+		return ws
+	}
+	w := 1.0 / float64(n)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+// Similarity implements Model with the exact summation order of
+// WeightedSum, so switching between the two representations is
+// bit-identical.
+func (m WeightedSumModel) Similarity(c avm.Vector) float64 {
+	if len(c) != len(m.Weights) {
+		panic(&ArityError{Want: len(m.Weights), Got: len(c), What: "weighted sum"})
+	}
+	s := 0.0
+	for i, w := range m.Weights {
+		s += w * c[i]
+	}
+	return s
+}
+
+// Classify implements Model.
+func (m WeightedSumModel) Classify(sim float64) Class { return m.T.Classify(sim) }
+
+// Arity returns the number of attributes the model is bound to.
+func (m WeightedSumModel) Arity() int { return len(m.Weights) }
+
+// SimilarityUpperBound implements UpperBounded: with all cᵢ ≥ 0 the sum
+// is maximized on the box by taking cᵢ = hiᵢ where wᵢ > 0 and cᵢ = 0
+// where wᵢ < 0, giving Σ_{wᵢ>0} wᵢ·hiᵢ.
+func (m WeightedSumModel) SimilarityUpperBound(hi []float64) float64 {
+	if len(hi) != len(m.Weights) {
+		panic(&ArityError{Want: len(m.Weights), Got: len(hi), What: "weighted sum bound"})
+	}
+	s := 0.0
+	for i, w := range m.Weights {
+		if w > 0 {
+			s += w * hi[i]
+		}
+	}
+	return s
+}
+
+// NonMatchBelow implements NonMatchBounded.
+func (m WeightedSumModel) NonMatchBelow() float64 { return m.T.Lambda }

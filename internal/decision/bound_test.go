@@ -1,0 +1,128 @@
+package decision
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/avm"
+)
+
+func TestEqualWeights(t *testing.T) {
+	if got := EqualWeights(0); len(got) != 0 {
+		t.Fatalf("EqualWeights(0) = %v", got)
+	}
+	ws := EqualWeights(4)
+	sum := 0.0
+	for _, w := range ws {
+		if w != 0.25 {
+			t.Fatalf("weights = %v, want all 0.25", ws)
+		}
+		sum += w
+	}
+	if sum != 1 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+// TestWeightedSumModelMatchesSimpleModel: the explicit model must be
+// bit-identical to SimpleModel{Phi: WeightedSum(w...)} — same values,
+// same summation order — on random vectors.
+func TestWeightedSumModelMatchesSimpleModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ws := []float64{0.5, 0.3, 0.2}
+	th := Thresholds{Lambda: 0.4, Mu: 0.8}
+	explicit := WeightedSumModel{Weights: ws, T: th}
+	opaque := SimpleModel{Phi: WeightedSum(ws...), T: th}
+	if explicit.Arity() != 3 {
+		t.Fatalf("Arity = %d", explicit.Arity())
+	}
+	for i := 0; i < 200; i++ {
+		c := avm.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		if a, b := explicit.Similarity(c), opaque.Similarity(c); a != b {
+			t.Fatalf("Similarity(%v): explicit %v != opaque %v", c, a, b)
+		}
+	}
+	for _, sim := range []float64{0, 0.39, 0.4, 0.79, 0.8, 1} {
+		if a, b := explicit.Classify(sim), opaque.Classify(sim); a != b {
+			t.Fatalf("Classify(%v): explicit %v != opaque %v", sim, a, b)
+		}
+	}
+}
+
+// TestWeightedSumUpperBoundDominates: SimilarityUpperBound(hi) must
+// dominate Similarity(c) for every c within the box [0,hi], including
+// models with negative weights (whose terms the bound omits).
+func TestWeightedSumUpperBoundDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, ws := range [][]float64{
+		{0.5, 0.5},
+		{0.7, 0.2, 0.1},
+		{0.8, -0.3, 0.5},
+	} {
+		m := WeightedSumModel{Weights: ws, T: Thresholds{Lambda: 0.5, Mu: 0.8}}
+		for i := 0; i < 200; i++ {
+			hi := make([]float64, len(ws))
+			c := make(avm.Vector, len(ws))
+			for k := range hi {
+				hi[k] = rng.Float64()
+				c[k] = hi[k] * rng.Float64()
+			}
+			if ub, s := m.SimilarityUpperBound(hi), m.Similarity(c); ub < s {
+				t.Fatalf("weights %v: bound %v < similarity %v (hi=%v c=%v)", ws, ub, s, hi, c)
+			}
+		}
+	}
+}
+
+func TestWeightedSumModelArityPanics(t *testing.T) {
+	m := WeightedSumModel{Weights: EqualWeights(2), T: Thresholds{Lambda: 0.4, Mu: 0.8}}
+	expectArityPanic := func(what string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic on arity mismatch", what)
+			}
+			ae, ok := r.(*ArityError)
+			if !ok {
+				t.Fatalf("%s: panic %v is not *ArityError", what, r)
+			}
+			if ae.Error() == "" {
+				t.Fatalf("%s: empty ArityError message", what)
+			}
+		}()
+		f()
+	}
+	expectArityPanic("Similarity", func() { m.Similarity(avm.Vector{1, 2, 3}) })
+	expectArityPanic("SimilarityUpperBound", func() { m.SimilarityUpperBound([]float64{1}) })
+}
+
+func TestNonMatchBelow(t *testing.T) {
+	th := Thresholds{Lambda: 0.35, Mu: 0.9}
+	var nb NonMatchBounded = WeightedSumModel{Weights: EqualWeights(1), T: th}
+	if got := nb.NonMatchBelow(); got != 0.35 {
+		t.Fatalf("WeightedSumModel.NonMatchBelow = %v", got)
+	}
+	nb = SimpleModel{Phi: WeightedSum(1), T: th}
+	if got := nb.NonMatchBelow(); got != 0.35 {
+		t.Fatalf("SimpleModel.NonMatchBelow = %v", got)
+	}
+	// The contract: every sim below the reported level classifies U.
+	m := WeightedSumModel{Weights: EqualWeights(1), T: th}
+	for _, sim := range []float64{0, 0.1, 0.3499} {
+		if cl := m.Classify(sim); cl != U {
+			t.Fatalf("Classify(%v) = %v below NonMatchBelow", sim, cl)
+		}
+	}
+}
+
+// TestValidateArityWeightedSum: the explicit model exposes its arity,
+// so a weight/schema mismatch is rejected at configuration time.
+func TestValidateArityWeightedSum(t *testing.T) {
+	m := WeightedSumModel{Weights: EqualWeights(3), T: Thresholds{Lambda: 0.4, Mu: 0.8}}
+	if err := ValidateArity(m, 3); err != nil {
+		t.Fatalf("matching arity rejected: %v", err)
+	}
+	if err := ValidateArity(m, 2); err == nil {
+		t.Fatal("mismatched arity accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package pdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestValueSymAnnotation(t *testing.T) {
+	v := V("machinist")
+	if v.Sym() != 0 {
+		t.Fatalf("fresh value carries symbol %d", v.Sym())
+	}
+	w := v.WithSym(7)
+	if w.Sym() != 7 || w.S() != "machinist" || w.IsNull() {
+		t.Fatalf("annotated value = %+v", w)
+	}
+	// Annotation is metadata: equality and rendering ignore it.
+	if !v.Equal(w) || v.String() != w.String() {
+		t.Fatal("symbol annotation changed observable behavior")
+	}
+	// ⊥ has no symbol: WithSym returns it unchanged.
+	if n := Null.WithSym(9); !n.IsNull() || n.Sym() != 0 {
+		t.Fatalf("⊥.WithSym = %+v", n)
+	}
+}
+
+func TestValueFormat(t *testing.T) {
+	if got := fmt.Sprintf("%q", V("a b")); got != `"a b"` {
+		t.Fatalf("%%q = %s", got)
+	}
+	if got := fmt.Sprintf("%q", Null); got != "⊥" {
+		t.Fatalf("%%q of ⊥ = %s", got)
+	}
+	if got := fmt.Sprintf("%v", V("x")); got != "x" {
+		t.Fatalf("%%v = %s", got)
+	}
+}
+
+func TestDistAnnotate(t *testing.T) {
+	d := MustDist(
+		Alternative{Value: V("a"), P: 0.5},
+		Alternative{Value: V("b"), P: 0.3},
+	)
+	in := d.Annotate(func(v Value) Value { return v.WithSym(uint32(len(v.S()))) })
+	// Probabilities, order and ⊥ mass are copied verbatim.
+	if !in.Equal(d) {
+		t.Fatalf("Annotate changed content: %v vs %v", in, d)
+	}
+	if got := in.NullP(); got != d.NullP() {
+		t.Fatalf("⊥ mass changed: %v vs %v", got, d.NullP())
+	}
+	alts := in.Alternatives()
+	if alts[0].Value.Sym() != 1 || alts[1].Value.Sym() != 1 {
+		t.Fatalf("annotations missing: %+v", alts)
+	}
+	// The copy shares nothing: the original stays clean.
+	if d.Alternatives()[0].Value.Sym() != 0 {
+		t.Fatal("Annotate mutated the receiver")
+	}
+	// Empty distribution round-trips as-is.
+	var empty Dist
+	if got := empty.Annotate(func(v Value) Value { return v.WithSym(1) }); got.Len() != 0 {
+		t.Fatalf("empty Annotate = %v", got)
+	}
+}
+
+func TestXRelationCloneIndependence(t *testing.T) {
+	r := &XRelation{
+		Name:   "r",
+		Schema: []string{"name", "job"},
+		Tuples: []*XTuple{NewXTuple("t1", NewAlt(1, "John", "pilot"))},
+	}
+	c := r.Clone()
+	// Deep copy: annotating the clone's values leaves the original alone.
+	c.Tuples[0].Alts[0].Values[0] = c.Tuples[0].Alts[0].Values[0].Annotate(
+		func(v Value) Value { return v.WithSym(3) })
+	if r.Tuples[0].Alts[0].Values[0].Alternatives()[0].Value.Sym() != 0 {
+		t.Fatal("clone shares alternative storage with the original")
+	}
+	if s := r.String(); !strings.Contains(s, "r(name, job)") || !strings.Contains(s, "t1") {
+		t.Fatalf("String = %q", s)
+	}
+	if got := r.AttrIndex("job"); got != 1 {
+		t.Fatalf("AttrIndex(job) = %d", got)
+	}
+	if got := r.AttrIndex("missing"); got != -1 {
+		t.Fatalf("AttrIndex(missing) = %d", got)
+	}
+}

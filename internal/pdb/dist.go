@@ -194,6 +194,24 @@ func (d Dist) Map(f func(string) string) Dist {
 	return nd
 }
 
+// Annotate returns a copy of d with f applied to every existing value.
+// Unlike Map, f must preserve the value's content (same string, still
+// existing) and may only attach metadata — an interned symbol, say — so
+// no merging happens and probabilities, ordering and ⊥ mass are copied
+// verbatim. The copy shares nothing mutable with d, making Annotate
+// safe on distributions whose alternative storage is shared with other
+// tuples (XTuple.Clone copies Dist headers, not their alternatives).
+func (d Dist) Annotate(f func(Value) Value) Dist {
+	if len(d.alts) == 0 {
+		return d
+	}
+	alts := make([]Alternative, len(d.alts))
+	for i, a := range d.alts {
+		alts[i] = Alternative{Value: f(a.Value), P: a.P}
+	}
+	return Dist{alts: alts}
+}
+
 // Normalized returns d scaled so the explicit alternatives sum to 1,
 // removing all ⊥ mass. Normalizing a certain-⊥ distribution returns the
 // certain-⊥ distribution unchanged.

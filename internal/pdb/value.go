@@ -5,9 +5,17 @@ import "fmt"
 // Value is a single domain value of an attribute. The zero Value is the
 // non-existence marker ⊥ (Null): it denotes that the corresponding property
 // of the represented real-world object does not exist.
+//
+// A Value may additionally carry an interned symbol (see internal/sym):
+// a dense uint32 annotation the detection engine attaches at
+// standardization time so downstream layers (the similarity cache, the
+// candidate pre-filter) can key and compare values by integer instead of
+// by string. The symbol is pure metadata — Equal, String and every other
+// observer ignore it.
 type Value struct {
 	s      string
 	exists bool
+	sym    uint32
 }
 
 // Null is the non-existence marker ⊥.
@@ -18,6 +26,21 @@ func V(s string) Value { return Value{s: s, exists: true} }
 
 // IsNull reports whether v is the non-existence marker ⊥.
 func (v Value) IsNull() bool { return !v.exists }
+
+// Sym returns the interned symbol of the value, or 0 when the value was
+// never interned (including ⊥, which is represented by null mass, not a
+// symbol).
+func (v Value) Sym() uint32 { return v.sym }
+
+// WithSym returns a copy of v annotated with the interned symbol. ⊥ is
+// returned unchanged: non-existence has no symbol.
+func (v Value) WithSym(sym uint32) Value {
+	if v.IsNull() {
+		return v
+	}
+	v.sym = sym
+	return v
+}
 
 // S returns the string form of the value. It returns "" for ⊥; use IsNull to
 // distinguish ⊥ from an empty string value created with V("").

@@ -1,0 +1,47 @@
+package prepare
+
+import (
+	"probdedup/internal/pdb"
+	"probdedup/internal/sym"
+)
+
+// This file populates the symbol plane (internal/sym) at
+// standardization time: after the Sec. III-A transforms have produced
+// the canonical value strings, every existing value is interned once
+// and annotated with its dense symbol, so downstream layers — the
+// symbol-keyed similarity cache and the candidate pre-filter — operate
+// on integers. Interning replaces each value's string with the table's
+// canonical instance, deduplicating the backing storage of skewed
+// relations as a side effect.
+
+// InternDist returns d with every existing value interned into t and
+// annotated with its symbol. Probabilities, ordering and ⊥ mass are
+// untouched; the returned distribution shares no alternative storage
+// with d.
+func InternDist(t *sym.Table, d pdb.Dist) pdb.Dist {
+	return d.Annotate(func(v pdb.Value) pdb.Value {
+		sy := t.Intern(v.S())
+		return pdb.V(t.Str(sy)).WithSym(sy)
+	})
+}
+
+// InternXTuple interns every attribute value of the (already
+// deep-copied) x-tuple in place. The caller owns x; the tuples the
+// detection engine interns are always its private clones.
+func InternXTuple(t *sym.Table, x *pdb.XTuple) {
+	for ai := range x.Alts {
+		vals := x.Alts[ai].Values
+		for i := range vals {
+			vals[i] = InternDist(t, vals[i])
+		}
+	}
+}
+
+// InternXRelation interns every tuple of the (already deep-copied)
+// x-relation in place — the batch engine's one-pass population of the
+// symbol plane.
+func InternXRelation(t *sym.Table, xr *pdb.XRelation) {
+	for _, x := range xr.Tuples {
+		InternXTuple(t, x)
+	}
+}

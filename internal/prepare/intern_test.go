@@ -1,0 +1,113 @@
+package prepare
+
+import (
+	"testing"
+
+	"probdedup/internal/pdb"
+	"probdedup/internal/sym"
+)
+
+func TestInternDist(t *testing.T) {
+	tab := sym.NewTable(2)
+	d := pdb.MustDist(
+		pdb.Alternative{Value: pdb.V("machinist"), P: 0.6},
+		pdb.Alternative{Value: pdb.V("mechanic"), P: 0.3},
+	)
+	in := InternDist(tab, d)
+	// Content untouched: values, probabilities, order, ⊥ mass.
+	if !in.Equal(d) {
+		t.Fatalf("interning changed the distribution: %v vs %v", in, d)
+	}
+	alts := in.Alternatives()
+	if alts[0].Value.Sym() == sym.NoSym || alts[1].Value.Sym() == sym.NoSym {
+		t.Fatalf("values not annotated: %+v", alts)
+	}
+	if alts[0].Value.Sym() == alts[1].Value.Sym() {
+		t.Fatal("distinct values share a symbol")
+	}
+	// Symbol ⟺ string: re-interning an equal value yields the same symbol.
+	in2 := InternDist(tab, pdb.MustDist(pdb.Alternative{Value: pdb.V("mechanic"), P: 1}))
+	if got, want := in2.Alternatives()[0].Value.Sym(), alts[1].Value.Sym(); got != want {
+		t.Fatalf("equal strings interned to %d and %d", got, want)
+	}
+	// The original distribution is untouched (Annotate copies).
+	if d.Alternatives()[0].Value.Sym() != sym.NoSym {
+		t.Fatal("InternDist mutated its input")
+	}
+}
+
+func TestInternXTupleAndRelation(t *testing.T) {
+	tab := sym.NewTable(2)
+	x := pdb.NewXTuple("t1",
+		pdb.NewAlt(0.7, "John", "pilot"),
+		pdb.NewAlt(0.3, "Jon", "pilot"),
+	)
+	InternXTuple(tab, x)
+	seen := map[uint32]string{}
+	for _, alt := range x.Alts {
+		for _, d := range alt.Values {
+			for _, a := range d.Alternatives() {
+				sy := a.Value.Sym()
+				if sy == sym.NoSym {
+					t.Fatalf("value %q not interned", a.Value.S())
+				}
+				if prev, ok := seen[sy]; ok && prev != a.Value.S() {
+					t.Fatalf("symbol %d maps to %q and %q", sy, prev, a.Value.S())
+				}
+				seen[sy] = a.Value.S()
+				if tab.Str(sy) != a.Value.S() {
+					t.Fatalf("table round-trip: %q != %q", tab.Str(sy), a.Value.S())
+				}
+			}
+		}
+	}
+	// "pilot" occurs in both alternatives: one symbol, so the table has
+	// 3 distinct values.
+	if tab.Len() != 3 {
+		t.Fatalf("table holds %d values, want 3", tab.Len())
+	}
+
+	xr := &pdb.XRelation{
+		Schema: []string{"name", "job"},
+		Tuples: []*pdb.XTuple{
+			pdb.NewXTuple("a", pdb.NewAlt(1, "John", "nurse")),
+			pdb.NewXTuple("b", pdb.NewAlt(1, "Tim", "pilot")),
+		},
+	}
+	InternXRelation(tab, xr)
+	for _, x := range xr.Tuples {
+		for _, alt := range x.Alts {
+			for _, d := range alt.Values {
+				for _, a := range d.Alternatives() {
+					if a.Value.Sym() == sym.NoSym {
+						t.Fatalf("relation value %q not interned", a.Value.S())
+					}
+				}
+			}
+		}
+	}
+	// "John" and "pilot" were already interned: the table grew only by
+	// "nurse" and "Tim".
+	if tab.Len() != 5 {
+		t.Fatalf("table holds %d values, want 5", tab.Len())
+	}
+}
+
+// TestStandardizerXTuple: the per-arrival standardization unit clones
+// before transforming, matching the batch path exactly.
+func TestStandardizerXTuple(t *testing.T) {
+	s := NewStandardizer(Chain(TrimSpace, LowerCase), nil)
+	x := pdb.NewXTuple("t1", pdb.NewAlt(1, "  John ", "Pilot"))
+	out := s.XTuple(x)
+	if got := out.Alts[0].Values[0].Alternatives()[0].Value.S(); got != "john" {
+		t.Fatalf("standardized name = %q", got)
+	}
+	// Attribute 1 has no transform and stays as-is.
+	if got := out.Alts[0].Values[1].Alternatives()[0].Value.S(); got != "Pilot" {
+		t.Fatalf("untransformed job = %q", got)
+	}
+	// The input tuple is untouched.
+	if got := x.Alts[0].Values[0].Alternatives()[0].Value.S(); got != "  John " {
+		t.Fatalf("input mutated: %q", got)
+	}
+}

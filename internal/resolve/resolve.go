@@ -269,13 +269,13 @@ func finishResolution(r *Resolution, possible map[verify.Pair]core.Match, cal Ca
 // produce bit-identical fused tuples. The fused ID is the member IDs
 // joined with '+'.
 func fuseMembers(members []string, byID map[string]*pdb.XTuple) (*pdb.XTuple, error) {
-	cur := byID[members[0]].Clone()
+	cur := deannotate(byID[members[0]])
 	if len(members) == 1 {
 		return cur, nil
 	}
 	weight := 1.0
 	for _, m := range members[1:] {
-		next, err := fusion.MergeXTuples(cur.ID+"+"+m, cur, byID[m], weight, 1)
+		next, err := fusion.MergeXTuples(cur.ID+"+"+m, cur, deannotate(byID[m]), weight, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -283,6 +283,22 @@ func fuseMembers(members []string, byID map[string]*pdb.XTuple) (*pdb.XTuple, er
 		weight++
 	}
 	return cur, nil
+}
+
+// deannotate deep-copies a member tuple with engine-internal value
+// annotations (interned symbols, see internal/sym) stripped. Fused
+// tuples are derived artifacts: they must compare bit-identical across
+// pipelines regardless of which detection engine — batch, online, or
+// none — held the members, and symbol annotations are engine-local.
+func deannotate(x *pdb.XTuple) *pdb.XTuple {
+	y := x.Clone()
+	for ai := range y.Alts {
+		vals := y.Alts[ai].Values
+		for i := range vals {
+			vals[i] = vals[i].Annotate(func(v pdb.Value) pdb.Value { return pdb.V(v.S()) })
+		}
+	}
+	return y
 }
 
 // Confidence returns P(tuple in result) for a lineage-annotated tuple.

@@ -1,0 +1,270 @@
+package ssr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/strsim"
+	"probdedup/internal/sym"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+// PreFilter is the symbol-plane candidate pre-filter: it sits between
+// candidate enumeration (the search space reduction methods) and
+// verification (the full Fig. 6 comparison) and rejects pairs that
+// provably cannot reach the final lower threshold Tλ — pairs whose
+// classification is therefore U no matter what the comparison computes.
+// It generalizes the Pruning length heuristic into a sound, always-on
+// filter built from three bound layers:
+//
+//  1. per attribute, a similarity upper bound from the precomputed
+//     symbol statistics of the values (length and q-gram count filters,
+//     strsim.BoundFor), maximized over the alternative values and ⊥
+//     combinations — an upper bound of the Eq. 5 expectation, which is
+//     a convex combination of exactly those terms;
+//  2. the decision model folds the per-attribute bounds into a
+//     per-cell similarity bound (decision.UpperBounded);
+//  3. the derivation folds the cell bound into a bound on the derived
+//     x-tuple similarity (xmatch.Bounded).
+//
+// A pair is filtered only when that final bound lies strictly below Tλ,
+// so the M and P result sets are bit-identical with the filter on or
+// off; only the number of verified (Compared) pairs shrinks. Tuples are
+// summarized once at Insert into per-attribute signature slices, so
+// Admit performs no table lookups and no string work.
+//
+// A PreFilter is safe for concurrent use: Admit takes only a read lock
+// plus two atomic counters, Insert/Remove a write lock.
+type PreFilter struct {
+	table  *sym.Table
+	bounds []strsim.SimBound // per attribute; nil = no bound known (UB 1)
+	model  decision.UpperBounded
+	derive xmatch.Bounded
+	lambda float64
+	nulls  avm.NullSemantics
+
+	mu   sync.RWMutex
+	sigs map[string]*tupleSig
+
+	enumerated atomic.Uint64
+	filtered   atomic.Uint64
+
+	vecs sync.Pool // *[]float64 scratch for the per-attribute bound vector
+}
+
+// PreFilterConfig carries everything NewPreFilter needs to prove the
+// filter sound for one engine configuration.
+type PreFilterConfig struct {
+	// Table is the run's symbol table (stats of interned values).
+	Table *sym.Table
+	// Funcs are the per-attribute comparison functions; attributes whose
+	// function has no registered bound contribute the trivial bound 1.
+	Funcs []strsim.Func
+	// Model is the per-alternative decision model; it must implement
+	// decision.UpperBounded.
+	Model decision.Model
+	// Derive is the similarity derivation; it must implement
+	// xmatch.Bounded.
+	Derive xmatch.Derivation
+	// Lambda is the final classification's Tλ: pairs provably below it
+	// are non-matches and get filtered.
+	Lambda float64
+	// Nulls is the ⊥ semantics used by attribute value matching.
+	Nulls avm.NullSemantics
+}
+
+// tupleSig is the per-tuple summary Admit works on.
+type tupleSig struct {
+	attrs []attrSig
+}
+
+// attrSig summarizes one attribute of one x-tuple across all its
+// alternatives: the symbol statistics of every distinct value and
+// whether any alternative's distribution carries ⊥ mass.
+type attrSig struct {
+	stats   []sym.Stats
+	hasNull bool
+}
+
+// NewPreFilter validates that the configuration supports sound
+// filtering and returns the filter, or an error describing the first
+// obstruction (an opaque decision model, an unboundable derivation, or
+// ⊥ semantics outside [0,1]). Callers typically treat the error as
+// "run unfiltered".
+func NewPreFilter(cfg PreFilterConfig) (*PreFilter, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("ssr: pre-filter needs a symbol table")
+	}
+	model, ok := cfg.Model.(decision.UpperBounded)
+	if !ok {
+		return nil, fmt.Errorf("ssr: decision model %T cannot bound its similarity", cfg.Model)
+	}
+	derive, ok := cfg.Derive.(xmatch.Bounded)
+	if !ok {
+		return nil, fmt.Errorf("ssr: derivation %T cannot bound its similarity", cfg.Derive)
+	}
+	if cfg.Nulls.NullNull < 0 || cfg.Nulls.NullNull > 1 || cfg.Nulls.NullValue < 0 || cfg.Nulls.NullValue > 1 {
+		return nil, fmt.Errorf("ssr: pre-filter needs ⊥ similarities in [0,1], got %+v", cfg.Nulls)
+	}
+	bounds := make([]strsim.SimBound, len(cfg.Funcs))
+	for k, f := range cfg.Funcs {
+		if b, ok := strsim.BoundFor(f); ok {
+			bounds[k] = b
+		}
+	}
+	pf := &PreFilter{
+		table:  cfg.Table,
+		bounds: bounds,
+		model:  model,
+		derive: derive,
+		lambda: cfg.Lambda,
+		nulls:  cfg.Nulls,
+		sigs:   map[string]*tupleSig{},
+	}
+	pf.vecs.New = func() any {
+		v := make([]float64, len(bounds))
+		return &v
+	}
+	return pf, nil
+}
+
+// Insert summarizes the (interned) x-tuple so later Admit calls can
+// bound pairs involving it. Inserting an ID again replaces its
+// signature.
+func (f *PreFilter) Insert(x *pdb.XTuple) {
+	sig := f.signature(x)
+	f.mu.Lock()
+	f.sigs[x.ID] = sig
+	f.mu.Unlock()
+}
+
+// Remove drops the signature of the tuple.
+func (f *PreFilter) Remove(id string) {
+	f.mu.Lock()
+	delete(f.sigs, id)
+	f.mu.Unlock()
+}
+
+// Len returns the number of summarized tuples.
+func (f *PreFilter) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.sigs)
+}
+
+// signature builds the per-attribute summary, deduplicating value
+// stats by symbol. Values without a symbol contribute the zero Stats,
+// which every bound treats as "no information" — sound, just useless.
+func (f *PreFilter) signature(x *pdb.XTuple) *tupleSig {
+	sig := &tupleSig{attrs: make([]attrSig, len(f.bounds))}
+	for _, alt := range x.Alts {
+		for k := range f.bounds {
+			if k >= len(alt.Values) {
+				continue
+			}
+			as := &sig.attrs[k]
+			d := alt.Values[k]
+			if d.NullP() > pdb.Eps {
+				as.hasNull = true
+			}
+			for _, a := range d.Alternatives() {
+				st := f.table.Stats(a.Value.Sym())
+				dup := false
+				for _, have := range as.stats {
+					if have.Sym == st.Sym {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					as.stats = append(as.stats, st)
+				}
+			}
+		}
+	}
+	return sig
+}
+
+// Admit reports whether the pair must be verified. It returns false
+// only when the derived-similarity upper bound lies strictly below Tλ,
+// i.e. when verification would certainly classify the pair U. Pairs
+// with a missing signature on either side are always admitted.
+func (f *PreFilter) Admit(p verify.Pair) bool {
+	f.enumerated.Add(1)
+	f.mu.RLock()
+	s1, ok1 := f.sigs[p.A]
+	s2, ok2 := f.sigs[p.B]
+	f.mu.RUnlock()
+	if !ok1 || !ok2 {
+		return true
+	}
+	vp := f.vecs.Get().(*[]float64)
+	hi := *vp
+	for k := range f.bounds {
+		hi[k] = f.attrUB(k, &s1.attrs[k], &s2.attrs[k])
+	}
+	cellUB := f.model.SimilarityUpperBound(hi)
+	f.vecs.Put(vp)
+	if cellUB < 0 {
+		cellUB = 0
+	}
+	if f.derive.SimUpperBound(cellUB, f.model) < f.lambda {
+		f.filtered.Add(1)
+		return false
+	}
+	return true
+}
+
+// attrUB bounds the Eq. 5 attribute similarity over every alternative
+// pair of the two tuples: the expectation is a convex combination of
+// value-pair similarities and ⊥ terms, so its maximum term bounds it.
+func (f *PreFilter) attrUB(k int, a, b *attrSig) float64 {
+	best := 0.0
+	if a.hasNull && b.hasNull && f.nulls.NullNull > best {
+		best = f.nulls.NullNull
+	}
+	if ((a.hasNull && len(b.stats) > 0) || (b.hasNull && len(a.stats) > 0)) && f.nulls.NullValue > best {
+		best = f.nulls.NullValue
+	}
+	if len(a.stats) > 0 && len(b.stats) > 0 {
+		bound := f.bounds[k]
+		if bound == nil {
+			return 1
+		}
+		for _, sa := range a.stats {
+			for _, sb := range b.stats {
+				if v := bound(sa, sb); v > best {
+					if v >= 1 {
+						return 1
+					}
+					best = v
+				}
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best
+}
+
+// FilterStats are the cumulative counters of one PreFilter.
+type FilterStats struct {
+	// Enumerated counts the pairs presented to Admit.
+	Enumerated uint64
+	// Filtered counts the pairs rejected (provably class U).
+	Filtered uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (f *PreFilter) Stats() FilterStats {
+	return FilterStats{
+		Enumerated: f.enumerated.Load(),
+		Filtered:   f.filtered.Load(),
+	}
+}

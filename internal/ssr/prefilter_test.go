@@ -1,0 +1,268 @@
+package ssr
+
+import (
+	"strings"
+	"testing"
+
+	"probdedup/internal/avm"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/strsim"
+	"probdedup/internal/sym"
+	"probdedup/internal/verify"
+	"probdedup/internal/xmatch"
+)
+
+// unboundedDerivation implements xmatch.Derivation but not
+// xmatch.Bounded — the obstruction NewPreFilter must report.
+type unboundedDerivation struct{}
+
+func (unboundedDerivation) Name() string { return "unbounded" }
+func (unboundedDerivation) Sim(x1, x2 *pdb.XTuple, mat avm.Matrix, model decision.Model) float64 {
+	return 0
+}
+
+// filterFixture builds a PreFilter over two-attribute tuples with
+// Levenshtein comparisons, the explicit weighted-sum model, and the
+// paper's ⊥ semantics.
+func filterFixture(t *testing.T, lambda float64) (*PreFilter, *sym.Table) {
+	t.Helper()
+	tab := sym.NewTable(2)
+	pf, err := NewPreFilter(PreFilterConfig{
+		Table:  tab,
+		Funcs:  []strsim.Func{strsim.Levenshtein, strsim.Levenshtein},
+		Model:  decision.WeightedSumModel{Weights: decision.EqualWeights(2), T: decision.Thresholds{Lambda: lambda, Mu: 0.9}},
+		Derive: xmatch.SimilarityBased{Conditioned: true},
+		Lambda: lambda,
+		Nulls:  avm.PaperNulls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf, tab
+}
+
+// internedTuple builds and interns a one-alternative tuple.
+func internedTuple(tab *sym.Table, id string, values ...string) *pdb.XTuple {
+	x := pdb.NewXTuple(id, pdb.NewAlt(1, values...))
+	prepare.InternXTuple(tab, x)
+	return x
+}
+
+func TestNewPreFilterErrors(t *testing.T) {
+	tab := sym.NewTable(2)
+	base := PreFilterConfig{
+		Table:  tab,
+		Funcs:  []strsim.Func{strsim.Levenshtein},
+		Model:  decision.WeightedSumModel{Weights: decision.EqualWeights(1), T: decision.Thresholds{Lambda: 0.7, Mu: 0.9}},
+		Derive: xmatch.SimilarityBased{Conditioned: true},
+		Lambda: 0.7,
+		Nulls:  avm.PaperNulls,
+	}
+	cases := map[string]struct {
+		mutate func(*PreFilterConfig)
+		want   string
+	}{
+		"nil table": {
+			func(c *PreFilterConfig) { c.Table = nil },
+			"symbol table",
+		},
+		"opaque model": {
+			func(c *PreFilterConfig) {
+				c.Model = decision.SimpleModel{
+					Phi: func(v avm.Vector) float64 { return 0 },
+					T:   decision.Thresholds{Lambda: 0.7, Mu: 0.9},
+				}
+			},
+			"cannot bound",
+		},
+		"unboundable derivation": {
+			func(c *PreFilterConfig) { c.Derive = unboundedDerivation{} },
+			"cannot bound",
+		},
+		"nulls below zero": {
+			func(c *PreFilterConfig) { c.Nulls = avm.NullSemantics{NullNull: -0.1} },
+			"[0,1]",
+		},
+		"nulls above one": {
+			func(c *PreFilterConfig) { c.Nulls = avm.NullSemantics{NullNull: 1, NullValue: 1.5} },
+			"[0,1]",
+		},
+	}
+	for name, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		pf, err := NewPreFilter(cfg)
+		if err == nil || pf != nil {
+			t.Fatalf("%s: NewPreFilter = %v, %v; want error", name, pf, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+	if _, err := NewPreFilter(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestPreFilterInsertRemoveLen(t *testing.T) {
+	pf, tab := filterFixture(t, 0.7)
+	if pf.Len() != 0 {
+		t.Fatalf("fresh filter Len = %d", pf.Len())
+	}
+	pf.Insert(internedTuple(tab, "a", "alpha", "pilot"))
+	pf.Insert(internedTuple(tab, "b", "beta", "nurse"))
+	if pf.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", pf.Len())
+	}
+	// Re-inserting an ID replaces its signature, not adds one.
+	pf.Insert(internedTuple(tab, "a", "alphonse", "pilot"))
+	if pf.Len() != 2 {
+		t.Fatalf("Len after re-insert = %d, want 2", pf.Len())
+	}
+	pf.Remove("a")
+	pf.Remove("a") // idempotent
+	if pf.Len() != 1 {
+		t.Fatalf("Len after remove = %d, want 1", pf.Len())
+	}
+}
+
+// TestAdmitMissingSignature: pairs with an unknown side are always
+// admitted — the filter may only reject what it can bound.
+func TestAdmitMissingSignature(t *testing.T) {
+	pf, tab := filterFixture(t, 0.99)
+	pf.Insert(internedTuple(tab, "known", "aaaaaaaaaa", "bbbbbbbbbb"))
+	for _, p := range []verify.Pair{
+		{A: "known", B: "ghost"},
+		{A: "ghost", B: "known"},
+		{A: "ghost", B: "phantom"},
+	} {
+		if !pf.Admit(p) {
+			t.Fatalf("pair %v with missing signature was rejected", p)
+		}
+	}
+	st := pf.Stats()
+	if st.Enumerated != 3 || st.Filtered != 0 {
+		t.Fatalf("stats = %+v, want 3 enumerated, 0 filtered", st)
+	}
+}
+
+// TestAdmitFiltersProvableNonMatch: gram-disjoint long values under a
+// high Tλ must be rejected, and near-identical values admitted, with
+// the counters tracking both outcomes.
+func TestAdmitFiltersProvableNonMatch(t *testing.T) {
+	pf, tab := filterFixture(t, 0.8)
+	pf.Insert(internedTuple(tab, "a", "aaaaaaaaaaaa", "cccccccccccc"))
+	pf.Insert(internedTuple(tab, "z", "zzzzzzzzzzzz", "xxxxxxxxxxxx"))
+	pf.Insert(internedTuple(tab, "a2", "aaaaaaaaaaab", "cccccccccccc"))
+	if pf.Admit(verify.Pair{A: "a", B: "z"}) {
+		t.Fatal("disjoint pair admitted under Tλ=0.8")
+	}
+	if !pf.Admit(verify.Pair{A: "a", B: "a2"}) {
+		t.Fatal("near-duplicate pair rejected")
+	}
+	st := pf.Stats()
+	if st.Enumerated != 2 || st.Filtered != 1 {
+		t.Fatalf("stats = %+v, want 2 enumerated, 1 filtered", st)
+	}
+}
+
+// TestAdmitNullMassRaisesBound: ⊥ mass contributes the configured ⊥
+// similarities to the attribute bound. With NullValue = 1, a ⊥-heavy
+// attribute can no longer prove a non-match that the value bound alone
+// would have rejected.
+func TestAdmitNullMassRaisesBound(t *testing.T) {
+	tab := sym.NewTable(2)
+	mkFilter := func(nulls avm.NullSemantics) *PreFilter {
+		pf, err := NewPreFilter(PreFilterConfig{
+			Table:  tab,
+			Funcs:  []strsim.Func{strsim.Levenshtein, strsim.Levenshtein},
+			Model:  decision.WeightedSumModel{Weights: decision.EqualWeights(2), T: decision.Thresholds{Lambda: 0.8, Mu: 0.9}},
+			Derive: xmatch.SimilarityBased{Conditioned: true},
+			Lambda: 0.8,
+			Nulls:  nulls,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pf
+	}
+	// Attribute 0 carries half ⊥ mass on both sides, attribute 1 matches
+	// exactly — so the pair's fate rests on what ⊥~value is worth.
+	halfNull := func(id, v0, v1 string) *pdb.XTuple {
+		x := pdb.NewXTuple(id, pdb.NewAltDists(1,
+			pdb.MustDist(pdb.Alternative{Value: pdb.V(v0), P: 0.5}),
+			pdb.MustDist(pdb.Alternative{Value: pdb.V(v1), P: 1}),
+		))
+		prepare.InternXTuple(tab, x)
+		return x
+	}
+	pair := verify.Pair{A: "p", B: "q"}
+
+	strict := mkFilter(avm.NullSemantics{NullNull: 0, NullValue: 0})
+	strict.Insert(halfNull("p", "aaaaaaaaaaaa", "same"))
+	strict.Insert(halfNull("q", "zzzzzzzzzzzz", "same"))
+	if strict.Admit(pair) {
+		t.Fatal("with ⊥≈0 semantics the disjoint attribute should reject the pair")
+	}
+
+	lax := mkFilter(avm.NullSemantics{NullNull: 1, NullValue: 1})
+	lax.Insert(halfNull("p", "aaaaaaaaaaaa", "same"))
+	lax.Insert(halfNull("q", "zzzzzzzzzzzz", "same"))
+	if !lax.Admit(pair) {
+		t.Fatal("with ⊥≈1 semantics the bound cannot prove a non-match")
+	}
+}
+
+// TestAdmitUnregisteredFuncIsTrivial: an attribute compared by a
+// function without a registered bound contributes the trivial bound 1,
+// so a single such attribute under equal weights keeps every pair
+// above Tλ = 0.5.
+func TestAdmitUnregisteredFuncIsTrivial(t *testing.T) {
+	tab := sym.NewTable(2)
+	custom := func(a, b string) float64 { return 0 }
+	pf, err := NewPreFilter(PreFilterConfig{
+		Table:  tab,
+		Funcs:  []strsim.Func{custom, strsim.Levenshtein},
+		Model:  decision.WeightedSumModel{Weights: decision.EqualWeights(2), T: decision.Thresholds{Lambda: 0.5, Mu: 0.9}},
+		Derive: xmatch.SimilarityBased{Conditioned: true},
+		Lambda: 0.5,
+		Nulls:  avm.PaperNulls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Insert(internedTuple(tab, "a", "aaaaaaaaaaaa", "cccccccccccc"))
+	pf.Insert(internedTuple(tab, "z", "zzzzzzzzzzzz", "xxxxxxxxxxxx"))
+	if !pf.Admit(verify.Pair{A: "a", B: "z"}) {
+		t.Fatal("pair rejected although one attribute is unboundable: (1+0)/2 ≥ 0.5")
+	}
+}
+
+// TestAdmitMaximizesOverAlternatives: the attribute bound is the
+// maximum over all alternative value pairs, so one matching
+// alternative on each side must keep the pair admitted even when the
+// more probable alternatives are disjoint.
+func TestAdmitMaximizesOverAlternatives(t *testing.T) {
+	pf, tab := filterFixture(t, 0.8)
+	twoAlt := func(id, main, alt string) *pdb.XTuple {
+		x := pdb.NewXTuple(id,
+			pdb.NewAlt(0.7, main, "shared-job"),
+			pdb.NewAlt(0.3, alt, "shared-job"),
+		)
+		prepare.InternXTuple(tab, x)
+		return x
+	}
+	pf.Insert(twoAlt("a", "aaaaaaaaaaaa", "common-value"))
+	pf.Insert(twoAlt("z", "zzzzzzzzzzzz", "common-value"))
+	if !pf.Admit(verify.Pair{A: "a", B: "z"}) {
+		t.Fatal("pair with an exactly matching alternative was rejected")
+	}
+	// Without the shared alternative the same pair is provably below Tλ.
+	pf.Insert(internedTuple(tab, "a1", "aaaaaaaaaaaa", "shared-job"))
+	pf.Insert(internedTuple(tab, "z1", "zzzzzzzzzzzz", "shared-job"))
+	if pf.Admit(verify.Pair{A: "a1", B: "z1"}) {
+		t.Fatal("disjoint-name pair admitted")
+	}
+}

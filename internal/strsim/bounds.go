@@ -1,0 +1,276 @@
+package strsim
+
+import (
+	"reflect"
+
+	"probdedup/internal/sym"
+)
+
+// This file gives the candidate pre-filter (internal/ssr) sound
+// similarity upper bounds: for each comparison function it can bound,
+// BoundFor returns a SimBound deriving from two values' precomputed
+// symbol statistics (rune length, padded q-gram multiset, gram
+// signature — see internal/sym) a value provably ≥ the function's
+// result on the underlying strings. The bounds are the classic
+// length and q-gram count filters of approximate string joins
+// (PPJoin-family): an edit operation changes at most q padded grams
+// (q+1 for a transposition), so gram-multiset overlap lower-bounds
+// edit similarity from above. Hashed grams (q > sym.MaxExactQ) can
+// only merge distinct grams, over-counting overlap — the bounds stay
+// sound, they just reject less.
+
+// SimBound bounds a comparison function from symbol statistics: it
+// must return a value ≥ f(a, b) for the strings the two Stats were
+// computed from. Bounds are consulted only for interned values; a
+// SimBound must return 1 (no information) when either Stats is zero.
+type SimBound func(a, b sym.Stats) float64
+
+// boundRegistry maps a Func's code pointer to its bound. Populated
+// only in init, read-only afterwards, hence safe for concurrent use.
+var boundRegistry = map[uintptr]SimBound{}
+
+func funcPtr(f Func) uintptr { return reflect.ValueOf(f).Pointer() }
+
+// RegisterBound associates a sound upper bound with a comparison
+// function, keyed by the function's code pointer. Closures returned by
+// one constructor share a single code pointer regardless of the
+// captured parameters, so a registered bound MUST be sound for every
+// instance the constructor can return (the built-in registrations
+// are). Not safe to call concurrently with BoundFor; register at init
+// time.
+func RegisterBound(f Func, b SimBound) { boundRegistry[funcPtr(f)] = b }
+
+// BoundFor returns the registered upper bound of f. Callers must treat
+// a missing bound as "no information" (upper bound 1).
+func BoundFor(f Func) (SimBound, bool) {
+	b, ok := boundRegistry[funcPtr(f)]
+	return b, ok
+}
+
+// guard wraps a bound so zero (un-interned) Stats yield 1.
+func guard(b SimBound) SimBound {
+	return func(x, y sym.Stats) float64 {
+		if x.Sym == sym.NoSym || y.Sym == sym.NoSym {
+			return 1
+		}
+		return b(x, y)
+	}
+}
+
+func init() {
+	RegisterBound(Exact, guard(boundExact))
+	RegisterBound(NormalizedHamming, guard(boundMinOverMax))
+	RegisterBound(Levenshtein, guard(boundLevenshtein))
+	// Every BandedLevenshtein closure returns either the exact
+	// Levenshtein similarity or 0, so the Levenshtein bound is sound
+	// for all instances (they share one code pointer).
+	RegisterBound(BandedLevenshtein(0), guard(boundLevenshtein))
+	RegisterBound(DamerauLevenshtein, guard(boundOSA))
+	RegisterBound(Jaro, guard(boundJaro))
+	RegisterBound(JaroWinkler, guard(boundJaroWinkler))
+	RegisterBound(CommonPrefix, guard(boundCommonPrefix))
+	RegisterBound(LongestCommonSubstring, guard(boundLCS))
+	// The q-gram closures capture their gram size, which the shared
+	// code pointer cannot expose, so only the q-independent envelope is
+	// sound: 1 in general, 0 when exactly one side is empty. Both the
+	// packed (q ≤ sym.MaxExactQ) and the string-kernel closure families
+	// are registered.
+	RegisterBound(QGramDice(2), guard(boundEmptyOrOne))
+	RegisterBound(QGramDice(sym.MaxExactQ+1), guard(boundEmptyOrOne))
+	RegisterBound(QGramJaccard(2), guard(boundEmptyOrOne))
+	RegisterBound(QGramJaccard(sym.MaxExactQ+1), guard(boundEmptyOrOne))
+}
+
+// boundExact: distinct symbols are distinct strings, so Exact is 0.
+func boundExact(a, b sym.Stats) float64 {
+	if a.Sym == b.Sym {
+		return 1
+	}
+	return 0
+}
+
+// boundMinOverMax bounds any function whose value is at most
+// matchingPositions/maxLen with matchingPositions ≤ minLen
+// (NormalizedHamming, and the fallback inside other bounds).
+func boundMinOverMax(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1 // both empty: equal strings
+	}
+	if mn == 0 {
+		return 0
+	}
+	return float64(mn) / float64(mx)
+}
+
+// gramOverlap returns the gram-multiset overlap of two stats and
+// whether gram information is usable (same positive gram size on both
+// sides). The signature pre-check skips the merge when the overlap is
+// provably empty.
+func gramOverlap(a, b sym.Stats) (int, bool) {
+	if a.Q <= 0 || a.Q != b.Q {
+		return 0, false
+	}
+	if a.Sig&b.Sig == 0 {
+		return 0, true
+	}
+	return sym.Overlap(a.Grams, b.Grams), true
+}
+
+// editLB lower-bounds the edit distance of the two strings: the length
+// filter |la−lb|, strengthened by the count filter ⌈(Gmax−overlap)/perOp⌉
+// when gram statistics are available. perOp is the maximum number of
+// padded grams one edit operation can change: q for unit edits, q+1
+// when adjacent transposition is also allowed.
+func editLB(a, b sym.Stats, transpositions bool) int {
+	lb := a.Len - b.Len
+	if lb < 0 {
+		lb = -lb
+	}
+	overlap, ok := gramOverlap(a, b)
+	if !ok {
+		return lb
+	}
+	gmax := len(a.Grams)
+	if len(b.Grams) > gmax {
+		gmax = len(b.Grams)
+	}
+	perOp := a.Q
+	if transpositions {
+		perOp++
+	}
+	if diff := gmax - overlap; diff > 0 {
+		if g := (diff + perOp - 1) / perOp; g > lb {
+			return g
+		}
+	}
+	return lb
+}
+
+// boundEditSim turns an edit-distance lower bound into a similarity
+// upper bound 1 − edLB/maxLen.
+func boundEditSim(a, b sym.Stats, transpositions bool) float64 {
+	_, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1 // both empty: equal strings
+	}
+	ub := 1 - float64(editLB(a, b, transpositions))/float64(mx)
+	if ub < 0 {
+		return 0
+	}
+	return ub
+}
+
+func boundLevenshtein(a, b sym.Stats) float64 { return boundEditSim(a, b, false) }
+
+func boundOSA(a, b sym.Stats) float64 { return boundEditSim(a, b, true) }
+
+// fpSlack absorbs floating-point drift between a bound and the kernel
+// it dominates: the Jaro family sums three individually rounded terms,
+// so the mathematically equal bound can land a few ulps below the
+// kernel's value. Only bounds built from multi-term sums need it;
+// the single-division bounds are monotone in their integer numerators
+// and never drift.
+const fpSlack = 1e-12
+
+// boundJaro: Jaro matches at most minLen runes, so
+// m/la + m/lb ≤ 1 + min/max and (m−t)/m ≤ 1.
+func boundJaro(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1
+	}
+	if mn == 0 {
+		return 0
+	}
+	ub := (2+float64(mn)/float64(mx))/3 + fpSlack
+	if ub > 1 {
+		return 1
+	}
+	return ub
+}
+
+// boundJaroWinkler: jw = j + p·0.1·(1−j) is increasing in both j and
+// the common-prefix length p, with p ≤ min(4, minLen) — and p = 0 when
+// the gram overlap is provably empty, because the first padded gram of
+// each string determines its first rune.
+func boundJaroWinkler(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1
+	}
+	if mn == 0 {
+		return 0
+	}
+	j := (2 + float64(mn)/float64(mx)) / 3
+	pmax := 4
+	if mn < pmax {
+		pmax = mn
+	}
+	if overlap, ok := gramOverlap(a, b); ok && overlap == 0 {
+		pmax = 0
+	}
+	ub := j + float64(pmax)*0.1*(1-j) + fpSlack
+	if ub > 1 {
+		return 1
+	}
+	return ub
+}
+
+// boundCommonPrefix: the common prefix is at most minLen runes, and
+// empty when the gram overlap is provably empty (shared first rune ⇒
+// shared first padded gram).
+func boundCommonPrefix(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1
+	}
+	if mn == 0 {
+		return 0
+	}
+	if overlap, ok := gramOverlap(a, b); ok && overlap == 0 {
+		return 0
+	}
+	return float64(mn) / float64(mx)
+}
+
+// boundLCS: a common substring of length L ≥ q contributes L−q+1
+// shared interior grams, so L ≤ overlap+q−1; without usable grams the
+// substring is at most minLen.
+func boundLCS(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mx == 0 {
+		return 1
+	}
+	if mn == 0 {
+		return 0
+	}
+	lcs := mn
+	if overlap, ok := gramOverlap(a, b); ok {
+		if lim := overlap + a.Q - 1; lim < lcs {
+			lcs = lim
+		}
+	}
+	if lcs < 0 {
+		lcs = 0
+	}
+	return float64(lcs) / float64(mx)
+}
+
+// boundEmptyOrOne is the q-independent envelope of the q-gram
+// coefficients: 1 in general (both empty compare as 1), 0 when exactly
+// one side is empty.
+func boundEmptyOrOne(a, b sym.Stats) float64 {
+	mn, mx := minMaxLen(a, b)
+	if mn == 0 && mx > 0 {
+		return 0
+	}
+	return 1
+}
+
+func minMaxLen(a, b sym.Stats) (int, int) {
+	if a.Len < b.Len {
+		return a.Len, b.Len
+	}
+	return b.Len, a.Len
+}

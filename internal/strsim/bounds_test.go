@@ -1,0 +1,196 @@
+package strsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probdedup/internal/sym"
+)
+
+// boundedFuncs enumerates every comparison function with a registered
+// bound, paired with a concrete instance to evaluate. Closure families
+// (BandedLevenshtein, the q-gram constructors) contribute several
+// instances per registration, because one registered bound must be
+// sound for every instance sharing the code pointer.
+func boundedFuncs() map[string]Func {
+	return map[string]Func{
+		"Exact":                  Exact,
+		"NormalizedHamming":      NormalizedHamming,
+		"Levenshtein":            Levenshtein,
+		"BandedLevenshtein(1)":   BandedLevenshtein(1),
+		"BandedLevenshtein(3)":   BandedLevenshtein(3),
+		"DamerauLevenshtein":     DamerauLevenshtein,
+		"Jaro":                   Jaro,
+		"JaroWinkler":            JaroWinkler,
+		"CommonPrefix":           CommonPrefix,
+		"LongestCommonSubstring": LongestCommonSubstring,
+		"QGramDice(1)":           QGramDice(1),
+		"QGramDice(2)":           QGramDice(2),
+		"QGramDice(3)":           QGramDice(3),
+		"QGramDice(4)":           QGramDice(4),
+		"QGramJaccard(2)":        QGramJaccard(2),
+		"QGramJaccard(5)":        QGramJaccard(5),
+	}
+}
+
+// TestRegisteredBoundsAreSound is the property underpinning the whole
+// candidate pre-filter: for every registered bound and random string
+// pairs (short words, shared prefixes, multi-byte runes, empties), the
+// bound computed from symbol statistics alone must dominate the actual
+// similarity — at every gram size a table can be built with.
+func TestRegisteredBoundsAreSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	alphabet := []rune("abcdeé漢 #x")
+	word := func() string {
+		n := rng.Intn(10)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(rs)
+	}
+	pairs := [][2]string{
+		{"", ""}, {"", "a"}, {"abc", "abc"}, {"abc", "abd"},
+		{"martha", "marhta"}, {"dixon", "dicksonx"},
+		{"aaaa", "aaaaaaaaaa"}, {"é", "e"},
+	}
+	for i := 0; i < 400; i++ {
+		pairs = append(pairs, [2]string{word(), word()})
+	}
+	for _, q := range []int{1, 2, 3, 4} {
+		tab := sym.NewTable(q)
+		for name, f := range boundedFuncs() {
+			bound, ok := BoundFor(f)
+			if !ok {
+				t.Fatalf("%s: no bound registered", name)
+			}
+			for _, p := range pairs {
+				a, b := p[0], p[1]
+				sa := tab.Stats(tab.Intern(a))
+				sb := tab.Stats(tab.Intern(b))
+				actual := f(a, b)
+				ub := bound(sa, sb)
+				if ub < actual {
+					t.Fatalf("q=%d %s(%q, %q) = %v exceeds bound %v", q, name, a, b, actual, ub)
+				}
+				if ub != bound(sb, sa) {
+					t.Fatalf("q=%d %s(%q, %q): bound is asymmetric", q, name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundsGuardUninterned: a bound consulted with zero (un-interned)
+// Stats must claim no information (1), never a rejection.
+func TestBoundsGuardUninterned(t *testing.T) {
+	tab := sym.NewTable(2)
+	st := tab.Stats(tab.Intern("hello"))
+	for name, f := range boundedFuncs() {
+		bound, ok := BoundFor(f)
+		if !ok {
+			t.Fatalf("%s: no bound registered", name)
+		}
+		if got := bound(sym.Stats{}, st); got != 1 {
+			t.Fatalf("%s: bound(zero, x) = %v, want 1", name, got)
+		}
+		if got := bound(st, sym.Stats{}); got != 1 {
+			t.Fatalf("%s: bound(x, zero) = %v, want 1", name, got)
+		}
+	}
+}
+
+// TestBoundForUnregistered: an arbitrary custom Func has no bound.
+func TestBoundForUnregistered(t *testing.T) {
+	custom := func(a, b string) float64 { return 0.5 }
+	if _, ok := BoundFor(custom); ok {
+		t.Fatal("custom func unexpectedly has a bound")
+	}
+}
+
+// TestBoundsRejectObviousNonMatches pins that the machinery actually
+// filters (not just soundly returns 1): disjoint-gram strings must get
+// a strict sub-1 bound for the edit family and 0 for CommonPrefix.
+func TestBoundsRejectObviousNonMatches(t *testing.T) {
+	tab := sym.NewTable(2)
+	sa := tab.Stats(tab.Intern("aaaaaaaa"))
+	sb := tab.Stats(tab.Intern("zzzzzzzz"))
+	cases := map[string]struct {
+		f   Func
+		max float64
+	}{
+		"Levenshtein":  {Levenshtein, 0.5},
+		"Damerau":      {DamerauLevenshtein, 0.7},
+		"CommonPrefix": {CommonPrefix, 0},
+		"Exact":        {Exact, 0},
+		"LCS":          {LongestCommonSubstring, 0.2},
+	}
+	for name, c := range cases {
+		bound, ok := BoundFor(c.f)
+		if !ok {
+			t.Fatalf("%s: no bound", name)
+		}
+		if got := bound(sa, sb); got > c.max {
+			t.Fatalf("%s: bound %v, want ≤ %v", name, got, c.max)
+		}
+	}
+}
+
+// TestPackedQGramKernelsMatchStringKernels pins the q ≤ sym.MaxExactQ
+// fast path of QGramDice/QGramJaccard to the string-based kernels bit
+// for bit (the constructors switch implementations on q).
+func TestPackedQGramKernelsMatchStringKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	word := func() string {
+		b := make([]byte, rng.Intn(9))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(4))
+		}
+		return string(b)
+	}
+	for q := 1; q <= sym.MaxExactQ; q++ {
+		dice := QGramDice(q)
+		jac := QGramJaccard(q)
+		for i := 0; i < 300; i++ {
+			a, b := word(), word()
+			ga, gb := qgrams(a, q), qgrams(b, q)
+			wantDice := func() float64 {
+				if len(ga) == 0 && len(gb) == 0 {
+					return 1
+				}
+				if len(ga) == 0 || len(gb) == 0 {
+					return 0
+				}
+				common := 0
+				counts := map[string]int{}
+				for _, g := range ga {
+					counts[g]++
+				}
+				for _, g := range gb {
+					if counts[g] > 0 {
+						counts[g]--
+						common++
+					}
+				}
+				return 2 * float64(common) / float64(len(ga)+len(gb))
+			}()
+			if got := dice(a, b); got != wantDice {
+				t.Fatalf("QGramDice(%d)(%q, %q) = %v, want %v", q, a, b, got, wantDice)
+			}
+			if got, want := jac(a, b), jac(b, a); got != want {
+				t.Fatalf("QGramJaccard(%d) asymmetric on (%q, %q): %v vs %v", q, a, b, got, want)
+			}
+		}
+	}
+}
+
+func init() {
+	// Guard against accidental init-order surprises in the registry:
+	// every built-in must be bounded by the time tests run.
+	for _, f := range []Func{Exact, Levenshtein, Jaro} {
+		if _, ok := BoundFor(f); !ok {
+			panic(fmt.Sprintf("bound registry incomplete: %T", f))
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"math"
 	"strings"
 	"unicode/utf8"
+
+	"probdedup/internal/sym"
 )
 
 // Func is a normalized comparison function on certain values.
@@ -231,6 +233,13 @@ func bandedDistance[E charElem](a, b []E, k int, s *scratch) (int, bool) {
 // matrix. The collapse to 0 below minSim makes the function cheaper but
 // non-linear; use it only when everything below minSim is classified
 // identically anyway (e.g. minSim ≤ the model's Tλ).
+//
+// Kept out of the inliner: the bound registry (bounds.go) keys
+// comparison functions by code pointer, and inlining a constructor
+// clones its closure literal into every caller — each clone gets its
+// own code symbol and the registered bound would never be found again.
+//
+//go:noinline
 func BandedLevenshtein(minSim float64) Func {
 	if minSim < 0 {
 		minSim = 0
@@ -410,7 +419,19 @@ func JaroWinkler(a, b string) float64 {
 // multisets: 2·|common| / (|Qa|+|Qb|). Strings shorter than q are padded on
 // both sides with q−1 occurrences of '#' so single-rune strings still
 // produce grams.
+// QGramDice is kept out of the inliner for the same bound-registry
+// reason as BandedLevenshtein.
+//
+//go:noinline
 func QGramDice(q int) Func {
+	if q >= 1 && q <= sym.MaxExactQ {
+		// The packed encoding is injective for these gram sizes, so the
+		// sorted-merge kernel is bit-identical to the string kernel and
+		// avoids per-gram string allocations.
+		return func(a, b string) float64 {
+			return sym.Dice(sym.PackedQGrams(a, q), sym.PackedQGrams(b, q))
+		}
+	}
 	return func(a, b string) float64 {
 		ga, gb := qgrams(a, q), qgrams(b, q)
 		if len(ga) == 0 && len(gb) == 0 {
@@ -426,7 +447,16 @@ func QGramDice(q int) Func {
 
 // QGramJaccard returns a Func computing the Jaccard coefficient over q-gram
 // multisets: |common| / (|Qa|+|Qb|−|common|).
+// QGramJaccard is kept out of the inliner for the same bound-registry
+// reason as BandedLevenshtein.
+//
+//go:noinline
 func QGramJaccard(q int) Func {
+	if q >= 1 && q <= sym.MaxExactQ {
+		return func(a, b string) float64 {
+			return sym.Jaccard(sym.PackedQGrams(a, q), sym.PackedQGrams(b, q))
+		}
+	}
 	return func(a, b string) float64 {
 		ga, gb := qgrams(a, q), qgrams(b, q)
 		if len(ga) == 0 && len(gb) == 0 {

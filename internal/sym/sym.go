@@ -1,0 +1,138 @@
+// Package sym is the run-wide symbol plane: it interns every
+// standardized attribute value (Sec. III-A output) to a dense uint32
+// symbol and precomputes per-symbol statistics — rune length, the
+// padded q-gram multiset, and a 64-bit gram signature — once per
+// distinct value instead of once per comparison. Downstream layers
+// thread the symbols end-to-end: the avm similarity cache keys value
+// pairs by (attr, symA, symB) integer triples instead of strings, and
+// the ssr candidate pre-filter derives sound similarity upper bounds
+// from the precomputed stats without ever touching the strings (the
+// PPJoin-style length + q-gram filtering in front of verification,
+// ROADMAP item 4a).
+package sym
+
+import "sync"
+
+// NoSym is the reserved "not interned" symbol. Symbols handed out by a
+// Table start at 1, so a zero-valued annotation is always detectable.
+const NoSym uint32 = 0
+
+// Stats are the precomputed signature statistics of one interned value.
+// All fields are immutable after interning; the Grams slice must be
+// treated as read-only.
+type Stats struct {
+	// Sym is the symbol the stats belong to (NoSym in the zero Stats).
+	Sym uint32
+	// Len is the value's rune length.
+	Len int
+	// Q is the gram size Grams was built with; 0 means the table was
+	// created without gram statistics and Grams is nil.
+	Q int
+	// Grams is the sorted multiset of padded q-grams in packed form
+	// (see PackedQGrams). For Q ≤ MaxExactQ the packing is injective,
+	// so multiset intersections are exact; for larger Q grams are
+	// hashed, which can only over-count intersections — still sound
+	// for the upper bounds the pre-filter derives.
+	Grams []uint64
+	// Sig is a 64-bit membership signature over the distinct grams:
+	// two values whose signatures do not intersect share no gram, so a
+	// single AND rejects before any multiset merge (the O(1) prefix
+	// filter test).
+	Sig uint64
+}
+
+// Table interns strings to dense symbols and owns their Stats. A Table
+// is safe for concurrent use; in the detection engine it lives as long
+// as the run (batch) or the detector (online), so equal values always
+// map to equal symbols and the symbol-keyed similarity cache never
+// aliases distinct values. Symbols are never reused; the table grows
+// with the number of distinct values ever interned.
+type Table struct {
+	q  int
+	mu sync.RWMutex
+	// ids maps the value string to its 1-based symbol.
+	ids map[string]uint32
+	// vals and stats are indexed by symbol−1.
+	vals  []string
+	stats []Stats
+}
+
+// NewTable builds an empty symbol table. q > 0 precomputes the padded
+// q-gram multiset and gram signature of every interned value; q ≤ 0
+// records only rune lengths (cheaper when no pre-filter consumes the
+// grams).
+func NewTable(q int) *Table {
+	if q < 0 {
+		q = 0
+	}
+	return &Table{q: q, ids: map[string]uint32{}}
+}
+
+// Q returns the gram size the table precomputes (0 = none).
+func (t *Table) Q() int { return t.q }
+
+// Len returns the number of interned values.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.vals)
+}
+
+// Intern returns the symbol of s, interning it (and precomputing its
+// Stats) on first sight. Equal strings always return equal symbols.
+func (t *Table) Intern(s string) uint32 {
+	t.mu.RLock()
+	sy, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return sy
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sy, ok := t.ids[s]; ok {
+		return sy
+	}
+	sy = uint32(len(t.vals) + 1)
+	st := Stats{Sym: sy, Len: runeLen(s)}
+	if t.q > 0 {
+		st.Q = t.q
+		st.Grams = PackedQGrams(s, t.q)
+		st.Sig = GramSig(st.Grams)
+	}
+	t.ids[s] = sy
+	t.vals = append(t.vals, s)
+	t.stats = append(t.stats, st)
+	return sy
+}
+
+// Lookup returns the symbol of s without interning it.
+func (t *Table) Lookup(s string) (uint32, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sy, ok := t.ids[s]
+	return sy, ok
+}
+
+// Stats returns the precomputed statistics of sym (the zero Stats for
+// NoSym or an unknown symbol). The contained Grams slice is shared and
+// read-only.
+func (t *Table) Stats(sym uint32) Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if sym == NoSym || int(sym) > len(t.stats) {
+		return Stats{}
+	}
+	return t.stats[sym-1]
+}
+
+// Str returns the canonical string of sym ("" for NoSym or an unknown
+// symbol). Annotating values with the canonical instance dedups the
+// backing string storage of skewed relations.
+func (t *Table) Str(sym uint32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if sym == NoSym || int(sym) > len(t.vals) {
+		return ""
+	}
+	return t.vals[sym-1]
+}

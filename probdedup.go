@@ -218,6 +218,11 @@ type (
 	Model = decision.Model
 	// SimpleModel pairs a combination function with thresholds.
 	SimpleModel = decision.SimpleModel
+	// WeightedSumModel is the weighted-sum model in explicit form:
+	// bit-identical to SimpleModel{Phi: WeightedSum(w...)} but
+	// introspectable, so the candidate pre-filter (Options.PreFilter)
+	// can bound it. The engine's default model when AltModel is nil.
+	WeightedSumModel = decision.WeightedSumModel
 	// Rule is a knowledge-based identification rule.
 	Rule = decision.Rule
 	// RuleModel is the knowledge-based decision model.
@@ -434,6 +439,14 @@ func NewPair(a, b string) Pair { return verify.NewPair(a, b) }
 // DetectStream for large relations when the per-pair results need not
 // be retained.
 func Detect(xr *XRelation, opts Options) (*Result, error) { return core.Detect(xr, opts) }
+
+// DetectWithStats is Detect additionally returning the run's
+// StreamStats — similarity-cache counters and, with Options.PreFilter,
+// the candidate pre-filter's effectiveness (Enumerated, Filtered,
+// FilterActive) — without changing the materialized Result.
+func DetectWithStats(xr *XRelation, opts Options) (*Result, StreamStats, error) {
+	return core.DetectWithStats(xr, opts)
+}
 
 // DetectRelations lifts two dependency-free relations, unions them, and
 // runs Detect.
