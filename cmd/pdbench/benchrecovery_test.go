@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunBenchRecoverySmall runs the recovery suite at a small size
+// and checks the report structure: snapshot and WAL bytes recorded,
+// recovery timed, resident count verified, environment stamped.
+func TestRunBenchRecoverySmall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_recovery.json")
+	if err := runBenchRecovery(path, []int{1500}, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report recoveryReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Suite != "recovery" || report.Seed != 5 {
+		t.Fatalf("header: %+v", report)
+	}
+	if report.Env.GoMaxProcs < 1 || report.Env.NumCPU < 1 || report.Env.Commit == "" {
+		t.Fatalf("env not captured: %+v", report.Env)
+	}
+	if len(report.Entries) != 1 {
+		t.Fatalf("%d entries", len(report.Entries))
+	}
+	e := report.Entries[0]
+	if e.Residents != 1500 || e.TailTuples != recoveryTailBatches*scaleBatchSize {
+		t.Fatalf("entry shape: %+v", e)
+	}
+	if e.SnapshotBytes <= 0 || e.WALBytes <= 0 {
+		t.Fatalf("state dir sizes not recorded: %+v", e)
+	}
+	if e.SeedNs <= 0 || e.CheckpointNs <= 0 || e.RecoverNs <= 0 || e.TuplesPerSec <= 0 {
+		t.Fatalf("timings not recorded: %+v", e)
+	}
+}

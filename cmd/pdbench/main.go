@@ -46,6 +46,8 @@ func main() {
 	benchScale := flag.String("bench-scale", "", "write the skewed-corpus filtered-vs-unfiltered ingestion sweep to this BENCH_*.json file and exit")
 	scaleSizes := flag.String("scale-sizes", "10000,100000", "comma-separated resident sizes for -bench-scale")
 	scaleWorkers := flag.String("scale-workers", "1,4", "comma-separated worker counts for -bench-scale")
+	benchRecovery := flag.String("bench-recovery", "", "write the durable-state checkpoint/recovery measurements to this BENCH_*.json file and exit")
+	recoverySizes := flag.String("recovery-sizes", "10000,100000", "comma-separated resident sizes for -bench-recovery")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -63,6 +65,17 @@ func main() {
 			if err == nil {
 				err = runBenchScale(*benchScale, sizes, workers, *seed, 0)
 			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchRecovery != "" {
+		sizes, err := parseIntList(*recoverySizes)
+		if err == nil {
+			err = runBenchRecovery(*benchRecovery, sizes, *seed)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)

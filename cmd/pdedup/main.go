@@ -46,6 +46,17 @@
 // summary at EOF.
 //
 //	pdgen ... | pdedup -follow -integrate -schema name,job -key 'name:3' -reduce blocking-certain
+//
+// -state DIR (with -follow) makes the online engine durable: every
+// operation is written to a write-ahead log in DIR before it is
+// applied, a snapshot checkpoint is taken at EOF, and a later
+// invocation with the same DIR recovers the exact engine state and
+// continues — replayed operations print no deltas, only new arrivals
+// do. The seed files apply only when DIR is fresh; a DIR written under
+// a different schema is rejected, as is a DIR another live process
+// holds.
+//
+//	pdgen ... | pdedup -follow -state ./state -schema name,job -key 'name:3' -reduce blocking-certain
 package main
 
 import (
@@ -87,6 +98,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		follow      = fs.Bool("follow", false, "incremental online mode: seed from FILEs (if any), then read NDJSON tuples from stdin and print match deltas as tuples arrive")
 		integrate   = fs.Bool("integrate", false, "with -follow: fold match deltas into a live entity set and print NDJSON entity deltas (created/merged/split/refused/retired) instead of pair deltas")
 		schemaSpec  = fs.String("schema", "", "comma-separated schema for -follow without a seed file, e.g. 'name,job'")
+		stateDir    = fs.String("state", "", "with -follow: durable state directory (snapshot + write-ahead log); recovers on reopen, seed files apply only when fresh")
 		preFilter   = fs.Bool("prefilter", false, "enable the symbol-plane candidate pre-filter: skip enumerated pairs provably below -lambda (results are identical, only fewer pairs are verified)")
 		qgram       = fs.Int("qgram", 0, "gram size of the pre-filter's q-gram count filters (0 = 2); applies with -prefilter only")
 		showAll     = fs.Bool("v", false, "print every compared pair, not only matches, plus filter/cache effectiveness counters")
@@ -115,6 +127,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *integrate && !*follow {
 		fmt.Fprintln(stderr, "pdedup: -integrate requires -follow")
+		return 2
+	}
+	if *stateDir != "" && !*follow {
+		fmt.Fprintln(stderr, "pdedup: -state requires -follow")
 		return 2
 	}
 	if *integrate && *showAll {
@@ -226,7 +242,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *follow {
-		return runFollow(xr, opts, stdin, stdout, stderr, *showAll, *integrate)
+		return runFollow(xr, opts, *stateDir, stdin, stdout, stderr, *showAll, *integrate)
 	}
 
 	// The -v effectiveness footer: how much verification work the
@@ -329,14 +345,37 @@ type jsonEntityDelta struct {
 // interactive use — the pipe momentarily empty — still applies every
 // line as it arrives, with no added latency. A "remove" line flushes
 // the pending batch first, so effects apply in input order.
-func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reader, stdout, stderr io.Writer, showAll, integrate bool) int {
+func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stateDir string, stdin io.Reader, stdout, stderr io.Writer, showAll, integrate bool) int {
 	var (
 		eng     onlineEngine
 		summary func() int
+		// durable is set with -state; finish closes it (final snapshot
+		// checkpoint) and the deferred call releases the directory lock on
+		// error paths — the tests drive run() in-process, so a leaked lock
+		// would wedge the next invocation.
+		durable interface {
+			Close() error
+			Seq() uint64
+		}
 	)
+	finish := func() int {
+		if durable == nil {
+			return 0
+		}
+		if err := durable.Close(); err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
+		return 0
+	}
+	defer func() {
+		if durable != nil {
+			durable.Close()
+		}
+	}()
 	if integrate {
 		enc := json.NewEncoder(stdout)
-		ig, err := probdedup.NewIntegrator(seed.Schema, opts, func(ev probdedup.EntityDelta) bool {
+		emit := func(ev probdedup.EntityDelta) bool {
 			if err := enc.Encode(jsonEntityDelta{
 				Event:   ev.Kind.String(),
 				ID:      ev.Entity.ID,
@@ -346,27 +385,43 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 				fmt.Fprintln(stderr, "pdedup:", err)
 			}
 			return true
-		})
-		if err != nil {
-			fmt.Fprintln(stderr, "pdedup:", err)
-			return 1
 		}
-		eng = ig
+		var (
+			flushRes func() (*probdedup.Resolution, error)
+			engLen   func() int
+		)
+		if stateDir != "" {
+			dig, err := probdedup.OpenDurableIntegrator(stateDir, seed.Schema, opts, emit)
+			if err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+				return 1
+			}
+			eng, durable = dig, dig
+			flushRes, engLen = dig.Flush, dig.Len
+		} else {
+			ig, err := probdedup.NewIntegrator(seed.Schema, opts, emit)
+			if err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+				return 1
+			}
+			eng = ig
+			flushRes, engLen = ig.Flush, ig.Len
+		}
 		summary = func() int {
-			r, err := ig.Flush()
+			r, err := flushRes()
 			if err != nil {
 				fmt.Fprintln(stderr, "pdedup:", err)
 				return 1
 			}
 			fmt.Fprintf(stdout, "resident %d tuples, %d entities, %d uncertain duplicates\n",
-				ig.Len(), len(r.Entities), len(r.Uncertain))
-			return 0
+				engLen(), len(r.Entities), len(r.Uncertain))
+			return finish()
 		}
 	} else {
 		wanted := func(c probdedup.Class) bool {
 			return showAll || c == probdedup.ClassM || c == probdedup.ClassP
 		}
-		det, err := probdedup.NewDetector(seed.Schema, opts, func(md probdedup.MatchDelta) bool {
+		emit := func(md probdedup.MatchDelta) bool {
 			if !wanted(md.Class) {
 				return true
 			}
@@ -376,14 +431,27 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 			}
 			fmt.Fprintf(stdout, "%s%-4s (%s,%s) sim=%.4f\n", sign, md.Class, md.Pair.A, md.Pair.B, md.Sim)
 			return true
-		})
-		if err != nil {
-			fmt.Fprintln(stderr, "pdedup:", err)
-			return 1
 		}
-		eng = det
+		var stats func() probdedup.DetectorStats
+		if stateDir != "" {
+			dd, err := probdedup.OpenDurable(stateDir, seed.Schema, opts, emit)
+			if err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+				return 1
+			}
+			eng, durable = dd, dd
+			stats = dd.Stats
+		} else {
+			det, err := probdedup.NewDetector(seed.Schema, opts, emit)
+			if err != nil {
+				fmt.Fprintln(stderr, "pdedup:", err)
+				return 1
+			}
+			eng = det
+			stats = det.Stats
+		}
 		summary = func() int {
-			st := det.Stats()
+			st := stats()
 			fmt.Fprintf(stdout, "resident %d tuples, %d live pairs of %d (compared %d, retracted %d)\n",
 				st.Residents, st.Live, st.TotalPairs, st.Compared, st.Dropped)
 			fmt.Fprintf(stdout, "matches=%d possible=%d\n", st.Matches, st.Possible)
@@ -397,12 +465,16 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stdin io.Reade
 				fmt.Fprintf(stdout, "cache: hits=%d misses=%d hit-rate=%.3f\n",
 					st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate())
 			}
-			return 0
+			return finish()
 		}
 	}
-	if err := eng.AddBatch(seed.Tuples); err != nil {
-		fmt.Fprintln(stderr, "pdedup:", err)
-		return 1
+	// A recovered state directory already holds the seed relation (and
+	// everything after it); re-seeding would fail on duplicate IDs.
+	if durable == nil || durable.Seq() == 0 {
+		if err := eng.AddBatch(seed.Tuples); err != nil {
+			fmt.Fprintln(stderr, "pdedup:", err)
+			return 1
+		}
 	}
 
 	lines := make(chan followLine, 4*followBatchCap)

@@ -502,6 +502,67 @@ func TestRunQGramRequiresPreFilter(t *testing.T) {
 	}
 }
 
+// TestRunFollowStateRestartGolden pins the durable online path across
+// a simulated restart: two -follow -state invocations against the same
+// state directory must produce exactly the transcripts in
+// testdata/follow_state.golden1 and .golden2 — the second invocation
+// recovers the first one's residents and counters but re-emits none of
+// its deltas. A third invocation under a different -schema must be
+// refused. Regenerate the goldens with PDEDUP_UPDATE_GOLDEN=1.
+func TestRunFollowStateRestartGolden(t *testing.T) {
+	dir := t.TempDir()
+	args := func(schema string) []string {
+		return []string{"-follow", "-state", dir, "-schema", schema,
+			"-compare", "levenshtein", "-lambda", "0.35", "-mu", "0.8"}
+	}
+	for _, part := range []string{"1", "2"} {
+		input, err := os.ReadFile(filepath.Join("testdata", "follow_state.input"+part))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		code := run(args("name,job"), bytes.NewReader(input), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("invocation %s: exit %d: %s", part, code, errOut.String())
+		}
+		golden := filepath.Join("testdata", "follow_state.golden"+part)
+		if os.Getenv("PDEDUP_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != string(want) {
+			t.Fatalf("invocation %s drifted from golden\n--- got ---\n%s--- want ---\n%s", part, out.String(), want)
+		}
+	}
+
+	// The state dir was built under name,job; a different schema must
+	// be rejected, not silently reinterpreted.
+	var out, errOut bytes.Buffer
+	if code := run(args("name,job,extra"), strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("schema mismatch: exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "schema") {
+		t.Fatalf("schema mismatch not reported: %s", errOut.String())
+	}
+}
+
+// TestRunStateFlagValidation rejects -state without -follow.
+func TestRunStateFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-state", "/tmp/x", "one.pdb"}, strings.NewReader(""), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-state requires -follow") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
 // TestRunFollowVerbosePreFilter: the online path prints the filter
 // effectiveness and cache lines under -v, and the filter actually
 // rejects pairs on disjoint long values.

@@ -1,0 +1,101 @@
+package probdedup_test
+
+import (
+	"errors"
+	"testing"
+
+	"probdedup"
+)
+
+// TestPublicDurableRoundTrip drives the exported durability surface:
+// open a durable detector and integrator, ingest, checkpoint, close,
+// and reopen — the recovered engines report the same state, the lock
+// excludes concurrent openers, and a schema change is refused.
+func TestPublicDurableRoundTrip(t *testing.T) {
+	d := probdedup.GenerateDataset(probdedup.DefaultDatasetConfig(20, 43))
+	u := d.Union()
+	def, err := probdedup.ParseKeyDef("name:3+job:2", u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := probdedup.Options{
+		Compare:   []probdedup.CompareFunc{probdedup.Levenshtein, probdedup.Levenshtein, probdedup.Levenshtein},
+		Reduction: probdedup.BlockingCertain{Key: def},
+		Final:     probdedup.Thresholds{Lambda: 0.6, Mu: 0.8},
+		Durability: probdedup.Durability{
+			FsyncEvery:       2,
+			SnapshotEveryOps: 8,
+		},
+	}
+
+	dir := t.TempDir()
+	dd, err := probdedup.OpenDurable(dir, u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range u.Tuples[:12] {
+		if err := dd.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := probdedup.OpenDurable(dir, u.Schema, opts, nil); !errors.Is(err, probdedup.ErrStateLocked) {
+		t.Fatalf("second opener: %v", err)
+	}
+	wantPairs := len(dd.Flush().ByPair)
+	wantLen := dd.Len()
+	if err := dd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dd.Add(u.Tuples[12]); !errors.Is(err, probdedup.ErrDurableClosed) {
+		t.Fatalf("add after close: %v", err)
+	}
+
+	re, err := probdedup.OpenDurable(dir, u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != wantLen || len(re.Flush().ByPair) != wantPairs {
+		t.Fatalf("recovered %d residents / %d pairs, want %d / %d",
+			re.Len(), len(re.Flush().ByPair), wantLen, wantPairs)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probdedup.OpenDurable(dir, u.Schema[:1], probdedup.Options{
+		Compare: []probdedup.CompareFunc{probdedup.Levenshtein},
+		Final:   opts.Final,
+	}, nil); !errors.Is(err, probdedup.ErrSchemaMismatch) {
+		t.Fatalf("schema change: %v", err)
+	}
+
+	idir := t.TempDir()
+	di, err := probdedup.OpenDurableIntegrator(idir, u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range u.Tuples[:10] {
+		if err := di.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveR, err := di.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := di.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := probdedup.OpenDurableIntegrator(idir, u.Schema, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ri.Close()
+	recR, err := ri.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recR.Entities) != len(liveR.Entities) || len(recR.Uncertain) != len(liveR.Uncertain) {
+		t.Fatalf("recovered %d entities / %d uncertain, want %d / %d",
+			len(recR.Entities), len(recR.Uncertain), len(liveR.Entities), len(liveR.Uncertain))
+	}
+}

@@ -87,6 +87,30 @@ func NewEmbedding(items []Item) *Embedding {
 	return &Embedding{keys: all, index: index, denom: denom}
 }
 
+// Keys returns the frozen sorted key universe of the embedding. The
+// returned slice is shared with the embedding and must be treated as
+// read-only; it is the state NewEmbeddingFromKeys rebuilds an identical
+// embedding from (durable-state snapshots persist it).
+func (e *Embedding) Keys() []string { return e.keys }
+
+// NewEmbeddingFromKeys rebuilds an embedding from a previously frozen
+// key universe. keys must be sorted and free of duplicates — exactly
+// what Keys returns; the caller validates untrusted input. The
+// rebuilt embedding is bit-identical to the one Keys was taken from:
+// same ranks, same denominator, same Pos for every input.
+func NewEmbeddingFromKeys(keys []string) *Embedding {
+	all := append([]string(nil), keys...)
+	index := make(map[string]int, len(all))
+	for i, k := range all {
+		index[k] = i
+	}
+	denom := float64(len(all) - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	return &Embedding{keys: all, index: index, denom: denom}
+}
+
 // Pos maps an uncertain key to its expected normalized position. Keys
 // outside the frozen universe take their would-be insertion rank, so
 // unseen arrivals still land between their lexicographic neighbors.

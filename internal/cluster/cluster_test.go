@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"probdedup/internal/keys"
@@ -125,5 +126,41 @@ func TestClusteringDeterministicGivenSeed(t *testing.T) {
 		if m1.Assign[i] != m2.Assign[i] {
 			t.Fatal("KMedoids must be deterministic for a fixed seed")
 		}
+	}
+}
+
+// TestEmbeddingKeysRoundTrip pins the durable-snapshot contract of the
+// frozen embedding: Keys exposes the sorted key universe, and
+// NewEmbeddingFromKeys rebuilds an embedding with identical positions
+// for keys inside and outside that universe.
+func TestEmbeddingKeysRoundTrip(t *testing.T) {
+	items := []Item{
+		certainItem("a", "Aaa"), certainItem("b", "Mmm"), certainItem("c", "Zzz"),
+		{ID: "u", Keys: []keys.KeyProb{{Key: "Bbb", P: 0.5}, {Key: "Yyy", P: 0.5}}},
+	}
+	orig := NewEmbedding(items)
+	ks := orig.Keys()
+	if !sort.StringsAreSorted(ks) {
+		t.Fatalf("Keys not sorted: %v", ks)
+	}
+	rebuilt := NewEmbeddingFromKeys(ks)
+	probes := [][]keys.KeyProb{
+		{{Key: "Aaa", P: 1}},
+		{{Key: "Zzz", P: 1}},
+		{{Key: "Bbb", P: 0.5}, {Key: "Yyy", P: 0.5}},
+		{{Key: "Qqq", P: 1}},  // outside the frozen universe
+		{{Key: "!!!!", P: 1}}, // before every frozen key
+	}
+	for _, p := range probes {
+		if got, want := rebuilt.Pos(p), orig.Pos(p); !almost(got, want) {
+			t.Fatalf("Pos(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// Degenerate universe: a single key still round-trips (denominator
+	// clamping must match).
+	one := NewEmbedding(items[:1])
+	oneRebuilt := NewEmbeddingFromKeys(one.Keys())
+	if got, want := oneRebuilt.Pos(probes[3]), one.Pos(probes[3]); !almost(got, want) {
+		t.Fatalf("single-key Pos = %v, want %v", got, want)
 	}
 }

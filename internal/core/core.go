@@ -68,6 +68,30 @@ type Options struct {
 	// sizes reject less on short values; sizes above sym.MaxExactQ
 	// fall back to hashed grams (still sound).
 	FilterQ int
+	// Durability configures the durable online engines (wal.OpenDurable
+	// and the probdedup façade); the batch pipeline and the plain
+	// in-memory Detector/Integrator ignore it.
+	Durability Durability
+}
+
+// Durability configures the durable online engines: state lives in a
+// write-ahead-logged, snapshot-rotated directory, and recovery replays
+// the log tail through the ordinary fold paths so a recovered engine
+// is bit-identical to one that never crashed.
+type Durability struct {
+	// Dir is the state directory; used when the open call does not name
+	// one explicitly.
+	Dir string
+	// FsyncEvery is the group-commit grain: one fsync per this many
+	// logged operations (0 or 1 syncs every operation). Operations
+	// since the last sync may be lost in a crash — recovery still
+	// yields a consistent prefix of the operation history.
+	FsyncEvery int
+	// SnapshotEveryOps rotates the log automatically: after this many
+	// operations since the last snapshot, the next operation triggers a
+	// checkpoint (0 disables automatic checkpoints; Checkpoint and
+	// Close still snapshot on demand).
+	SnapshotEveryOps int
 }
 
 // Match is one compared pair with its derived similarity and class.

@@ -167,9 +167,17 @@ type Detector struct {
 	pairsOf map[string]map[verify.Pair]struct{}
 	// posOf locates a resident tuple in eng.xr.Tuples for O(1)
 	// swap-removal; nothing in the detector depends on tuple order.
-	posOf    map[string]int
-	compared int
-	dropped  int
+	posOf map[string]int
+	// seqOf records each resident's arrival number (arrivalSeq is the
+	// running counter). eng.xr.Tuples loses insertion order to
+	// swap-removal, but the incremental-index contract ties candidate
+	// tie-breaking to it — so a durable snapshot must list residents in
+	// arrival order to restore the indexes bit-identically
+	// (SnapshotState sorts by seqOf).
+	seqOf      map[string]uint64
+	arrivalSeq uint64
+	compared   int
+	dropped    int
 
 	// comparers is the lazily grown per-worker comparer pool: the
 	// fold scratch is not shareable, while every matcher memoizes
@@ -215,6 +223,7 @@ func NewDetector(schema []string, opts Options, emit func(MatchDelta) bool) (*De
 		live:      map[verify.Pair]Match{},
 		pairsOf:   map[string]map[verify.Pair]struct{}{},
 		posOf:     map[string]int{},
+		seqOf:     map[string]uint64{},
 		comparers: []*xmatch.Comparer{eng.newComparer()},
 		emits:     NewEmitQueue(emit),
 	}, nil
@@ -330,6 +339,8 @@ func (d *Detector) prepareTuple(x *pdb.XTuple) (*pdb.XTuple, error) {
 func (d *Detector) register(x *pdb.XTuple) {
 	d.eng.byID[x.ID] = x
 	d.posOf[x.ID] = len(d.eng.xr.Tuples)
+	d.seqOf[x.ID] = d.arrivalSeq
+	d.arrivalSeq++
 	d.eng.xr.Append(x)
 	if d.eng.filter != nil {
 		d.eng.filter.Insert(x)
@@ -425,6 +436,7 @@ func (d *Detector) removeLocked(id string) error {
 	d.eng.xr.Tuples = ts[:last]
 	ts[last] = nil
 	delete(d.posOf, id)
+	delete(d.seqOf, id)
 	if d.eng.filter != nil {
 		d.eng.filter.Remove(id)
 	}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/prepare"
+	"probdedup/internal/ssr"
+)
+
+// DetectorState is the portable snapshot of a Detector's live state —
+// everything a recovered detector cannot re-derive from its Options:
+// the resident tuples in arrival order (already standardized; the
+// incremental-index contract ties candidate tie-breaking to insertion
+// order), every live pair decision, the cumulative work counters, and
+// the placement state of a bounded-staleness reduction index. What is
+// deliberately absent is re-derived on restore: exact-tier index state
+// and the pre-filter summaries are pure functions of the residents in
+// insertion order, and the symbol plane is content-addressed, so
+// re-interning assigns equivalent (if differently numbered) symbols.
+type DetectorState struct {
+	// Schema is the detector's attribute names.
+	Schema []string
+	// Residents holds the standardized resident tuples in arrival
+	// order. The slices and tuples are shared with the live detector —
+	// read-only by contract (resident tuples are immutable).
+	Residents []*pdb.XTuple
+	// Pairs lists every live classified pair sorted by (A, B).
+	Pairs []Match
+	// Compared and Dropped are the cumulative work counters.
+	Compared, Dropped int
+	// Epoch is the bounded-staleness placement state
+	// (ssr.StatefulEpochIndex); nil for exact-tier reductions.
+	Epoch *ssr.EpochState
+}
+
+// SnapshotState captures the detector's live state for a durable
+// snapshot. The returned state shares the resident tuples with the
+// detector (they are immutable while resident and stay valid after
+// removal); the slices themselves are fresh copies, so concurrent
+// detector operations never mutate a taken snapshot.
+func (d *Detector) SnapshotState() *DetectorState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &DetectorState{
+		Schema:    append([]string(nil), d.eng.xr.Schema...),
+		Residents: append([]*pdb.XTuple(nil), d.eng.xr.Tuples...),
+		Pairs:     make([]Match, 0, len(d.live)),
+		Compared:  d.compared,
+		Dropped:   d.dropped,
+	}
+	sort.Slice(st.Residents, func(i, j int) bool {
+		return d.seqOf[st.Residents[i].ID] < d.seqOf[st.Residents[j].ID]
+	})
+	for _, m := range d.live {
+		st.Pairs = append(st.Pairs, m)
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		if st.Pairs[i].Pair.A != st.Pairs[j].Pair.A {
+			return st.Pairs[i].Pair.A < st.Pairs[j].Pair.A
+		}
+		return st.Pairs[i].Pair.B < st.Pairs[j].Pair.B
+	})
+	if ei, ok := d.idx.(ssr.StatefulEpochIndex); ok {
+		st.Epoch = ei.ExportEpochState()
+	}
+	return st
+}
+
+// RestoreDetector rebuilds a detector from a snapshot taken with
+// SnapshotState, bit-identically: the same resident relation, live
+// pair set, index state and counters, so every future operation
+// behaves exactly as it would have on the original. opts must be the
+// configuration the snapshot was taken under (the snapshot records
+// state, not configuration). The restore produces no emitted deltas —
+// the snapshot's pairs were already reported when they entered the
+// live set.
+//
+// Restoring re-runs no comparisons: residents are re-registered in
+// arrival order (re-interning the symbol plane and re-summarizing the
+// pre-filter), exact-tier index state is re-derived by re-inserting
+// them — the index contract makes the maintained candidate set a pure
+// function of the residents in insertion order — and the live pair
+// decisions are installed directly from the snapshot. A
+// bounded-staleness index restores its persisted placement state
+// instead (ssr.StatefulEpochIndex). The state is validated as it is
+// applied; untrusted snapshots (a corrupt or crafted file) fail with
+// an error, never a panic.
+func RestoreDetector(opts Options, emit func(MatchDelta) bool, st *DetectorState) (*Detector, error) {
+	d, err := NewDetector(st.Schema, opts, emit)
+	if err != nil {
+		return nil, err
+	}
+	_, stateful := d.idx.(ssr.StatefulEpochIndex)
+	if stateful != (st.Epoch != nil) && len(st.Residents) > 0 {
+		return nil, fmt.Errorf("core: snapshot epoch state (present=%t) does not match reduction tier (bounded-staleness=%t)",
+			st.Epoch != nil, stateful)
+	}
+	for _, x := range st.Residents {
+		if x == nil {
+			return nil, fmt.Errorf("core: snapshot contains a nil resident")
+		}
+		x = x.Clone()
+		if err := x.Validate(len(st.Schema)); err != nil {
+			return nil, fmt.Errorf("core: snapshot resident: %w", err)
+		}
+		if _, dup := d.eng.byID[x.ID]; dup {
+			return nil, fmt.Errorf("core: snapshot lists resident %q twice", x.ID)
+		}
+		if d.eng.symtab != nil {
+			prepare.InternXTuple(d.eng.symtab, x)
+		}
+		d.register(x)
+		if !stateful {
+			// Discarded deltas: the maintained candidate set is what the
+			// restore is after; the pair decisions come from the snapshot.
+			d.idx.Insert(x, func(ssr.PairDelta) bool { return true })
+		}
+	}
+	if stateful && st.Epoch != nil {
+		err := d.idx.(ssr.StatefulEpochIndex).RestoreEpochState(st.Epoch, func(id string) (*pdb.XTuple, bool) {
+			x, ok := d.eng.byID[id]
+			return x, ok
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	for _, m := range st.Pairs {
+		p := m.Pair
+		if p.A >= p.B {
+			return nil, fmt.Errorf("core: snapshot pair (%q,%q) is not in canonical order", p.A, p.B)
+		}
+		if _, ok := d.eng.byID[p.A]; !ok {
+			return nil, fmt.Errorf("core: snapshot pair references non-resident tuple %q", p.A)
+		}
+		if _, ok := d.eng.byID[p.B]; !ok {
+			return nil, fmt.Errorf("core: snapshot pair references non-resident tuple %q", p.B)
+		}
+		if _, dup := d.live[p]; dup {
+			return nil, fmt.Errorf("core: snapshot lists pair (%q,%q) twice", p.A, p.B)
+		}
+		switch m.Class {
+		case decision.M, decision.P, decision.U:
+		default:
+			return nil, fmt.Errorf("core: snapshot pair (%q,%q) has unknown class %d", p.A, p.B, int(m.Class))
+		}
+		if math.IsNaN(m.Sim) {
+			return nil, fmt.Errorf("core: snapshot pair (%q,%q) has NaN similarity", p.A, p.B)
+		}
+		d.live[p] = m
+		d.indexPair(p.A, p)
+		d.indexPair(p.B, p)
+	}
+	if st.Compared < 0 || st.Dropped < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative work counters")
+	}
+	d.compared, d.dropped = st.Compared, st.Dropped
+	return d, nil
+}

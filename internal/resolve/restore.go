@@ -1,0 +1,107 @@
+package resolve
+
+import (
+	"probdedup/internal/core"
+	"probdedup/internal/decision"
+	"probdedup/internal/pdb"
+	"probdedup/internal/verify"
+)
+
+// SnapshotState captures the composed detector's live state for a
+// durable snapshot (see core.Detector.SnapshotState). The integrator
+// persists nothing of its own: the match graph, the entity components
+// and the uncertain-duplicate context are all deterministic functions
+// of the resident tuples and the live pair decisions, so
+// RestoreIntegrator rebuilds them from the detector state — the same
+// derivation batch Resolve runs, keeping recovery correct by
+// construction.
+func (ig *Integrator) SnapshotState() *core.DetectorState {
+	return ig.det.SnapshotState()
+}
+
+// Reseal forces the composed detector's bounded-staleness reduction
+// index to seal its epoch now (see core.Detector.Reseal) and folds the
+// resulting pair churn into the live entity set like any other
+// operation: re-blocked pairs may merge entities, vanished ones may
+// split them, and the emit callback sees the corresponding entity
+// deltas. For exact-tier reductions Reseal is a no-op.
+func (ig *Integrator) Reseal() error {
+	ig.mu.Lock()
+	err := ig.resealLocked()
+	ig.mu.Unlock()
+	ig.drainEvents()
+	return err
+}
+
+func (ig *Integrator) resealLocked() error {
+	ig.pending = ig.pending[:0]
+	err := ig.det.Reseal()
+	if aerr := ig.applyOp(ig.pending, nil, ""); err == nil {
+		err = aerr
+	}
+	return err
+}
+
+// RestoreIntegrator rebuilds an online integration engine from a
+// detector snapshot taken with SnapshotState, bit-identically: the
+// composed detector is restored (core.RestoreDetector), and the match
+// graph plus entity components are re-derived from the restored pair
+// decisions through the same grouping and fusion steps batch Resolve
+// uses. opts must be the configuration the snapshot was taken under.
+// The restore emits no entity deltas; the first post-restore operation
+// reports changes relative to the restored state, exactly as the
+// never-crashed engine would have.
+func RestoreIntegrator(opts core.Options, emit func(EntityDelta) bool, st *core.DetectorState) (*Integrator, error) {
+	ig := &Integrator{
+		cal:    LinearCalibration(opts.Final, 0.1, 0.9),
+		tuples: map[string]*pdb.XTuple{},
+		madj:   map[string]map[string]struct{}{},
+		padj:   map[string]map[string]struct{}{},
+		ppairs: map[verify.Pair]core.Match{},
+		compOf: map[string]*component{},
+		emits:  core.NewEmitQueue(emit),
+	}
+	det, err := core.RestoreDetector(opts, func(md core.MatchDelta) bool {
+		ig.pending = append(ig.pending, md)
+		return true
+	}, st)
+	if err != nil {
+		return nil, err
+	}
+	ig.det = det
+
+	ids := make([]string, 0, len(st.Residents))
+	for _, x := range st.Residents {
+		t, ok := det.Resident(x.ID)
+		if !ok {
+			// RestoreDetector registered every snapshot resident; this is
+			// unreachable but kept loud rather than silently divergent.
+			return nil, core.ErrUnknownID
+		}
+		ig.tuples[x.ID] = t
+		ids = append(ids, x.ID)
+	}
+	matches := verify.PairSet{}
+	for _, m := range st.Pairs {
+		switch m.Class {
+		case decision.M:
+			matches[m.Pair] = true
+			addEdge(ig.madj, m.Pair.A, m.Pair.B)
+		case decision.P:
+			ig.ppairs[m.Pair] = m
+			addEdge(ig.padj, m.Pair.A, m.Pair.B)
+		}
+	}
+	for _, members := range matchGroups(ids, matches) {
+		e, err := buildEntity(members, ig.tuples)
+		if err != nil {
+			return nil, err
+		}
+		c := &component{members: members, entity: e}
+		for _, m := range members {
+			ig.compOf[m] = c
+		}
+		ig.ncomps++
+	}
+	return ig, nil
+}

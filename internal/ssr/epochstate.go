@@ -1,0 +1,140 @@
+package ssr
+
+import (
+	"fmt"
+	"sort"
+
+	"probdedup/internal/cluster"
+	"probdedup/internal/pdb"
+)
+
+// EpochState is the persistable placement state of a bounded-staleness
+// reduction index (EpochIndex). Exact-tier indexes are pure functions
+// of the resident tuples in insertion order and re-derive their state
+// on recovery; an epoch index is not — its frozen embedding and
+// centroids were computed over the sealed epoch's residents, some of
+// which may have left since, so mid-epoch placements cannot be
+// re-derived from the current residents alone. EpochState captures
+// exactly that irreproducible remainder: the epoch counter, the frozen
+// cluster geometry, and every resident's current block label in
+// insertion order. Per-resident key distributions are NOT part of the
+// state — they are recomputed from the resident tuples on restore.
+type EpochState struct {
+	// Epoch is the reseal counter.
+	Epoch int
+	// K is the sealed epoch's cluster count.
+	K int
+	// Drifted counts the stale placements since the last reseal.
+	Drifted int
+	// Centroids holds the frozen cluster centers in the embedded key
+	// space, indexed by block label.
+	Centroids []float64
+	// EmbeddingKeys is the frozen key universe of the sealed epoch's
+	// embedding, sorted and duplicate-free.
+	EmbeddingKeys []string
+	// Arrivals lists the resident tuple IDs in insertion order.
+	Arrivals []string
+	// Labels holds each resident's block label, parallel to Arrivals.
+	Labels []int
+}
+
+// StatefulEpochIndex is an EpochIndex whose placement state can be
+// exported for a durable snapshot and restored into a freshly
+// constructed index. RestoreEpochState must be called at most once, on
+// an index that has seen no Insert or Remove; resident resolves a
+// tuple ID to its resident x-tuple so the index can recompute its
+// per-item key distributions. After a successful restore the index
+// behaves bit-identically to the one the state was exported from: same
+// maintained candidate set, same future placements, reseals and drift
+// accounting.
+type StatefulEpochIndex interface {
+	EpochIndex
+	ExportEpochState() *EpochState
+	RestoreEpochState(st *EpochState, resident func(string) (*pdb.XTuple, bool)) error
+}
+
+// ExportEpochState implements StatefulEpochIndex.
+func (b *blockingClusterIndex) ExportEpochState() *EpochState {
+	st := &EpochState{
+		Epoch:     b.epoch,
+		K:         b.k,
+		Drifted:   b.drifted,
+		Centroids: append([]float64(nil), b.centroids...),
+		Arrivals:  append([]string(nil), b.arrivals...),
+		Labels:    make([]int, len(b.arrivals)),
+	}
+	if b.emb != nil {
+		st.EmbeddingKeys = append([]string(nil), b.emb.Keys()...)
+	}
+	for i, id := range b.arrivals {
+		st.Labels[i] = b.labelOf[id]
+	}
+	return st
+}
+
+// RestoreEpochState implements StatefulEpochIndex. The state is
+// validated before any of it is applied, so a corrupt snapshot fails
+// loudly and leaves the index untouched. Block member order is not
+// persisted because it is derivable: Insert appends to both arrivals
+// and its block, and Remove preserves relative order in both, so every
+// block's member order is the arrival order filtered by label.
+func (b *blockingClusterIndex) RestoreEpochState(st *EpochState, resident func(string) (*pdb.XTuple, bool)) error {
+	if len(b.arrivals) != 0 || b.emb != nil {
+		return fmt.Errorf("ssr: RestoreEpochState on a non-fresh index")
+	}
+	if len(st.Arrivals) != len(st.Labels) {
+		return fmt.Errorf("ssr: epoch state has %d arrivals but %d labels", len(st.Arrivals), len(st.Labels))
+	}
+	if len(st.Arrivals) == 0 {
+		// Empty index: keep the fresh zero state so the next insertion
+		// seals epoch 1, exactly like a never-persisted index.
+		return nil
+	}
+	if st.K <= 0 || len(st.Centroids) != st.K {
+		return fmt.Errorf("ssr: epoch state with %d residents has an inconsistent clustering (k=%d, %d centroids)",
+			len(st.Arrivals), st.K, len(st.Centroids))
+	}
+	for i, l := range st.Labels {
+		if l < 0 || l >= len(st.Centroids) {
+			return fmt.Errorf("ssr: epoch state label %d of %q outside [0,%d)", l, st.Arrivals[i], len(st.Centroids))
+		}
+	}
+	if !sort.StringsAreSorted(st.EmbeddingKeys) {
+		return fmt.Errorf("ssr: epoch state embedding keys are not sorted")
+	}
+	for i := 1; i < len(st.EmbeddingKeys); i++ {
+		if st.EmbeddingKeys[i] == st.EmbeddingKeys[i-1] {
+			return fmt.Errorf("ssr: epoch state embedding keys contain duplicate %q", st.EmbeddingKeys[i])
+		}
+	}
+	items := make(map[string]cluster.Item, len(st.Arrivals))
+	for _, id := range st.Arrivals {
+		if _, dup := items[id]; dup {
+			return fmt.Errorf("ssr: epoch state lists %q twice", id)
+		}
+		x, ok := resident(id)
+		if !ok {
+			return fmt.Errorf("ssr: epoch state references non-resident tuple %q", id)
+		}
+		items[id] = cluster.Item{ID: id, Keys: b.method.Key.XTupleKeyDist(x, true)}
+	}
+
+	b.items = items
+	b.arrivals = append([]string(nil), st.Arrivals...)
+	b.epoch = st.Epoch
+	b.k = st.K
+	b.drifted = st.Drifted
+	b.centroids = append([]float64(nil), st.Centroids...)
+	b.emb = cluster.NewEmbeddingFromKeys(st.EmbeddingKeys)
+	b.labelOf = make(map[string]int, len(st.Arrivals))
+	b.blocks = map[int][]string{}
+	for i, id := range st.Arrivals {
+		l := st.Labels[i]
+		b.labelOf[id] = l
+		b.blocks[l] = append(b.blocks[l], id)
+	}
+	return nil
+}
+
+// Interface conformance check.
+var _ StatefulEpochIndex = (*blockingClusterIndex)(nil)

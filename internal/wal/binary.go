@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"probdedup/internal/pdb"
+)
+
+// The binary plane shared by the snapshot codec and the log records:
+// little-endian fixed-width integers for framing fields, uvarints for
+// counts and lengths, raw float64 bits for probabilities and
+// similarities (bit-exact round trips — recovery must be bit-identical,
+// so no decimal formatting anywhere).
+
+// maxCount caps a single decoded collection so a crafted length prefix
+// cannot demand an absurd allocation before the remaining-byte check
+// even runs. Every element of every collection costs at least one
+// encoded byte, so the real guard is remaining(); this bound just keeps
+// the arithmetic comfortably inside int range.
+const maxCount = 1 << 40
+
+// encoder appends the binary forms to a reusable buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) u8(v byte) {
+	e.buf = append(e.buf, v)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// dist encodes one attribute distribution: the explicit alternatives
+// in insertion order (the ⊥ remainder is implicit, as in pdb.Dist).
+func (e *encoder) dist(d pdb.Dist) {
+	alts := d.Alternatives()
+	e.uvarint(uint64(len(alts)))
+	for _, a := range alts {
+		e.str(a.Value.S())
+		e.f64(a.P)
+	}
+}
+
+// xtuple encodes one x-tuple against a known schema width (the width
+// is context, not payload, so decoding enforces the arity). Symbol
+// annotations are not encoded — the symbol plane is content-addressed
+// and re-derived on restore.
+func (e *encoder) xtuple(x *pdb.XTuple) {
+	e.str(x.ID)
+	e.uvarint(uint64(len(x.Alts)))
+	for _, a := range x.Alts {
+		e.f64(a.P)
+		for _, d := range a.Values {
+			e.dist(d)
+		}
+	}
+}
+
+// decoder walks a byte slice; the first malformed field latches err
+// and every later read returns zero values, so call sites stay linear
+// and check err once. All counts are validated against the remaining
+// bytes before allocating, so arbitrary input can never demand more
+// memory than its own length.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a collection length and proves the remaining bytes can
+// hold it (minSize is the smallest possible encoding of one element).
+func (d *decoder) count(minSize int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxCount || int(v) > d.remaining()/minSize {
+		d.fail("count %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// dist decodes one attribute distribution through pdb.NewDist, which
+// re-validates the probability mass — a crafted payload cannot smuggle
+// in a distribution the engine's own constructors would reject.
+func (d *decoder) dist() pdb.Dist {
+	n := d.count(9) // 1 length byte + 8 probability bytes minimum
+	if d.err != nil {
+		return pdb.Dist{}
+	}
+	alts := make([]pdb.Alternative, 0, n)
+	for i := 0; i < n; i++ {
+		v := d.str()
+		p := d.f64()
+		alts = append(alts, pdb.Alternative{Value: pdb.V(v), P: p})
+	}
+	if d.err != nil {
+		return pdb.Dist{}
+	}
+	dist, err := pdb.NewDist(alts...)
+	if err != nil {
+		d.fail("%v", err)
+		return pdb.Dist{}
+	}
+	return dist
+}
+
+// xtuple decodes one x-tuple with the given schema width.
+func (d *decoder) xtuple(nattrs int) *pdb.XTuple {
+	id := d.str()
+	nalts := d.count(8 + nattrs) // P + one minimal dist per attribute
+	if d.err != nil {
+		return nil
+	}
+	x := &pdb.XTuple{ID: id, Alts: make([]pdb.Alt, 0, nalts)}
+	for i := 0; i < nalts; i++ {
+		a := pdb.Alt{P: d.f64(), Values: make([]pdb.Dist, 0, nattrs)}
+		for j := 0; j < nattrs; j++ {
+			a.Values = append(a.Values, d.dist())
+		}
+		if d.err != nil {
+			return nil
+		}
+		x.Alts = append(x.Alts, a)
+	}
+	return x
+}

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrStateLocked reports that another process holds the state
+// directory. Durable engines take an exclusive advisory lock so two
+// writers can never interleave WAL appends or race a checkpoint.
+var ErrStateLocked = errors.New("wal: state directory is locked by another process")
+
+// StateDir owns an on-disk durability directory: the advisory lock,
+// the snapshot files (snapshot-<seq>.snap) and the WAL segments
+// (wal-<seq>.log, holding records after sequence <seq>).
+type StateDir struct {
+	path string
+	lock *os.File
+}
+
+// Segment describes one on-disk WAL segment.
+type Segment struct {
+	Path string
+	// StartSeq is the sequence number the segment starts after: it
+	// holds records with Seq > StartSeq.
+	StartSeq uint64
+}
+
+// OpenStateDir creates the directory if needed and takes the exclusive
+// lock, returning ErrStateLocked (wrapped) if another live process
+// holds it. The lock is advisory (flock), released on Close or process
+// exit — a killed process never leaves a stale lock.
+func OpenStateDir(dir string) (*StateDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("%w: %s", ErrStateLocked, dir)
+	}
+	return &StateDir{path: dir, lock: lock}, nil
+}
+
+// Close releases the directory lock.
+func (sd *StateDir) Close() error {
+	return sd.lock.Close()
+}
+
+// Path returns the directory path.
+func (sd *StateDir) Path() string { return sd.path }
+
+func (sd *StateDir) snapshotPath(seq uint64) string {
+	return filepath.Join(sd.path, fmt.Sprintf("snapshot-%016x.snap", seq))
+}
+
+func (sd *StateDir) walPath(seq uint64) string {
+	return filepath.Join(sd.path, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+// fsyncDir makes directory-entry changes (renames, creates) durable.
+func (sd *StateDir) fsyncDir() error {
+	d, err := os.Open(sd.path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteSnapshot atomically installs an encoded snapshot for seq: write
+// to a temp file, fsync it, rename into place, fsync the directory.
+// A crash at any point leaves either the old snapshot set or the new
+// one — never a partially written file under the final name.
+func (sd *StateDir) WriteSnapshot(seq uint64, data []byte) error {
+	final := sd.snapshotPath(seq)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot write: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := sd.fsyncDir(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// LatestSnapshot returns the contents and sequence of the
+// highest-numbered snapshot, or ok=false when none exists yet.
+func (sd *StateDir) LatestSnapshot() (data []byte, seq uint64, ok bool, err error) {
+	seqs, err := sd.listSeqs("snapshot-", ".snap")
+	if err != nil || len(seqs) == 0 {
+		return nil, 0, false, err
+	}
+	seq = seqs[len(seqs)-1]
+	data, err = os.ReadFile(sd.snapshotPath(seq))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	return data, seq, true, nil
+}
+
+// WALSegments lists the WAL segments in ascending start-sequence order.
+func (sd *StateDir) WALSegments() ([]Segment, error) {
+	seqs, err := sd.listSeqs("wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]Segment, 0, len(seqs))
+	for _, s := range seqs {
+		segs = append(segs, Segment{Path: sd.walPath(s), StartSeq: s})
+	}
+	return segs, nil
+}
+
+func (sd *StateDir) listSeqs(prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(sd.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, v)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// CreateWAL creates a fresh segment starting after seq and makes its
+// directory entry durable.
+func (sd *StateDir) CreateWAL(seq uint64) (*os.File, error) {
+	f, err := os.OpenFile(sd.walPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := sd.fsyncDir(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return f, nil
+}
+
+// TruncateWAL drops a torn tail discovered during recovery, so the
+// next append never lands behind damaged bytes.
+func (sd *StateDir) TruncateWAL(seg Segment, size int64) error {
+	if err := os.Truncate(seg.Path, size); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// OpenWALAppend opens an existing segment for appending.
+func (sd *StateDir) OpenWALAppend(seg Segment) (*os.File, error) {
+	f, err := os.OpenFile(seg.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return f, nil
+}
+
+// RemoveObsolete deletes snapshots and WAL segments made redundant by
+// a checkpoint at keepSeq: every snapshot below it and every segment
+// fully covered by it. Best-effort — a failure here costs disk space,
+// not correctness — so errors are returned but the sweep continues.
+func (sd *StateDir) RemoveObsolete(keepSeq uint64) error {
+	var firstErr error
+	if seqs, err := sd.listSeqs("snapshot-", ".snap"); err == nil {
+		for _, s := range seqs {
+			if s < keepSeq {
+				if err := os.Remove(sd.snapshotPath(s)); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	} else if firstErr == nil {
+		firstErr = err
+	}
+	if segs, err := sd.WALSegments(); err == nil {
+		// A segment starting at s holds records with Seq > s; it is
+		// obsolete only if the NEXT segment also starts at or below
+		// keepSeq (i.e. every record it can hold is ≤ keepSeq).
+		for i, seg := range segs {
+			if i+1 < len(segs) && segs[i+1].StartSeq <= keepSeq {
+				if err := os.Remove(seg.Path); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	} else if firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

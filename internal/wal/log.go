@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"probdedup/internal/pdb"
+)
+
+// Op identifies a logged engine operation.
+type Op byte
+
+const (
+	// OpAdd logs a single tuple arrival.
+	OpAdd Op = 1
+	// OpAddBatch logs an atomic batch arrival.
+	OpAddBatch Op = 2
+	// OpRemove logs a tuple retraction by ID.
+	OpRemove Op = 3
+	// OpReseal logs a forced epoch seal of a bounded-staleness index.
+	OpReseal Op = 4
+)
+
+// Record is one logged operation. Exactly one of Tuple, Batch or ID is
+// populated, matching Op; OpReseal carries no payload.
+type Record struct {
+	Seq   uint64
+	Op    Op
+	Tuple *pdb.XTuple
+	Batch []*pdb.XTuple
+	ID    string
+}
+
+// CorruptRecordError reports a WAL record that fails its CRC or
+// structural checks with bytes still following it — interior
+// corruption, which recovery must refuse loudly. A damaged record at
+// the very end of the log is a torn tail (an interrupted write) and is
+// silently dropped instead.
+type CorruptRecordError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Each record is framed as [u32 payload length][u32 CRC32(payload)]
+// [payload], payload = u64 seq, u8 op, op-specific body. The frame CRC
+// makes torn and corrupted writes distinguishable from valid data.
+const frameHeader = 8
+
+// maxRecordLen bounds a single record frame; a length prefix beyond it
+// is treated as corruption rather than an allocation request. Batches
+// larger than this must be split by the writer (appendRecord enforces
+// the same bound on encode).
+const maxRecordLen = 1 << 30
+
+func encodePayload(buf []byte, rec *Record) ([]byte, error) {
+	e := &encoder{buf: buf}
+	e.u64(rec.Seq)
+	e.u8(byte(rec.Op))
+	switch rec.Op {
+	case OpAdd:
+		e.xtuple(rec.Tuple)
+	case OpAddBatch:
+		e.uvarint(uint64(len(rec.Batch)))
+		for _, x := range rec.Batch {
+			e.xtuple(x)
+		}
+	case OpRemove:
+		e.str(rec.ID)
+	case OpReseal:
+	default:
+		return nil, fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	return e.buf, nil
+}
+
+func decodePayload(payload []byte, nattrs int) (*Record, error) {
+	d := &decoder{buf: payload}
+	rec := &Record{Seq: d.u64(), Op: Op(d.u8())}
+	switch rec.Op {
+	case OpAdd:
+		rec.Tuple = d.xtuple(nattrs)
+	case OpAddBatch:
+		n := d.count(2)
+		for i := 0; i < n && d.err == nil; i++ {
+			rec.Batch = append(rec.Batch, d.xtuple(nattrs))
+		}
+	case OpRemove:
+		rec.ID = d.str()
+	case OpReseal:
+	default:
+		d.fail("unknown op %d", rec.Op)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("wal: record has %d trailing payload bytes", len(payload)-d.off)
+	}
+	return rec, nil
+}
+
+// appendRecord frames and appends one record to buf.
+func appendRecord(buf []byte, rec *Record) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf, err := encodePayload(buf, rec)
+	if err != nil {
+		return nil, err
+	}
+	payload := buf[start+frameHeader:]
+	if len(payload) > maxRecordLen {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds limit", len(payload))
+	}
+	e := &encoder{buf: buf[start:start:cap(buf)]}
+	e.u32(uint32(len(payload)))
+	e.u32(crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// ReplayLog walks one WAL segment, invoking apply for every intact
+// record with Seq > skipSeq (records at or below skipSeq predate the
+// snapshot being recovered and are decoded but not applied, which also
+// verifies their integrity). It returns the byte offset of the end of
+// the last intact record, so the caller can truncate a torn tail.
+//
+// A damaged frame that runs to the end of the data — a truncated
+// header, a length prefix pointing past EOF, or a CRC/decode failure on
+// the final record — is a torn tail: the crash interrupted that write,
+// the operation was never acknowledged, and the record is silently
+// dropped. The same damage with intact bytes after it cannot be
+// explained by a torn write and surfaces as *CorruptRecordError.
+func ReplayLog(data []byte, nattrs int, skipSeq uint64, apply func(*Record) error) (int64, error) {
+	off := 0
+	for off < len(data) {
+		corrupt := func(reason string) (int64, error) {
+			return int64(off), &CorruptRecordError{Offset: int64(off), Reason: reason}
+		}
+		if len(data)-off < frameHeader {
+			return int64(off), nil // torn tail: partial frame header
+		}
+		d := &decoder{buf: data, off: off}
+		length := int(d.u32())
+		sum := d.u32()
+		if length > maxRecordLen {
+			// A length this large is never written; if it is not simply a
+			// torn header at EOF we cannot even locate the next record.
+			return corrupt(fmt.Sprintf("frame length %d exceeds limit", length))
+		}
+		end := off + frameHeader + length
+		if end > len(data) {
+			return int64(off), nil // torn tail: payload cut short
+		}
+		payload := data[off+frameHeader : end]
+		rec, err := func() (*Record, error) {
+			if got := crc32.ChecksumIEEE(payload); got != sum {
+				return nil, fmt.Errorf("CRC mismatch (got %08x, want %08x)", got, sum)
+			}
+			return decodePayload(payload, nattrs)
+		}()
+		if err != nil {
+			if end == len(data) {
+				return int64(off), nil // torn tail: final record damaged
+			}
+			return corrupt(err.Error())
+		}
+		if rec.Seq > skipSeq {
+			if err := apply(rec); err != nil {
+				return int64(off), err
+			}
+		}
+		off = end
+	}
+	return int64(off), nil
+}
+
+// File is the sink a LogWriter appends to. *os.File satisfies it; the
+// fault-injection harness substitutes a FaultFile that fails or tears
+// writes at a chosen point.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// LogWriter appends framed records to a WAL segment with group commit:
+// every record is a single Write call (so a crash tears at most the
+// final record), and fsync is issued once per fsyncEvery appends rather
+// than per record. Sync flushes any deferred batch explicitly —
+// checkpoints and clean shutdown call it before relying on the log.
+type LogWriter struct {
+	f          File
+	nattrs     int
+	fsyncEvery int
+	pending    int
+	buf        []byte
+}
+
+// NewLogWriter wraps an append-positioned file. fsyncEvery <= 1 syncs
+// after every record.
+func NewLogWriter(f File, nattrs, fsyncEvery int) *LogWriter {
+	if fsyncEvery < 1 {
+		fsyncEvery = 1
+	}
+	return &LogWriter{f: f, nattrs: nattrs, fsyncEvery: fsyncEvery}
+}
+
+// Append frames rec and writes it in one call. On error the record is
+// not durable and the caller must not apply the operation — the
+// log-then-apply protocol keeps memory and disk consistent.
+func (w *LogWriter) Append(rec *Record) error {
+	buf, err := appendRecord(w.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.buf = buf[:0]
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.pending++
+	if w.pending >= w.fsyncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes the current group-commit batch; a no-op when nothing is
+// pending.
+func (w *LogWriter) Sync() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.pending = 0
+	return nil
+}
+
+// Close syncs any pending batch and closes the underlying file.
+func (w *LogWriter) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

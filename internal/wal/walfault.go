@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjectedFault is the sentinel returned by a FaultFile once its
+// crash point is reached.
+var ErrInjectedFault = errors.New("wal: injected fault")
+
+// FaultFile wraps a File and simulates a crash at the Nth write: every
+// call before the crash point passes through, the crashing write either
+// fails outright or tears (persists only a prefix of the buffer before
+// failing), and everything after the crash point fails — the process
+// is "dead". The fault-injection tests drive a LogWriter through every
+// possible crash point and prove recovery from the surviving bytes
+// matches an engine that never crashed.
+type FaultFile struct {
+	F File
+	// FailAt is the 1-based index of the write that crashes; 0 disables
+	// the fault.
+	FailAt int
+	// TearBytes is how many leading bytes of the crashing write are
+	// persisted before the failure — a torn write. Values at or beyond
+	// the buffer length persist the whole buffer and then fail.
+	TearBytes int
+
+	writes int
+	dead   bool
+}
+
+// Write counts calls and injects the configured fault.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	if f.dead {
+		return 0, ErrInjectedFault
+	}
+	f.writes++
+	if f.FailAt > 0 && f.writes >= f.FailAt {
+		f.dead = true
+		n := f.TearBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if _, err := f.F.Write(p[:n]); err != nil {
+				return 0, fmt.Errorf("tearing write: %w", err)
+			}
+		}
+		return n, ErrInjectedFault
+	}
+	return f.F.Write(p)
+}
+
+// Sync passes through until the crash point, then fails.
+func (f *FaultFile) Sync() error {
+	if f.dead {
+		return ErrInjectedFault
+	}
+	return f.F.Sync()
+}
+
+// Close always closes the underlying file so tests do not leak
+// descriptors, but reports the injected fault if the file is dead.
+func (f *FaultFile) Close() error {
+	err := f.F.Close()
+	if f.dead {
+		return ErrInjectedFault
+	}
+	return err
+}
+
+// Writes reports how many Write calls were attempted.
+func (f *FaultFile) Writes() int { return f.writes }
+
+// Dead reports whether the crash point has been reached.
+func (f *FaultFile) Dead() bool { return f.dead }

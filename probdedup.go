@@ -73,6 +73,7 @@ import (
 	"probdedup/internal/ssr"
 	"probdedup/internal/strsim"
 	"probdedup/internal/verify"
+	"probdedup/internal/wal"
 	"probdedup/internal/worlds"
 	"probdedup/internal/xmatch"
 )
@@ -681,6 +682,59 @@ const (
 // and a false return permanently stops delivery.
 func NewIntegrator(schema []string, opts Options, emit func(EntityDelta) bool) (*Integrator, error) {
 	return resolve.NewIntegrator(schema, opts, emit)
+}
+
+// ---- Durable online state (snapshot + write-ahead log) ----
+
+type (
+	// Durability configures crash-safe persistence for the durable
+	// online engines (see Options.Durability and OpenDurable).
+	Durability = core.Durability
+	// DurableDetector is a Detector whose state survives process
+	// crashes: every operation is logged to a write-ahead log before it
+	// is applied, periodic snapshots bound recovery time, and reopening
+	// the state directory recovers the exact pre-crash state.
+	DurableDetector = wal.DurableDetector
+	// DurableIntegrator is an Integrator with the same durability
+	// contract as DurableDetector.
+	DurableIntegrator = wal.DurableIntegrator
+)
+
+// ErrStateLocked is returned by OpenDurable and OpenDurableIntegrator
+// when another live process holds the state directory. Test with
+// errors.Is.
+var ErrStateLocked = wal.ErrStateLocked
+
+// ErrSchemaMismatch is returned by OpenDurable and
+// OpenDurableIntegrator when the state directory was written under a
+// different schema. Test with errors.Is.
+var ErrSchemaMismatch = wal.ErrSchemaMismatch
+
+// ErrDurableClosed is returned by operations on a closed durable
+// engine. Test with errors.Is.
+var ErrDurableClosed = wal.ErrClosed
+
+// OpenDurable opens (or creates) durable online-detection state in dir
+// and recovers it: the newest snapshot is loaded and the write-ahead
+// log tail is replayed through the ordinary Detector fold, so the
+// recovered engine is bit-identical to one that never crashed (minus
+// unacknowledged final operations whose log records did not survive).
+// Operations (Add, AddBatch, Remove, Reseal) are made durable before
+// they are applied — group-committed per Durability.FsyncEvery — and a
+// snapshot is taken every Durability.SnapshotEveryOps operations, on
+// Checkpoint, and on Close. Deltas re-generated during replay are not
+// re-emitted; emit sees only post-recovery changes. The open fails
+// with ErrStateLocked when another process holds dir and with
+// ErrSchemaMismatch when the persisted state used a different schema.
+func OpenDurable(dir string, schema []string, opts Options, emit func(MatchDelta) bool) (*DurableDetector, error) {
+	return wal.OpenDurable(dir, schema, opts, emit)
+}
+
+// OpenDurableIntegrator opens (or creates) durable online-integration
+// state in dir; see OpenDurable for the durability, recovery and error
+// contract.
+func OpenDurableIntegrator(dir string, schema []string, opts Options, emit func(EntityDelta) bool) (*DurableIntegrator, error) {
+	return wal.OpenDurableIntegrator(dir, schema, opts, emit)
 }
 
 // ---- Dataset generation and IO ----
