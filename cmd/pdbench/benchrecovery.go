@@ -68,7 +68,7 @@ func runBenchRecoveryOnce(n int, seed int64) (recoveryEntry, error) {
 	if err != nil {
 		return recoveryEntry{}, err
 	}
-	start := time.Now()
+	start := time.Now() //pdlint:allow nowallclock -- benchmark stopwatch; measures the harness, not engine state
 	for lo := 0; lo < len(c.residents); lo += seedChunk {
 		hi := lo + seedChunk
 		if hi > len(c.residents) {
@@ -80,7 +80,7 @@ func runBenchRecoveryOnce(n int, seed int64) (recoveryEntry, error) {
 	}
 	seedNs := time.Since(start).Nanoseconds()
 
-	start = time.Now()
+	start = time.Now() //pdlint:allow nowallclock -- benchmark stopwatch; measures the harness, not engine state
 	if err := det.Checkpoint(); err != nil {
 		return recoveryEntry{}, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -101,7 +101,7 @@ func runBenchRecoveryOnce(n int, seed int64) (recoveryEntry, error) {
 		return recoveryEntry{}, err
 	}
 
-	start = time.Now()
+	start = time.Now() //pdlint:allow nowallclock -- benchmark stopwatch; measures the harness, not engine state
 	det2, err := probdedup.OpenDurable(dir, c.schema, opts, nil)
 	if err != nil {
 		return recoveryEntry{}, fmt.Errorf("recover: %w", err)

@@ -377,9 +377,11 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stateDir strin
 		enc := json.NewEncoder(stdout)
 		emit := func(ev probdedup.EntityDelta) bool {
 			if err := enc.Encode(jsonEntityDelta{
-				Event:   ev.Kind.String(),
-				ID:      ev.Entity.ID,
-				Members: ev.Entity.Members,
+				Event: ev.Kind.String(),
+				ID:    ev.Entity.ID,
+				// The integrator snapshots deltas before emitting, so ev is
+				// this consumer's own copy and is marshaled immediately.
+				Members: ev.Entity.Members, //pdlint:allow snapshotescape -- ev is already a defensive copy owned by this callback
 				From:    ev.From,
 			}); err != nil {
 				fmt.Fprintln(stderr, "pdedup:", err)

@@ -1,0 +1,103 @@
+// Command pdlint is the repo's static-analysis gate: a multichecker
+// running the internal/analysis suite over package patterns and
+// failing (exit 1) on any diagnostic. CI runs it over ./... so the
+// engine's concurrency and determinism invariants — emit delivery
+// outside the state lock, sorted map iterations on deterministic
+// outputs, no wall clock or ambient randomness, defensive copies on
+// the emit boundary, //go:noinline bound constructors — hold at
+// compile time, not just in the regression tests that first pinned
+// them.
+//
+// Usage:
+//
+//	go run ./cmd/pdlint ./...
+//	pdlint -list            # print the registered analyzers
+//
+// A finding at an intentionally exempt site is silenced with a
+// directive on the same line or the line above:
+//
+//	//pdlint:allow <analyzer> -- reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"probdedup/internal/analysis"
+	"probdedup/internal/analysis/emitunderlock"
+	"probdedup/internal/analysis/maporderdet"
+	"probdedup/internal/analysis/noinlinebound"
+	"probdedup/internal/analysis/nowallclock"
+	"probdedup/internal/analysis/snapshotescape"
+)
+
+// analyzers returns the suite in registration order. The cmd smoke
+// test pins the exact set; adding an analyzer means updating the test
+// and the ARCHITECTURE.md invariant table together.
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		emitunderlock.Analyzer,
+		maporderdet.Analyzer,
+		noinlinebound.Analyzer,
+		nowallclock.Analyzer,
+		snapshotescape.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the suite from dir over the argument patterns and
+// returns the process exit code: 0 clean, 1 findings, 2 usage or
+// load failure.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pdlint [-list] [package patterns]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nanalyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers() {
+			fmt.Fprintln(stdout, a.Name)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "pdlint: %v\n", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg, analyzers())
+		if err != nil {
+			fmt.Fprintf(stderr, "pdlint: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			found++
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "pdlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRegisteredAnalyzers pins the exact suite. Adding or renaming an
+// analyzer must update this list together with the ARCHITECTURE.md
+// invariant table.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"emitunderlock", "maporderdet", "noinlinebound", "nowallclock", "snapshotescape"}
+	var got []string
+	for _, a := range analyzers() {
+		got = append(got, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("analyzers not registered in name order: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(".", []string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("pdlint -list: exit %d, stderr %q", code, errb.String())
+	}
+	got := strings.Fields(out.String())
+	want := []string{"emitunderlock", "maporderdet", "noinlinebound", "nowallclock", "snapshotescape"}
+	if len(got) != len(want) {
+		t.Fatalf("-list printed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("-list printed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(".", []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage: pdlint") {
+		t.Errorf("bad flag did not print usage: %q", errb.String())
+	}
+}
+
+func TestLoadFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run("/nonexistent-pdlint-dir", nil, &out, &errb); code != 2 {
+		t.Fatalf("load failure: exit %d, want 2\nstderr: %s", code, errb.String())
+	}
+}
+
+// TestSeededViolations runs the binary's code path over a fixture
+// package full of deliberate violations and demonstrates the gate
+// actually trips: exit 1 and the findings name the analyzer.
+func TestSeededViolations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run("../../internal/analysis/testdata/src/nowallclock", []string{"."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture package: exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "(nowallclock)") {
+		t.Errorf("findings do not name the analyzer:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("missing findings summary on stderr: %q", errb.String())
+	}
+}
+
+// TestTreeIsClean is the acceptance criterion as a test: the suite
+// reports nothing on the repository itself.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree analysis in -short mode")
+	}
+	var out, errb bytes.Buffer
+	if code := run("../..", nil, &out, &errb); code != 0 {
+		t.Fatalf("pdlint on the tree: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+}

@@ -112,7 +112,7 @@ func main() {
 	for _, x := range union.Tuples {
 		byID[x.ID] = x
 	}
-	for p := range res.Matches {
+	for _, p := range res.Matches.Sorted() {
 		merged, err := probdedup.MergeXTuples(p.A+"+"+p.B, byID[p.A], byID[p.B], 1, 1)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,84 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus a package
+// loader built on `go list -export` and the standard go/types
+// importer. It exists because the engine's correctness invariants —
+// deterministic M/P/U classification at any worker count, emit
+// delivery outside the state lock, defensive copies on the emit
+// boundary, wall-clock-free reproducibility, //go:noinline bound
+// constructors — are properties of whole bug *classes* that runtime
+// tests can only sample one instance of. The analyzers under
+// internal/analysis/... prove them at `go vet` time; cmd/pdlint is
+// the multichecker binary CI gates on.
+//
+// A diagnostic at a site that is intentionally exempt is silenced by
+// a directive comment on the same line or the line directly above:
+//
+//	//pdlint:allow <analyzer> -- reason
+//
+// The reason is mandatory by convention (reviewers reject bare
+// allows); the framework only requires the analyzer name.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring the x/tools
+// go/analysis shape so the checks port unchanged if the dependency
+// ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pdlint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by pdlint -help,
+	// stating the invariant the analyzer proves and the PR that
+	// established it.
+	Doc string
+	// Run executes the check over one package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package into an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with
+	// comments.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its full
+	// expression/object resolution.
+	Pkg  *types.Package
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: positioned, attributed to its
+// analyzer, and already past suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: message (analyzer)
+// form consumed by editors and CI logs.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}

@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// expectations embedded in the fixtures, mirroring the x/tools
+// package of the same name: a comment
+//
+//	// want `regexp` `another`
+//
+// on line N expects every listed pattern to match some diagnostic
+// reported on line N of that file, and any diagnostic with no
+// matching expectation fails the test. //pdlint:allow suppression is
+// applied before matching, so fixtures can also demonstrate that a
+// directive silences a finding.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"probdedup/internal/analysis"
+)
+
+// TB is the subset of testing.TB the runner needs; taking the
+// interface keeps the runner testable against a recorder.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package testdata/src/<pkg>, applies the
+// analyzer and checks the findings against the fixtures' `// want`
+// comments.
+func Run(t TB, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := analysis.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		findings, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
+		wants, err := collectWants(loaded)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", dir, err)
+		}
+		for _, f := range findings {
+			if !consume(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkg, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// consume marks the matching expectation for one finding, if any.
+// Several findings may satisfy the same expectation (the pattern
+// describes the line, not a single occurrence).
+func consume(wants []*expectation, f analysis.Finding) bool {
+	ok := false
+	for _, w := range wants {
+		if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			w.matched = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// collectWants extracts the `// want` expectations of a fixture
+// package.
+func collectWants(p *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(body)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						rx:   rx,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses the space-separated Go string literals
+// (quoted or backquoted) of a want comment body.
+func splitPatterns(body string) ([]string, error) {
+	var patterns []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", body)
+			}
+			lit, rest = rest[:end+2], rest[end+2:]
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", body)
+			}
+			lit, rest = rest[:end+1], rest[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", rest)
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern literal %s: %v", lit, err)
+		}
+		patterns = append(patterns, s)
+		rest = strings.TrimSpace(rest)
+	}
+	return patterns, nil
+}

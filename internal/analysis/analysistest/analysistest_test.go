@@ -1,0 +1,140 @@
+package analysistest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"probdedup/internal/analysis"
+	"probdedup/internal/analysis/nowallclock"
+)
+
+// recorder satisfies TB and captures what a real *testing.T would
+// print, so the runner itself is testable. Fatalf panics with a
+// sentinel to reproduce testing.T's stop-the-test semantics.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+type fatalStop struct{}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+	panic(fatalStop{})
+}
+
+// record runs fn against a fresh recorder, absorbing the Fatalf panic.
+func record(fn func(r *recorder)) *recorder {
+	r := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(fatalStop); !ok {
+					panic(p)
+				}
+			}
+		}()
+		fn(r)
+	}()
+	return r
+}
+
+func TestRunCleanFixture(t *testing.T) {
+	r := record(func(r *recorder) {
+		Run(r, "../testdata", nowallclock.Analyzer, "nowallclock")
+	})
+	if len(r.errors) != 0 || len(r.fatals) != 0 {
+		t.Fatalf("clean fixture produced errors=%v fatals=%v", r.errors, r.fatals)
+	}
+}
+
+func TestRunReportsMissedExpectations(t *testing.T) {
+	silent := &analysis.Analyzer{
+		Name: "nowallclock",
+		Doc:  "reports nothing; every fixture want must fail",
+		Run:  func(*analysis.Pass) error { return nil },
+	}
+	r := record(func(r *recorder) {
+		Run(r, "../testdata", silent, "nowallclock")
+	})
+	if len(r.errors) == 0 {
+		t.Fatal("silent analyzer satisfied a fixture full of want comments")
+	}
+	for _, e := range r.errors {
+		if !strings.Contains(e, "no diagnostic matching") {
+			t.Errorf("unexpected error kind: %s", e)
+		}
+	}
+}
+
+func TestRunReportsUnexpectedDiagnostics(t *testing.T) {
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "reports at the package clause, where no want comment lives",
+		Run: func(pass *analysis.Pass) error {
+			pass.Reportf(pass.Files[0].Package, "bogus finding")
+			return nil
+		},
+	}
+	r := record(func(r *recorder) {
+		Run(r, "../testdata", noisy, "nowallclock")
+	})
+	found := false
+	for _, e := range r.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "bogus finding") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unexpected diagnostic not reported; errors: %v", r.errors)
+	}
+}
+
+func TestRunMissingFixture(t *testing.T) {
+	r := record(func(r *recorder) {
+		Run(r, "../testdata", nowallclock.Analyzer, "no-such-fixture")
+	})
+	if len(r.fatals) != 1 {
+		t.Fatalf("missing fixture: fatals=%v", r.fatals)
+	}
+}
+
+func TestSplitPatterns(t *testing.T) {
+	good := []struct {
+		body string
+		want []string
+	}{
+		{"`one`", []string{"one"}},
+		{"`one` `two`", []string{"one", "two"}},
+		{`"escaped \" quote"`, []string{`escaped " quote`}},
+		{"`back` \"mixed\"", []string{"back", "mixed"}},
+	}
+	for _, c := range good {
+		got, err := splitPatterns(c.body)
+		if err != nil {
+			t.Errorf("splitPatterns(%q): %v", c.body, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("splitPatterns(%q) = %v, want %v", c.body, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("splitPatterns(%q) = %v, want %v", c.body, got, c.want)
+			}
+		}
+	}
+	for _, bad := range []string{"`unterminated", `"unterminated`, "bare words"} {
+		if _, err := splitPatterns(bad); err == nil {
+			t.Errorf("splitPatterns(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package emitunderlock proves the PR 4 emit-delivery invariant: no
+// emit sink — a stored callback field (emit, onDelta), a call of a
+// func-typed value so named, an EmitQueue.Drain, or any function in
+// the package that transitively reaches one — may be called while a
+// sync.Mutex or sync.RWMutex acquired in the same function is held.
+// Emit callbacks are allowed to re-enter the engine (Stats, Len,
+// Flush, Add, Remove), so delivering one under the state lock is a
+// self-deadlock waiting for the first re-entrant consumer.
+package emitunderlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"probdedup/internal/analysis"
+)
+
+// Analyzer flags emit delivery under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "emitunderlock",
+	Doc: "report calls of emit callbacks, EmitQueue drains, or functions reaching them " +
+		"while a sync.Mutex/RWMutex locked in the same function is held " +
+		"(the PR 4 emit-under-mutex deadlock class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := funcDecls(pass)
+	sinks := sinkFuncs(pass, decls)
+	for _, fd := range decls {
+		scanBody(pass, sinks, fd.Body)
+	}
+	// Closure bodies form their own lock scopes: a lock taken by the
+	// enclosing function is invisible here (the closure may run on any
+	// goroutine), and locks the closure takes itself are checked.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scanBody(pass, sinks, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcDecls lists the package's function and method declarations with
+// bodies.
+func funcDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	return decls
+}
+
+// sinkFuncs computes, to a fixpoint, the package functions that reach
+// an emit sink: the base sinks are recognized syntactically by
+// sinkDesc, and any function whose body contains a sink call becomes
+// a sink for its own callers (d.drainEmits() is as forbidden under
+// d.mu as d.emits.Drain() itself).
+func sinkFuncs(pass *analysis.Pass, decls []*ast.FuncDecl) map[types.Object]bool {
+	sinks := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil || sinks[obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && sinkDesc(pass, sinks, call) != "" {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sinks[obj] = true
+				changed = true
+			}
+		}
+	}
+	return sinks
+}
+
+// sinkDesc classifies a call as an emit sink and describes it, or
+// returns "".
+func sinkDesc(pass *analysis.Pass, sinks map[types.Object]bool, call *ast.CallExpr) string {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil {
+		return ""
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+			if name := v.Name(); name == "emit" || name == "onDelta" {
+				return "the stored " + name + " callback"
+			}
+		}
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	if fn.Name() == "Drain" && analysis.ReceiverTypeName(fn) == "EmitQueue" {
+		return "EmitQueue.Drain"
+	}
+	if sinks[fn] {
+		return fn.Name() + " (which delivers emits)"
+	}
+	return ""
+}
+
+// event is one lock-relevant step of a function body, keyed by the
+// mutex expression's textual form.
+type event struct {
+	pos  token.Pos
+	kind int // evLock, evUnlock, evDeferUnlock, evSink
+	key  string
+	desc string
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evSink
+)
+
+// scanBody walks one function body in source order, tracking which
+// mutexes are held, and reports every sink call inside a held region.
+// Nested closures are skipped (they get their own scan). The walk is
+// linear in source position — an Unlock on an early-return branch
+// conservatively ends the region, trading a few false negatives on
+// unbalanced control flow for zero flow-analysis false positives.
+func scanBody(pass *analysis.Pass, sinks map[types.Object]bool, body *ast.BlockStmt) {
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n.Body == body // descend only into the scanned body itself
+		case *ast.DeferStmt:
+			// A deferred unlock holds the mutex to the end of the
+			// function; a deferred sink runs, by LIFO order, before any
+			// unlock deferred earlier — its registration point is the
+			// position whose held-set it sees.
+			if kind, key := lockOp(pass, n.Call); kind == evUnlock {
+				events = append(events, event{pos: n.Pos(), kind: evDeferUnlock, key: key})
+			} else if desc := sinkDesc(pass, sinks, n.Call); desc != "" {
+				events = append(events, event{pos: n.Pos(), kind: evSink, desc: desc})
+			}
+			return false
+		case *ast.CallExpr:
+			if kind, key := lockOp(pass, n); kind == evLock || kind == evUnlock {
+				events = append(events, event{pos: n.Pos(), kind: kind, key: key})
+			} else if desc := sinkDesc(pass, sinks, n); desc != "" {
+				events = append(events, event{pos: n.Pos(), kind: evSink, desc: desc})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]bool{}
+	deferred := map[string]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = true
+		case evUnlock:
+			if !deferred[ev.key] {
+				delete(held, ev.key)
+			}
+		case evDeferUnlock:
+			deferred[ev.key] = true
+		case evSink:
+			if len(held) > 0 {
+				keys := make([]string, 0, len(held))
+				for k := range held {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				pass.Reportf(ev.pos,
+					"%s called while %s is held; emits must be delivered outside the lock "+
+						"(emit callbacks may re-enter the engine — PR 4 deadlock class)",
+					ev.desc, strings.Join(keys, ", "))
+			}
+		}
+	}
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex acquire or release
+// and returns the mutex expression's key. The method object, not the
+// receiver expression's type, is inspected, so locks reached through
+// struct embedding (d.Lock() with an embedded sync.Mutex) key on the
+// embedding value.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (int, string) {
+	fn, ok := analysis.Callee(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return -1, ""
+	}
+	recv := analysis.ReceiverTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return -1, ""
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return -1, ""
+	}
+	key := analysis.ExprKey(pass.Fset, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return evLock, key
+	case "Unlock", "RUnlock":
+		return evUnlock, key
+	}
+	return -1, ""
+}

@@ -1,0 +1,12 @@
+package emitunderlock_test
+
+import (
+	"testing"
+
+	"probdedup/internal/analysis/analysistest"
+	"probdedup/internal/analysis/emitunderlock"
+)
+
+func TestEmitUnderLock(t *testing.T) {
+	analysistest.Run(t, "../testdata", emitunderlock.Analyzer, "emitunderlock")
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unparen strips redundant parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Callee resolves the object a call invokes: a *types.Func for direct
+// function/method calls, a *types.Var for calls of stored function
+// values (fields, locals, parameters), nil for indirect calls through
+// arbitrary expressions or type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified reference (pkg.F).
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// CalleeName returns the bare name of the called function, method or
+// stored callback, or "" for unresolvable calls.
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	if obj := Callee(info, call); obj != nil {
+		return obj.Name()
+	}
+	return ""
+}
+
+// ReceiverTypeName returns the defined-type name of a method's
+// receiver (pointer stripped), or "" for plain functions.
+func ReceiverTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// ExprKey renders a stable textual key for simple expressions
+// (identifiers and selector chains), so lock and unlock calls on the
+// same mutex pair up. Expressions beyond that vocabulary key by
+// position, which makes them unique — a conservative choice that
+// never pairs two different mutexes.
+func ExprKey(fset *token.FileSet, e ast.Expr) string {
+	switch e := Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprKey(fset, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprKey(fset, e.X) + "[" + ExprKey(fset, e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("@%v", fset.Position(e.Pos()))
+	}
+}
+
+// IsFunctionLocal reports whether obj is declared inside a function
+// (locals and parameters) rather than at package scope or as a struct
+// field.
+func IsFunctionLocal(pkg *types.Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	scope := v.Parent()
+	return scope != nil && scope != types.Universe && scope != pkg.Scope()
+}

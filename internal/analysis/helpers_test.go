@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const helperSrc = `package p
+
+type T struct{ F func() }
+
+func (t *T) M() {}
+
+var global int
+
+func use(t *T, f func()) int {
+	t.M()
+	f()
+	t.F()
+	local := 1
+	return local + global
+}
+`
+
+func TestCalleeResolution(t *testing.T) {
+	pkg := checkSrc(t, helperSrc)
+	var calls []*ast.CallExpr
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d calls, want 3", len(calls))
+	}
+
+	m, ok := Callee(pkg.Info, calls[0]).(*types.Func)
+	if !ok {
+		t.Fatalf("t.M() resolved to %T, want *types.Func", Callee(pkg.Info, calls[0]))
+	}
+	if got := ReceiverTypeName(m); got != "T" {
+		t.Errorf("ReceiverTypeName(M) = %q, want T", got)
+	}
+	if got := CalleeName(pkg.Info, calls[0]); got != "M" {
+		t.Errorf("CalleeName(t.M()) = %q, want M", got)
+	}
+
+	fObj := Callee(pkg.Info, calls[1])
+	if _, ok := fObj.(*types.Var); !ok {
+		t.Fatalf("f() resolved to %T, want *types.Var", fObj)
+	}
+	if !IsFunctionLocal(pkg.Pkg, fObj) {
+		t.Error("parameter f reported as non-local")
+	}
+
+	fieldObj := Callee(pkg.Info, calls[2])
+	if got := fieldObj.Name(); got != "F" {
+		t.Errorf("t.F() resolved to %q, want field F", got)
+	}
+	if IsFunctionLocal(pkg.Pkg, fieldObj) {
+		t.Error("struct field F reported as function-local")
+	}
+
+	globalObj := pkg.Pkg.Scope().Lookup("global")
+	if IsFunctionLocal(pkg.Pkg, globalObj) {
+		t.Error("package-level var reported as function-local")
+	}
+	useFn := pkg.Pkg.Scope().Lookup("use").(*types.Func)
+	if got := ReceiverTypeName(useFn); got != "" {
+		t.Errorf("ReceiverTypeName(plain func) = %q, want empty", got)
+	}
+}
+
+func TestExprKey(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"a", "a"},
+		{"(a)", "a"},
+		{"a.b.c", "a.b.c"},
+		{"m[k]", "m[k]"},
+		{`"lit"`, `"lit"`},
+	}
+	fset := token.NewFileSet()
+	for _, c := range cases {
+		e, err := parser.ParseExprFrom(fset, "key.go", c.src, 0)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := ExprKey(fset, e); got != c.want {
+			t.Errorf("ExprKey(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+	// Expressions beyond the vocabulary key by position: unique, never
+	// pairing two different mutexes.
+	e, err := parser.ParseExprFrom(fset, "key.go", "a+b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExprKey(fset, e); !strings.HasPrefix(got, "@key.go:") {
+		t.Errorf("ExprKey(a+b) = %q, want positional @key.go:... form", got)
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	inner := &ast.Ident{Name: "x"}
+	wrapped := ast.Expr(&ast.ParenExpr{X: &ast.ParenExpr{X: inner}})
+	if got := Unparen(wrapped); got != ast.Expr(inner) {
+		t.Errorf("Unparen did not strip nested parens: %T", got)
+	}
+}
+
+func TestCalleeIndirect(t *testing.T) {
+	pkg := checkSrc(t, `package p
+
+func use(fns []func() int) int { return fns[0]() }
+`)
+	var call *ast.CallExpr
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if obj := Callee(pkg.Info, call); obj != nil {
+		t.Errorf("indirect call resolved to %v, want nil", obj)
+	}
+	if name := CalleeName(pkg.Info, call); name != "" {
+		t.Errorf("CalleeName(indirect) = %q, want empty", name)
+	}
+}

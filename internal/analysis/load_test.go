@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load(.): %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(.) returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Pkg.Name() != "analysis" {
+		t.Errorf("package name %q, want analysis", p.Pkg.Name())
+	}
+	if !strings.HasSuffix(p.ImportPath, "internal/analysis") {
+		t.Errorf("import path %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 {
+		t.Error("no parsed files")
+	}
+	if p.Info == nil || len(p.Info.Defs) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+func TestLoadPatternExpansion(t *testing.T) {
+	pkgs, err := Load("..", "./analysis/...")
+	if err != nil {
+		t.Fatalf("Load(./analysis/...): %v", err)
+	}
+	if len(pkgs) < 6 { // framework + analysistest + five analyzers, minus any future pruning
+		t.Fatalf("expected the analyzer suite packages, got %d", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.ImportPath, "testdata") {
+			t.Errorf("testdata package leaked into Load results: %s", p.ImportPath)
+		}
+	}
+}
+
+func TestLoadBadDir(t *testing.T) {
+	if _, err := Load("/nonexistent-analysis-dir", "."); err == nil {
+		t.Fatal("Load in a nonexistent directory succeeded")
+	}
+}
+
+func TestLoadDirFixture(t *testing.T) {
+	p, err := LoadDir("testdata/src/nowallclock")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if p.Pkg.Name() != "nowallclock" {
+		t.Errorf("package name %q, want nowallclock", p.Pkg.Name())
+	}
+	if len(p.Files) == 0 {
+		t.Error("no parsed files")
+	}
+}
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	if _, err := LoadDir("testdata"); err == nil {
+		t.Fatal("LoadDir on a directory with no Go files succeeded")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir("testdata/src/doesnotexist"); err == nil {
+		t.Fatal("LoadDir on a missing directory succeeded")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "nowallclock",
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Message:  "time.Now in non-test code",
+	}
+	got := f.String()
+	want := "a.go:3:7: time.Now in non-test code (nowallclock)"
+	if got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+func TestExportImporterMissing(t *testing.T) {
+	imp := exportImporter(token.NewFileSet(), map[string]string{})
+	if _, err := imp.Import("fmt"); err == nil {
+		t.Fatal("import with no export data succeeded")
+	}
+}

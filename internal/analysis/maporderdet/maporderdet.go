@@ -1,0 +1,279 @@
+// Package maporderdet proves the determinism invariant of the emit
+// and encoding boundaries (ARCHITECTURE.md: byte-identical delta
+// streams and results at every worker count): iterating a Go map
+// yields a random order, so values flowing out of a `for range` over
+// a map must pass through a sort before they reach an order-sensitive
+// sink — an emit callback, an emit-queue enqueue, an encoder, fmt
+// output, or a returned Result/Resolution.
+package maporderdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"probdedup/internal/analysis"
+)
+
+// Analyzer flags map-iteration order leaking into deterministic
+// outputs.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporderdet",
+	Doc: "report `for range` over a map whose iteration order can reach an emit " +
+		"callback, an encoder, fmt output, or a returned Result/Resolution " +
+		"without an intervening sort.* call (determinism invariant)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Type, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines one function body: each map-range loop is
+// checked for direct sinks in its body, and each slice variable the
+// loop appends to is traced through the statements after the loop for
+// a sink use not preceded by a sort.
+func checkFunc(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			return lit.Body == body // nested closures get their own checkFunc
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return true
+		}
+		if desc := directSink(pass, rs.Body); desc != "" {
+			pass.Reportf(rs.Pos(),
+				"iteration over a map feeds %s in nondeterministic order; "+
+					"collect and sort.* first (determinism invariant)", desc)
+			return true
+		}
+		for _, target := range appendTargets(pass, rs.Body) {
+			sortPos, sinkPos, desc := traceAfter(pass, ftype, body, rs, target)
+			if sinkPos.IsValid() && (!sortPos.IsValid() || sortPos > sinkPos) {
+				pass.Reportf(rs.Pos(),
+					"map iteration order flows through %q into %s without a sort.* call; "+
+						"sort it before the sink (determinism invariant)", target.Name(), desc)
+				break
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := types.Unalias(tv.Type).Underlying().(*types.Map)
+	return isMap
+}
+
+// directSink finds an order-sensitive call inside the loop body
+// itself — every iteration emits, encodes or prints, so no later sort
+// can repair the order.
+func directSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var desc string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			desc = sinkCallDesc(pass, call)
+		}
+		return desc == ""
+	})
+	return desc
+}
+
+// sinkCallDesc classifies an order-sensitive consumer call.
+func sinkCallDesc(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil {
+		return ""
+	}
+	name := obj.Name()
+	if v, ok := obj.(*types.Var); ok {
+		if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+			return ""
+		}
+	} else if _, ok := obj.(*types.Func); !ok {
+		return ""
+	}
+	switch {
+	case name == "emit" || name == "onDelta":
+		return "the " + name + " callback"
+	case name == "Enqueue" || strings.HasPrefix(name, "enqueue"):
+		return "emit queueing via " + name
+	case strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "encode"),
+		strings.HasPrefix(name, "Marshal"):
+		return "encoder " + name
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(strings.TrimPrefix(name, "F"), "Print") {
+		return "output via fmt." + name
+	}
+	return ""
+}
+
+// appendTargets collects the local slice variables the loop body
+// grows with v = append(v, ...).
+func appendTargets(pass *analysis.Pass, body *ast.BlockStmt) []*types.Var {
+	var targets []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := analysis.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := analysis.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call, "append") {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if v, ok := obj.(*types.Var); ok && !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// traceAfter scans the function's statements after the range loop for
+// the first sort of the target variable and its first sink use, in
+// source order. sortPos/sinkPos stay invalid when absent.
+func traceAfter(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt, rs *ast.RangeStmt, target *types.Var) (sortPos, sinkPos token.Pos, desc string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.End() <= rs.End() {
+			return false // entirely before or inside the loop
+		}
+		if n.Pos() <= rs.End() {
+			return true // spans the loop; only descend
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if usesVar(pass, n.Args, target) {
+				if isSortCall(pass, n) {
+					if !sortPos.IsValid() {
+						sortPos = n.Pos()
+					}
+				} else if d := sinkCallDesc(pass, n); d != "" && !sinkPos.IsValid() {
+					sinkPos, desc = n.Pos(), d
+				}
+			}
+		case *ast.CompositeLit:
+			if tn := resultTypeName(pass.Info.Types[n].Type); tn != "" && containsVar(pass, n, target) && !sinkPos.IsValid() {
+				sinkPos, desc = n.Pos(), "a "+tn+" literal"
+			}
+		case *ast.ReturnStmt:
+			if tn := resultsNamed(pass, ftype); tn != "" && containsVar(pass, n, target) && !sinkPos.IsValid() {
+				sinkPos, desc = n.Pos(), "the returned "+tn
+			}
+		}
+		return true
+	})
+	return sortPos, sinkPos, desc
+}
+
+// isSortCall recognizes calls into the sort and slices packages.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn, ok := analysis.Callee(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+func usesVar(pass *analysis.Pass, args []ast.Expr, target *types.Var) bool {
+	for _, a := range args {
+		if containsVar(pass, a, target) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsVar(pass *analysis.Pass, n ast.Node, target *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// resultTypeName reports "Result" or "Resolution" when t is (a
+// pointer to) a named type so called.
+func resultTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		if n := named.Obj().Name(); n == "Result" || n == "Resolution" {
+			return n
+		}
+	}
+	return ""
+}
+
+// resultsNamed reports whether the function returns a Result or
+// Resolution (possibly behind a pointer), naming the first such type.
+func resultsNamed(pass *analysis.Pass, ftype *ast.FuncType) string {
+	if ftype.Results == nil {
+		return ""
+	}
+	for _, field := range ftype.Results.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if tn := resultTypeName(tv.Type); tn != "" {
+			return tn
+		}
+	}
+	return ""
+}

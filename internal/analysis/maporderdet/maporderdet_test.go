@@ -1,0 +1,12 @@
+package maporderdet_test
+
+import (
+	"testing"
+
+	"probdedup/internal/analysis/analysistest"
+	"probdedup/internal/analysis/maporderdet"
+)
+
+func TestMapOrderDet(t *testing.T) {
+	analysistest.Run(t, "../testdata", maporderdet.Analyzer, "maporderdet")
+}

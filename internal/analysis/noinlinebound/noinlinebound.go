@@ -1,0 +1,80 @@
+// Package noinlinebound proves the PR 7 bound-registration
+// invariant: strsim.RegisterBound keys similarity upper bounds by a
+// comparison function's code pointer, and every closure a constructor
+// returns shares the constructor body's single code pointer ONLY
+// while the constructor is not inlined. An inlined constructor mints
+// a distinct code symbol per call site, so BoundFor would silently
+// miss the registered bound and the candidate pre-filter would
+// degrade to admit-all. Every constructor whose result is passed to
+// RegisterBound must therefore carry //go:noinline.
+package noinlinebound
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"probdedup/internal/analysis"
+)
+
+// Analyzer flags bound-registered constructors without //go:noinline.
+var Analyzer = &analysis.Analyzer{
+	Name: "noinlinebound",
+	Doc: "report compare-func constructors whose result is registered with " +
+		"RegisterBound but whose declaration lacks //go:noinline: inlining would " +
+		"change the closure's code pointer and break BoundFor lookup (PR 7)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || analysis.CalleeName(pass.Info, call) != "RegisterBound" || len(call.Args) < 1 {
+				return true
+			}
+			ctor, ok := analysis.Unparen(call.Args[0]).(*ast.CallExpr)
+			if !ok {
+				return true // direct function references have stable code symbols
+			}
+			obj := analysis.Callee(pass.Info, ctor)
+			fd, ok := decls[obj]
+			if !ok {
+				return true // cross-package constructor: directives not visible here
+			}
+			if !hasNoinline(fd) {
+				pass.Reportf(ctor.Pos(),
+					"constructor %s is registered with RegisterBound but lacks //go:noinline; "+
+						"inlining gives each returned closure a distinct code pointer and "+
+						"BoundFor would miss the bound (PR 7 code-pointer-lookup requirement)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasNoinline reports whether the declaration's comment group carries
+// the //go:noinline directive.
+func hasNoinline(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//go:noinline" {
+			return true
+		}
+	}
+	return false
+}

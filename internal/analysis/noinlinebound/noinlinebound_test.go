@@ -1,0 +1,12 @@
+package noinlinebound_test
+
+import (
+	"testing"
+
+	"probdedup/internal/analysis/analysistest"
+	"probdedup/internal/analysis/noinlinebound"
+)
+
+func TestNoinlineBound(t *testing.T) {
+	analysistest.Run(t, "../testdata", noinlinebound.Analyzer, "noinlinebound")
+}

@@ -1,0 +1,72 @@
+// Package nowallclock proves the reproducibility invariant behind
+// Flush ≡ Detect/Resolve and the WAL's replay ≡ never-crashed
+// guarantee: non-test engine code must not read the wall clock
+// (time.Now) or the global math/rand generators, because replaying
+// the same operation sequence must rebuild bit-identical state.
+// Randomness is fine when seeded explicitly (rand.New(rand.NewSource
+// (seed))); time is fine when it arrives as input. Intentional
+// wall-clock reads (benchmark timing) carry a //pdlint:allow
+// nowallclock annotation with a reason.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"probdedup/internal/analysis"
+)
+
+// Analyzer flags wall-clock and ambient-randomness reads.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "report time.Now and global math/rand uses in non-test code: replay " +
+		"determinism (Flush ≡ Detect/Resolve, WAL recovery) requires state to be " +
+		"a pure function of the operation sequence",
+	Run: run,
+}
+
+// seededConstructors are the math/rand entry points that are pure
+// functions of their explicit arguments.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an explicit *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(),
+						"time.Now in non-test code breaks replay determinism "+
+							"(Flush ≡ Detect/Resolve); take the time as input or "+
+							"annotate //pdlint:allow nowallclock with a reason")
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand function %s uses ambient seed state and breaks "+
+							"replay determinism; use an explicit rand.New(rand.NewSource(seed)) "+
+							"or annotate //pdlint:allow nowallclock with a reason", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

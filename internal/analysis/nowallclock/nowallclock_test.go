@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"probdedup/internal/analysis/analysistest"
+	"probdedup/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, "../testdata", nowallclock.Analyzer, "nowallclock")
+}

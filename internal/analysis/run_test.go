@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const runSrc = `package p
+
+func A() {}
+
+//pdlint:allow fake -- line-above form silences the decl below
+func B() {}
+
+func C() {} //pdlint:allow other -- a different analyzer's allow does not silence fake
+
+func D() {} //pdlint:allow fake -- same-line form silences this decl
+`
+
+// checkSrc type-checks an import-free source string into a Package.
+func checkSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fake.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+// fakeAnalyzer reports one diagnostic per function declaration, in
+// reverse source order so the sorting contract is exercised.
+var fakeAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "reports every function declaration",
+	Run: func(pass *Pass) error {
+		var decls []*ast.FuncDecl
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					decls = append(decls, fd)
+				}
+			}
+		}
+		for i := len(decls) - 1; i >= 0; i-- {
+			pass.Reportf(decls[i].Name.Pos(), "func %s declared", decls[i].Name.Name)
+		}
+		return nil
+	},
+}
+
+func TestRunAnalyzersSuppressionAndOrder(t *testing.T) {
+	pkg := checkSrc(t, runSrc)
+	findings, err := RunAnalyzers(pkg, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	// B (line-above allow) and D (same-line allow) are suppressed; C's
+	// allow names a different analyzer and keeps the finding.
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	want := []string{"func A declared", "func C declared"}
+	if len(got) != len(want) {
+		t.Fatalf("findings %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("findings %v, want %v", got, want)
+		}
+	}
+	if findings[0].Pos.Line >= findings[1].Pos.Line {
+		t.Errorf("findings not in line order: %v then %v", findings[0].Pos, findings[1].Pos)
+	}
+	if findings[0].Analyzer != "fake" {
+		t.Errorf("finding attributed to %q, want fake", findings[0].Analyzer)
+	}
+}
+
+func TestRunAnalyzersError(t *testing.T) {
+	pkg := checkSrc(t, "package p\n")
+	boom := &Analyzer{Name: "boom", Doc: "always fails", Run: func(*Pass) error {
+		return errors.New("exploded")
+	}}
+	if _, err := RunAnalyzers(pkg, []*Analyzer{boom}); err == nil {
+		t.Fatal("analyzer error was swallowed")
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//pdlint:allow nowallclock -- reason", "nowallclock", true},
+		{"// pdlint:allow maporderdet -- spaced form", "maporderdet", true},
+		{"//pdlint:allow emitunderlock", "emitunderlock", true},
+		{"//pdlint:allow", "", false},
+		{"// ordinary comment", "", false},
+		{"//pdlint:deny x", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseAllow(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestSuppressedMisses(t *testing.T) {
+	sites := allowSites{"a.go": {3: {"fake": true}}}
+	cases := []struct {
+		file string
+		line int
+		name string
+		want bool
+	}{
+		{"a.go", 3, "fake", true},
+		{"a.go", 3, "other", false},
+		{"a.go", 4, "fake", false},
+		{"b.go", 3, "fake", false},
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: c.file, Line: c.line}
+		if got := sites.suppressed(pos, c.name); got != c.want {
+			t.Errorf("suppressed(%s:%d, %s) = %v, want %v", c.file, c.line, c.name, got, c.want)
+		}
+	}
+}
+
+// TestRunAnalyzersTiebreaks drives the comparator's column and
+// analyzer-name branches with two analyzers reporting at identical
+// and column-shifted positions.
+func TestRunAnalyzersTiebreaks(t *testing.T) {
+	pkg := checkSrc(t, "package p\n\nfunc A() {}\n")
+	at := func(name string, off token.Pos) *Analyzer {
+		return &Analyzer{Name: name, Doc: "reports at a fixed position", Run: func(pass *Pass) error {
+			pass.Reportf(pass.Files[0].Package+off, "from %s", name)
+			return nil
+		}}
+	}
+	findings, err := RunAnalyzers(pkg, []*Analyzer{at("zeta", 0), at("alpha", 0), at("mid", 2)})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer)
+	}
+	want := []string{"alpha", "zeta", "mid"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package snapshotescape proves the PR 5 defensive-copy contract on
+// the emit boundary: a *Delta struct handed to consumers must not
+// alias engine-owned slices or maps, because consumers may legally
+// reorder, truncate or mutate what they receive (batch Resolve's
+// output explicitly allows it). Fields of reference-carrying type in
+// a *Delta composite literal must therefore be built from a
+// snapshot*/clone*/copy* helper, a fresh literal/make/append, or a
+// local variable — never read straight out of a field, map or global
+// of the live engine state.
+package snapshotescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"probdedup/internal/analysis"
+)
+
+// Analyzer flags engine state aliased into emitted delta structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotescape",
+	Doc: "report reference-carrying fields of emitted *Delta literals whose value " +
+		"aliases engine-owned state instead of passing through a snapshot*/clone* " +
+		"helper (the PR 5 snapshotEntity defensive-copy contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok || !strings.HasSuffix(named.Obj().Name(), "Delta") {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkLiteral(pass, named.Obj().Name(), st, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLiteral validates every reference-carrying field of one *Delta
+// composite literal, in keyed or positional form.
+func checkLiteral(pass *analysis.Pass, typeName string, st *types.Struct, lit *ast.CompositeLit) {
+	for i, elt := range lit.Elts {
+		var field *types.Var
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					field = st.Field(j)
+					break
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+		}
+		if field == nil || !carriesRefs(field.Type(), map[*types.Named]bool{}) {
+			continue
+		}
+		if ok, how := freshValue(pass, value); !ok {
+			pass.Reportf(value.Pos(),
+				"field %s of emitted %s %s; consumers may mutate deltas, so pass "+
+					"engine state through a snapshot*/clone* helper "+
+					"(PR 5 defensive-copy contract)", field.Name(), typeName, how)
+		}
+	}
+}
+
+// carriesRefs reports whether a value of type t shares mutable
+// backing storage when copied: slices, maps, channels and pointers
+// do, and so does any struct or array containing one. Strings are
+// immutable and interfaces/functions are treated as opaque.
+func carriesRefs(t types.Type, seen map[*types.Named]bool) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		return carriesRefs(t.Underlying(), seen)
+	case *types.Slice, *types.Map, *types.Chan, *types.Pointer:
+		return true
+	case *types.Array:
+		return carriesRefs(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if carriesRefs(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// snapshotHelper recognizes the defensive-copy vocabulary by name.
+func snapshotHelper(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "snapshot") || strings.HasPrefix(l, "clone") || strings.HasPrefix(l, "copy")
+}
+
+// freshValue decides whether the expression yields storage the
+// consumer may own. Allowed: nil, fresh literals, make/new/append,
+// snapshot-family calls, conversions of such, and plain local
+// variables (the function built them for this delta). Flagged with a
+// description: selector/index reads of stored state, package-level
+// variables, and calls that do not look like copy helpers.
+func freshValue(pass *analysis.Pass, e ast.Expr) (bool, string) {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(e)
+		if obj == nil || obj.Name() == "nil" {
+			return true, ""
+		}
+		if analysis.IsFunctionLocal(pass.Pkg, obj) {
+			return true, ""
+		}
+		return false, "reads the package-level variable " + e.Name
+	case *ast.CompositeLit:
+		return true, ""
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return freshValue(pass, e.X)
+		}
+	case *ast.CallExpr:
+		switch fun := analysis.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true, "" // make, new, append — fresh backing storage
+			}
+			if _, isType := pass.Info.Uses[fun].(*types.TypeName); isType {
+				return freshValue(pass, e.Args[0]) // conversion: as fresh as its operand
+			}
+		}
+		if name := analysis.CalleeName(pass.Info, e); name != "" {
+			if snapshotHelper(name) {
+				return true, ""
+			}
+			return false, "is built by " + name + ", which does not look like a snapshot/clone/copy helper"
+		}
+		return false, "is built by an indirect call the analyzer cannot prove fresh"
+	case *ast.SelectorExpr:
+		return false, "aliases " + analysis.ExprKey(pass.Fset, e)
+	case *ast.IndexExpr:
+		return false, "aliases " + analysis.ExprKey(pass.Fset, e)
+	}
+	return false, "cannot be proven to own its storage"
+}

@@ -1,0 +1,12 @@
+package snapshotescape_test
+
+import (
+	"testing"
+
+	"probdedup/internal/analysis/analysistest"
+	"probdedup/internal/analysis/snapshotescape"
+)
+
+func TestSnapshotEscape(t *testing.T) {
+	analysistest.Run(t, "../testdata", snapshotescape.Analyzer, "snapshotescape")
+}

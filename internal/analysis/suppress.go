@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowSites indexes //pdlint:allow directives: file name → line →
+// set of allowed analyzer names. A directive silences diagnostics of
+// that analyzer on its own line (trailing comment) and on the line
+// directly below it (comment-above form).
+type allowSites map[string]map[int]map[string]bool
+
+// collectAllows scans a package's comments for //pdlint:allow
+// directives.
+func collectAllows(p *Package) allowSites {
+	sites := allowSites{}
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					byLine := sites[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						sites[pos.Filename] = byLine
+					}
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// parseAllow extracts the analyzer name of one //pdlint:allow
+// directive comment, tolerating a space after the slashes. Everything
+// after the name (conventionally "-- reason") is ignored.
+func parseAllow(text string) (string, bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, ok := strings.CutPrefix(body, "pdlint:allow")
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// suppressed reports whether a diagnostic of analyzer at pos is
+// silenced by a directive.
+func (s allowSites) suppressed(pos token.Position, analyzer string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer]
+}

@@ -1,0 +1,125 @@
+// Package emitunderlock fixtures: re-introductions of the PR 4
+// emit-under-mutex deadlock, the patterns that are safe, and a
+// justified suppression.
+package emitunderlock
+
+import "sync"
+
+// EmitQueue mirrors core.EmitQueue: buffered under its own mutex,
+// delivered outside it.
+type EmitQueue struct {
+	mu   sync.Mutex
+	q    []int
+	emit func(int) bool
+}
+
+// Drain is the canonical negative case: its emit calls happen strictly
+// between the locked regions, exactly like core.EmitQueue.Drain.
+func (q *EmitQueue) Drain() {
+	for {
+		q.mu.Lock()
+		if len(q.q) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		batch := q.q
+		q.q = nil
+		q.mu.Unlock()
+
+		for _, item := range batch {
+			q.emit(item)
+		}
+
+		q.mu.Lock()
+		q.mu.Unlock()
+	}
+}
+
+type Detector struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	emits   *EmitQueue
+	emit    func(int) bool
+	onDelta func(int) bool
+}
+
+// BadDrainUnderLock re-introduces the PR 4 deadlock: draining the
+// queue while the state mutex is held.
+func (d *Detector) BadDrainUnderLock() {
+	d.mu.Lock()
+	d.emits.Drain() // want `EmitQueue\.Drain called while d\.mu is held`
+	d.mu.Unlock()
+}
+
+// BadCallbackUnderDefer holds the lock to the end of the function via
+// defer, so the direct callback call is under it.
+func (d *Detector) BadCallbackUnderDefer() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.emit(1) // want `the stored emit callback called while d\.mu is held`
+}
+
+// BadOnDeltaUnderRLock: a read lock blocks writers, so a re-entrant
+// callback deadlocks all the same.
+func (d *Detector) BadOnDeltaUnderRLock() {
+	d.rw.RLock()
+	d.onDelta(2) // want `the stored onDelta callback called while d\.rw is held`
+	d.rw.RUnlock()
+}
+
+// drainEmits is the one-hop wrapper every engine has; calling it under
+// the lock is the same bug.
+func (d *Detector) drainEmits() { d.emits.Drain() }
+
+// BadTransitive reaches the drain through the wrapper.
+func (d *Detector) BadTransitive() {
+	d.mu.Lock()
+	d.drainEmits() // want `drainEmits \(which delivers emits\) called while d\.mu is held`
+	d.mu.Unlock()
+}
+
+// GoodDrainAfterUnlock is the mandated pattern: mutate under the
+// lock, deliver after releasing it.
+func (d *Detector) GoodDrainAfterUnlock() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.emits.Drain()
+}
+
+// GoodRelock: delivery between two locked regions is outside both.
+func (d *Detector) GoodRelock() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.emit(3)
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// GoodClosureScope: the closure runs on its own goroutine schedule;
+// the lock taken by the enclosing function is not attributed to it,
+// and its own balanced lock/unlock precedes the emit.
+func (d *Detector) GoodClosureScope() func() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		d.mu.Unlock()
+		d.emit(4)
+	}
+}
+
+// BadClosureOwnLock: the closure holds a lock it took itself.
+func (d *Detector) BadClosureOwnLock() func() {
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.emit(5) // want `the stored emit callback called while d\.mu is held`
+	}
+}
+
+// SuppressedDrain documents an intentional exception.
+func (d *Detector) SuppressedDrain() {
+	d.mu.Lock()
+	d.emits.Drain() //pdlint:allow emitunderlock -- fixture: delivery is re-entrancy-safe here by construction
+	d.mu.Unlock()
+}

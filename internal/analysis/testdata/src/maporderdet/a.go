@@ -1,0 +1,108 @@
+// Package maporderdet fixtures: map iteration order leaking into
+// emits, encoders, fmt output and returned Result/Resolution values,
+// against the sorted (legal) forms.
+package maporderdet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result mirrors core.Result as an order-sensitive return type.
+type Result struct{ IDs []string }
+
+// Resolution mirrors resolve.Resolution.
+type Resolution struct{ IDs []string }
+
+type encoder struct{}
+
+func (encoder) Encode(v any) error { return nil }
+
+// BadDirectEmit emits from inside the map loop — no later sort can
+// repair the delivery order.
+func BadDirectEmit(emit func(string) bool, m map[string]string) {
+	for _, v := range m { // want `feeds the emit callback in nondeterministic order`
+		emit(v)
+	}
+}
+
+// BadDirectPrint prints per iteration; golden CLI transcripts would
+// flap.
+func BadDirectPrint(m map[string]int) {
+	for k, v := range m { // want `feeds output via fmt\.Printf in nondeterministic order`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BadDirectEncode streams map entries straight into an encoder.
+func BadDirectEncode(enc encoder, m map[string]int) {
+	for k := range m { // want `feeds encoder Encode in nondeterministic order`
+		_ = enc.Encode(k)
+	}
+}
+
+// BadReturnResult accumulates in map order and returns it inside a
+// Result without sorting.
+func BadReturnResult(m map[string]bool) *Result {
+	var ids []string
+	for id := range m { // want `flows through "ids" into the returned Result without a sort`
+		ids = append(ids, id)
+	}
+	return &Result{IDs: ids}
+}
+
+// BadEnqueue hands the unsorted accumulation to an emit queue.
+func BadEnqueue(enqueue func(...string), m map[string]bool) {
+	var out []string
+	for id := range m { // want `flows through "out" into emit queueing via enqueue without a sort`
+		out = append(out, id)
+	}
+	enqueue(out...)
+}
+
+// GoodSortedResult is the mandated shape: collect, sort, then sink.
+func GoodSortedResult(m map[string]bool) *Result {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return &Result{IDs: ids}
+}
+
+// GoodSortSlice covers the comparator form feeding a Resolution.
+func GoodSortSlice(m map[string]bool) Resolution {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return Resolution{IDs: ids}
+}
+
+// GoodSliceRange: ranging over a slice is ordered; no finding.
+func GoodSliceRange(emit func(string) bool, ids []string) {
+	for _, id := range ids {
+		emit(id)
+	}
+}
+
+// GoodInternalUse: map iteration feeding another map or a counter is
+// order-insensitive.
+func GoodInternalUse(m map[string]int) int {
+	sum := 0
+	inverse := map[int]string{}
+	for k, v := range m {
+		sum += v
+		inverse[v] = k
+	}
+	return sum
+}
+
+// SuppressedPrint documents an intentional exception (e.g. debug-only
+// output).
+func SuppressedPrint(m map[string]int) {
+	for k := range m { //pdlint:allow maporderdet -- fixture: debug dump, order explicitly irrelevant
+		fmt.Println(k)
+	}
+}

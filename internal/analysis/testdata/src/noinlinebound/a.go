@@ -1,0 +1,40 @@
+// Package noinlinebound fixtures: bound registrations keyed by
+// constructor code pointers, with and without the //go:noinline that
+// keeps those pointers stable (PR 7).
+package noinlinebound
+
+// Func mirrors strsim.Func.
+type Func func(a, b string) float64
+
+// SimBound mirrors strsim.SimBound.
+type SimBound func(la, lb int) float64
+
+// RegisterBound mirrors strsim.RegisterBound: the bound is keyed by
+// f's code pointer.
+func RegisterBound(f Func, b SimBound) {}
+
+// GoodCtor keeps one code pointer for every closure it returns.
+//
+//go:noinline
+func GoodCtor(q int) Func {
+	return func(a, b string) float64 { return float64(q) }
+}
+
+// BadCtor may be inlined: each call site would mint its own closure
+// symbol and the registered bound would never be found.
+func BadCtor(q int) Func {
+	return func(a, b string) float64 { return float64(q) }
+}
+
+// Exact is a plain function — its symbol is stable without any
+// directive.
+func Exact(a, b string) float64 { return 1 }
+
+func bound(la, lb int) float64 { return 1 }
+
+func init() {
+	RegisterBound(GoodCtor(2), bound)
+	RegisterBound(BadCtor(2), bound) // want `constructor BadCtor is registered with RegisterBound but lacks //go:noinline`
+	RegisterBound(Exact, bound)
+	RegisterBound(BadCtor(3), bound) //pdlint:allow noinlinebound -- fixture: registered once, never constructed elsewhere
+}

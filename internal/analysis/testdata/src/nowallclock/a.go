@@ -1,0 +1,44 @@
+// Package nowallclock fixtures: wall-clock and ambient-randomness
+// reads versus the explicit-seed and injected-time forms that keep
+// replay deterministic.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadWallClock reads the wall clock.
+func BadWallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in non-test code breaks replay determinism`
+}
+
+// BadGlobalRand draws from the ambient generator.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand function Intn uses ambient seed state`
+}
+
+// BadGlobalShuffle covers the statement form.
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand function Shuffle uses ambient seed state`
+}
+
+// BadValueReference: storing the function is as bad as calling it.
+var clock = time.Now // want `time\.Now in non-test code breaks replay determinism`
+
+// GoodSeeded: explicit seeds are pure functions of their inputs, and
+// methods on the local generator are deterministic.
+func GoodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodInjectedTime takes the instant as input.
+func GoodInjectedTime(now time.Time) int64 {
+	return now.Unix()
+}
+
+// SuppressedTiming documents the benchmark-timing exception.
+func SuppressedTiming() time.Time {
+	return time.Now() //pdlint:allow nowallclock -- fixture: wall time measured for reporting only, never stored in state
+}

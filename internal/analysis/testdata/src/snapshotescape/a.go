@@ -1,0 +1,168 @@
+// Package snapshotescape fixtures: emitted *Delta literals aliasing
+// live engine state versus the defensive-copy forms PR 5 mandates.
+package snapshotescape
+
+// Entity mirrors resolve.Entity: the Members slice is the aliasing
+// hazard.
+type Entity struct {
+	ID      string
+	Members []string
+}
+
+// EntityDelta mirrors resolve.EntityDelta — an emitted struct with
+// reference-carrying fields.
+type EntityDelta struct {
+	Kind   int
+	Entity Entity
+	From   []string
+}
+
+// FlatDelta has no reference-carrying fields; its literals are never
+// checked.
+type FlatDelta struct {
+	Kind int
+	Sim  float64
+}
+
+type component struct {
+	entity Entity
+}
+
+type engine struct {
+	comps map[string]*component
+	last  Entity
+}
+
+// snapshotEntity is the blessed helper: it hands out a private copy.
+func snapshotEntity(e Entity) Entity {
+	e.Members = append([]string(nil), e.Members...)
+	return e
+}
+
+// passthrough returns its argument unchanged — same aliasing, wrong
+// name.
+func passthrough(e Entity) Entity { return e }
+
+// BadFieldAlias re-introduces the PR 5 bug: the live component's
+// entity (and its Members backing array) escapes into the delta.
+func BadFieldAlias(c *component) EntityDelta {
+	return EntityDelta{Kind: 1, Entity: c.entity} // want `field Entity of emitted EntityDelta aliases c\.entity`
+}
+
+// BadIndexAlias reads the live state through a map index.
+func BadIndexAlias(e *engine, id string) EntityDelta {
+	return EntityDelta{Kind: 1, From: e.comps[id].entity.Members} // want `field From of emitted EntityDelta aliases`
+}
+
+// BadPositional covers the unkeyed literal form.
+func BadPositional(c *component) EntityDelta {
+	return EntityDelta{1, c.entity, nil} // want `field Entity of emitted EntityDelta aliases c\.entity`
+}
+
+// BadOpaqueCall: a call that is not named like a copy helper proves
+// nothing about ownership.
+func BadOpaqueCall(c *component) EntityDelta {
+	return EntityDelta{Kind: 1, Entity: passthrough(c.entity)} // want `field Entity of emitted EntityDelta is built by passthrough`
+}
+
+// GoodSnapshot is the mandated form.
+func GoodSnapshot(c *component) EntityDelta {
+	return EntityDelta{Kind: 1, Entity: snapshotEntity(c.entity)}
+}
+
+// GoodLocal: locally assembled values are the function's own.
+func GoodLocal(ids []string) EntityDelta {
+	var from []string
+	for _, id := range ids {
+		from = append(from, id)
+	}
+	return EntityDelta{Kind: 2, From: from}
+}
+
+// GoodFresh: literals, nil and append copies own their storage.
+func GoodFresh(c *component) EntityDelta {
+	return EntityDelta{
+		Kind:   3,
+		Entity: Entity{ID: c.entity.ID},
+		From:   append([]string(nil), c.entity.Members...),
+	}
+}
+
+// GoodFlat: FlatDelta carries no references, so plain copies are
+// safe.
+func GoodFlat(e *engine) FlatDelta {
+	return FlatDelta{Kind: 4, Sim: 0.5}
+}
+
+// SuppressedAlias documents an intentional exception.
+func SuppressedAlias(c *component) EntityDelta {
+	return EntityDelta{Kind: 5, Entity: c.entity} //pdlint:allow snapshotescape -- fixture: the component is already dead, nothing else can mutate it
+}
+
+// members is a named slice; conversions are as fresh as their operand.
+type members []string
+
+// PtrDelta carries a pointer field and a channel field.
+type PtrDelta struct {
+	Entity *Entity
+	Done   chan struct{}
+}
+
+// TreeDelta is self-referential: carriesRefs must terminate on the
+// recursive type and still see the pointer.
+type TreeDelta struct {
+	Child *TreeDelta
+}
+
+// ArrayDelta holds a fixed array of strings: copied by value, no
+// shared backing storage, so literals are never checked.
+type ArrayDelta struct {
+	Top [4]string
+}
+
+// GoodConversion: converting a local keeps its freshness.
+func GoodConversion(ids []string) EntityDelta {
+	local := append([]string(nil), ids...)
+	return EntityDelta{Kind: 6, From: members(local)}
+}
+
+// GoodAddrLiteral: taking the address of a fresh literal is fresh.
+func GoodAddrLiteral() PtrDelta {
+	return PtrDelta{Entity: &Entity{ID: "x"}, Done: make(chan struct{})}
+}
+
+// BadAddrField: &engine-state is the sharpest alias of all.
+func BadAddrField(c *component) PtrDelta {
+	return PtrDelta{Entity: &c.entity} // want `field Entity of emitted PtrDelta aliases c\.entity`
+}
+
+// BadIndirectCall: a computed function value proves nothing about the
+// ownership of what it returns.
+func BadIndirectCall(fns []func() []string) EntityDelta {
+	return EntityDelta{Kind: 7, From: fns[0]()} // want `field From of emitted EntityDelta is built by an indirect call`
+}
+
+// BadSliceExpr: re-slicing shares the backing array; the analyzer
+// cannot prove the operand is consumer-owned.
+func BadSliceExpr(ids []string) EntityDelta {
+	return EntityDelta{Kind: 8, From: ids[1:]} // want `field From of emitted EntityDelta cannot be proven to own its storage`
+}
+
+// GoodRecursive: a fresh child literal under a recursive delta type.
+func GoodRecursive() TreeDelta {
+	return TreeDelta{Child: &TreeDelta{}}
+}
+
+type treeHolder struct{ root *TreeDelta }
+
+// BadRecursive: the recursive pointer field still aliases when read
+// from stored state.
+func BadRecursive(h *treeHolder) TreeDelta {
+	return TreeDelta{Child: h.root} // want `field Child of emitted TreeDelta aliases h\.root`
+}
+
+// GoodArray: array fields copy by value; no finding even from engine
+// state.
+func GoodArray(h *treeHolder, a [4]string) ArrayDelta {
+	return ArrayDelta{Top: a}
+}
