@@ -67,9 +67,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"probdedup"
+	"probdedup/internal/cliopts"
 )
 
 func main() {
@@ -183,18 +186,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "pdedup: -follow without a seed file needs -schema")
 			return 2
 		}
-		schema := strings.Split(*schemaSpec, ",")
-		for i := range schema {
-			schema[i] = strings.TrimSpace(schema[i])
-			if schema[i] == "" {
-				fmt.Fprintf(stderr, "pdedup: -schema %q has an empty attribute name\n", *schemaSpec)
-				return 2
-			}
+		schema, err := cliopts.ParseSchema(*schemaSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "pdedup: -schema:", err)
+			return 2
 		}
 		xr = probdedup.NewXRelation("stdin", schema...)
 	}
 
-	cmp, err := compareByName(*compareName)
+	cmp, err := cliopts.Compare(*compareName)
 	if err != nil {
 		fmt.Fprintln(stderr, "pdedup:", err)
 		return 1
@@ -210,7 +210,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// SimpleModel{Phi: WeightedSum(...)} but exposes its weights, so
 		// the -prefilter bound machinery can box-bound it.
 		AltModel: probdedup.WeightedSumModel{
-			Weights: equalWeights(len(xr.Schema)),
+			Weights: cliopts.EqualWeights(len(xr.Schema)),
 			T:       probdedup.Thresholds{Lambda: *altLambda, Mu: *altMu},
 		},
 		Final:     probdedup.Thresholds{Lambda: *lambda, Mu: *mu},
@@ -218,7 +218,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		PreFilter: *preFilter,
 		FilterQ:   *qgram,
 	}
-	opts.Derivation, err = deriveByName(*deriveName)
+	opts.Derivation, err = cliopts.Derivation(*deriveName)
 	if err != nil {
 		fmt.Fprintln(stderr, "pdedup:", err)
 		return 1
@@ -234,7 +234,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "pdedup:", err)
 			return 1
 		}
-		opts.Reduction, err = reductionByName(*reduceName, def, *window, *kWorlds, *kClusters, *seed)
+		opts.Reduction, err = cliopts.Reduction(*reduceName, def, *window, *kWorlds, *kClusters, *seed)
 		if err != nil {
 			fmt.Fprintln(stderr, "pdedup:", err)
 			return 1
@@ -562,32 +562,47 @@ func runFollow(seed *probdedup.XRelation, opts probdedup.Options, stateDir strin
 		return 0
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM end the loop like EOF — the
+	// pending batch is applied, the summary prints, and the durable
+	// state takes the clean Close() path (final snapshot checkpoint,
+	// rotated-empty WAL, flock release) instead of leaving a log tail
+	// for the next invocation's crash recovery to replay.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+loop:
 	for {
-		ln, ok := <-lines
-		if !ok {
-			break
-		}
-		if rc := handle(ln); rc != 0 {
-			return rc
-		}
-		// Read-ahead: coalesce everything already buffered into the
-		// pending batch, stopping the moment the pipe is empty.
-	drain:
-		for len(batch) > 0 {
-			select {
-			case ln, ok := <-lines:
-				if !ok {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(stderr, "pdedup: %v: draining\n", sig)
+			break loop
+		case ln, ok := <-lines:
+			if !ok {
+				break loop
+			}
+			if rc := handle(ln); rc != 0 {
+				return rc
+			}
+			// Read-ahead: coalesce everything already buffered into the
+			// pending batch, stopping the moment the pipe is empty.
+		drain:
+			for len(batch) > 0 {
+				select {
+				case ln, ok := <-lines:
+					if !ok {
+						break drain
+					}
+					if rc := handle(ln); rc != 0 {
+						return rc
+					}
+				default:
 					break drain
 				}
-				if rc := handle(ln); rc != 0 {
-					return rc
-				}
-			default:
-				break drain
 			}
-		}
-		if rc := flush(); rc != 0 {
-			return rc
+			if rc := flush(); rc != 0 {
+				return rc
+			}
 		}
 	}
 	if rc := flush(); rc != 0 {
@@ -620,13 +635,22 @@ func loadUnion(paths []string) (*probdedup.XRelation, error) {
 	return u, nil
 }
 
-// decodeAny sniffs the format: JSON (leading '{', distinguished by an
-// "xtuples" key), text xrelation, or text relation.
+// decodeAny sniffs the format: JSON (leading '{', distinguished by a
+// top-level "xtuples" key), text xrelation, or text relation. The JSON
+// probe decodes the document's top-level keys only, so a plain
+// relation whose string values happen to contain "xtuples" is not
+// misclassified.
 func decodeAny(data string) (*probdedup.XRelation, error) {
 	head := firstContentLine(data)
 	switch {
 	case strings.HasPrefix(head, "{"):
-		if strings.Contains(data, `"xtuples"`) {
+		var probe struct {
+			XTuples json.RawMessage `json:"xtuples"`
+		}
+		if err := json.Unmarshal([]byte(data), &probe); err != nil {
+			return nil, fmt.Errorf("json: %w", err)
+		}
+		if probe.XTuples != nil {
 			return probdedup.DecodeXRelationJSON(strings.NewReader(data))
 		}
 		r, err := probdedup.DecodeRelationJSON(strings.NewReader(data))
@@ -653,70 +677,4 @@ func firstContentLine(s string) string {
 		}
 	}
 	return ""
-}
-
-func compareByName(name string) (probdedup.CompareFunc, error) {
-	switch name {
-	case "hamming":
-		return probdedup.NormalizedHamming, nil
-	case "levenshtein":
-		return probdedup.Levenshtein, nil
-	case "damerau":
-		return probdedup.DamerauLevenshtein, nil
-	case "jaro":
-		return probdedup.Jaro, nil
-	case "jarowinkler":
-		return probdedup.JaroWinkler, nil
-	case "dice2":
-		return probdedup.QGramDice(2), nil
-	case "exact":
-		return probdedup.Exact, nil
-	}
-	return nil, fmt.Errorf("unknown comparison function %q", name)
-}
-
-func deriveByName(name string) (probdedup.Derivation, error) {
-	switch name {
-	case "similarity":
-		return probdedup.SimilarityBased{Conditioned: true}, nil
-	case "decision":
-		return probdedup.DecisionBased{Conditioned: true}, nil
-	case "eta":
-		return probdedup.ExpectedEta{Conditioned: true}, nil
-	case "mpw":
-		return probdedup.MostProbableWorldDerivation{Conditioned: true}, nil
-	case "max":
-		return probdedup.MaxSimDerivation{Conditioned: true}, nil
-	}
-	return nil, fmt.Errorf("unknown derivation %q", name)
-}
-
-func reductionByName(name string, def probdedup.KeyDef, window, kWorlds, kClusters int, seed int64) (probdedup.ReductionMethod, error) {
-	switch name {
-	case "snm-certain":
-		return probdedup.SNMCertain{Key: def, Window: window}, nil
-	case "snm-alternatives":
-		return probdedup.SNMAlternatives{Key: def, Window: window}, nil
-	case "snm-ranked":
-		return probdedup.SNMRanked{Key: def, Window: window}, nil
-	case "snm-ranked-median":
-		return probdedup.SNMRanked{Key: def, Window: window, Strategy: probdedup.MedianKeyStrategy}, nil
-	case "snm-multipass":
-		return probdedup.SNMMultiPass{Key: def, Window: window, Select: probdedup.TopWorlds, K: kWorlds}, nil
-	case "blocking-certain":
-		return probdedup.BlockingCertain{Key: def}, nil
-	case "blocking-alternatives":
-		return probdedup.BlockingAlternatives{Key: def}, nil
-	case "blocking-cluster":
-		return probdedup.BlockingCluster{Key: def, K: kClusters, Seed: seed}, nil
-	}
-	return nil, fmt.Errorf("unknown reduction %q", name)
-}
-
-func equalWeights(n int) []float64 {
-	w := make([]float64, n)
-	for i := range w {
-		w[i] = 1 / float64(n)
-	}
-	return w
 }

@@ -213,6 +213,34 @@ func TestDecodeAnySniffing(t *testing.T) {
 	if len(xr2.Tuples) != 3 {
 		t.Fatalf("json relation: %d tuples", len(xr2.Tuples))
 	}
+
+	// Adversarial: a plain relation whose string *value* contains
+	// "xtuples" must still decode as a relation — the sniff reads the
+	// top-level key, not the raw payload.
+	adversarial := `{"name":"r","schema":["note"],"tuples":[` +
+		`{"id":"a","p":1,"attrs":[[{"v":"contains \"xtuples\" in a value"}]]}]}`
+	xr3, err := decodeAny(adversarial)
+	if err != nil {
+		t.Fatalf("adversarial relation misclassified: %v", err)
+	}
+	if len(xr3.Tuples) != 1 {
+		t.Fatalf("adversarial relation: %d tuples", len(xr3.Tuples))
+	}
+
+	// And a real x-relation still sniffs as one.
+	var xjson bytes.Buffer
+	if err := probdedup.EncodeXRelationJSON(&xjson, paperdata.R3()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeAny(xjson.String()); err != nil {
+		t.Fatalf("xrelation json: %v", err)
+	}
+
+	// Malformed JSON fails up front with a json error, not a format
+	// guess.
+	if _, err := decodeAny(`{"name": `); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
 }
 
 func TestRunFollow(t *testing.T) {

@@ -1,0 +1,216 @@
+// Command pdedupd serves incremental duplicate detection over HTTP:
+// a long-lived daemon around N sharded online engines, fed over NDJSON
+// and observed over server-sent events.
+//
+// Usage:
+//
+//	pdedupd -addr 127.0.0.1:7333 -schema name,job -key 'name:3' [flags]
+//
+// Each arriving tuple is routed by its conflict-resolved blocking key
+// to one of -shards engine instances, so ingest, verification and
+// delta emission parallelize across shards while the union of the
+// per-shard results stays equivalent to a single-instance run (the
+// reduction must therefore be a blocking method; sorted-neighborhood
+// reductions are rejected at startup). With -state DIR every shard is
+// durable under DIR/shard-K and a restart recovers the full resident
+// state.
+//
+// Endpoints:
+//
+//	POST /v1/tuples    NDJSON stream (or any concatenation of JSON
+//	                   values): each item is either a tuple in the
+//	                   pdedup -follow wire form — {"id":"t1","alts":...}
+//	                   or {"id":"t1","p":1,"attrs":...} — or a removal
+//	                   {"remove":"t1"}. Items apply in order until the
+//	                   first failure; the JSON reply reports accepted
+//	                   and removed counts and, on failure, the 0-based
+//	                   failing item and its error. A full shard queue
+//	                   yields 429 with Retry-After; resend the items
+//	                   from the reported index. During shutdown the
+//	                   endpoint yields 503.
+//	GET  /v1/deltas    server-sent events: one "match" event per match
+//	                   delta ({"kind","a","b","sim","class","shard"}),
+//	                   then a final "end" event when the daemon drains
+//	                   or the subscriber falls behind. Unavailable with
+//	                   -integrate (the integrator consumes match
+//	                   deltas).
+//	GET  /v1/entities  server-sent events: one "event" per entity delta
+//	                   ({"event","id","members","from","shard"}); only
+//	                   with -integrate.
+//	GET  /v1/stats     aggregated and per-shard engine statistics.
+//
+// Backpressure: each shard owns a bounded admission queue (-queue).
+// Admission never blocks the HTTP handler — a full queue rejects with
+// 429 and the client retries — so slow verification on one hot shard
+// degrades that shard's ingest only. A subscriber that cannot keep up
+// with the delta stream is dropped (its stream ends) rather than
+// stalling shard workers.
+//
+// SIGINT/SIGTERM drain gracefully: new ingest is refused, every queued
+// operation is applied, durable shards checkpoint and release their
+// locks, every event stream ends, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"probdedup"
+	"probdedup/internal/cliopts"
+	"probdedup/internal/shard"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run executes the daemon; separated from main for testability. When
+// ready is non-nil it receives the bound listen address (useful with
+// -addr 127.0.0.1:0) once the listener is accepting.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("pdedupd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7333", "listen address (host:port; port 0 picks a free port)")
+		schemaSpec  = fs.String("schema", "", "comma-separated attribute names, e.g. 'name,job' (required)")
+		shards      = fs.Int("shards", 4, "number of shard engines")
+		queue       = fs.Int("queue", shard.DefaultQueueDepth, "per-shard admission queue depth (full queue rejects with 429)")
+		compareName = fs.String("compare", "hamming", "comparison function: hamming, levenshtein, damerau, jaro, jarowinkler, dice2, exact")
+		keySpec     = fs.String("key", "", "blocking key definition, e.g. 'name:3+job:2' (required)")
+		reduceName  = fs.String("reduce", "blocking-certain", "reduction method; must be shardable (blocking over certain keys)")
+		deriveName  = fs.String("derive", "similarity", "derivation: similarity, decision, eta, mpw, max")
+		lambda      = fs.Float64("lambda", 0.4, "threshold Tλ (below: non-match)")
+		mu          = fs.Float64("mu", 0.7, "threshold Tμ (above: match)")
+		altLambda   = fs.Float64("alt-lambda", 0.4, "per-alternative Tλ")
+		altMu       = fs.Float64("alt-mu", 0.7, "per-alternative Tμ")
+		workers     = fs.Int("workers", 1, "verification workers per shard")
+		preFilter   = fs.Bool("prefilter", false, "enable the symbol-plane candidate pre-filter per shard")
+		qgram       = fs.Int("qgram", 0, "gram size of the pre-filter's q-gram count filters (0 = 2)")
+		integrate   = fs.Bool("integrate", false, "fold match deltas into live entity sets; /v1/entities replaces /v1/deltas")
+		stateDir    = fs.String("state", "", "durable state directory; each shard persists under DIR/shard-K and recovers on restart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "pdedupd: unexpected arguments; all input arrives over POST /v1/tuples")
+		return 2
+	}
+	if *schemaSpec == "" {
+		fmt.Fprintln(stderr, "pdedupd: -schema is required")
+		return 2
+	}
+	if *keySpec == "" {
+		fmt.Fprintln(stderr, "pdedupd: -key is required (shard routing and blocking share the key)")
+		return 2
+	}
+	schema, err := cliopts.ParseSchema(*schemaSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd: -schema:", err)
+		return 2
+	}
+
+	cmp, err := cliopts.Compare(*compareName)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		return 1
+	}
+	compare := make([]probdedup.CompareFunc, len(schema))
+	for i := range compare {
+		compare[i] = cmp
+	}
+	opts := probdedup.Options{
+		Compare: compare,
+		AltModel: probdedup.WeightedSumModel{
+			Weights: cliopts.EqualWeights(len(schema)),
+			T:       probdedup.Thresholds{Lambda: *altLambda, Mu: *altMu},
+		},
+		Final:     probdedup.Thresholds{Lambda: *lambda, Mu: *mu},
+		Workers:   *workers,
+		PreFilter: *preFilter,
+		FilterQ:   *qgram,
+	}
+	opts.Derivation, err = cliopts.Derivation(*deriveName)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		return 1
+	}
+	def, err := probdedup.ParseKeyDef(*keySpec, schema)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		return 1
+	}
+	opts.Reduction, err = cliopts.Reduction(*reduceName, def, 3, 8, 0, 1)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		return 1
+	}
+
+	router, err := shard.Open(shard.Config{
+		Shards:     *shards,
+		Schema:     schema,
+		Opts:       opts,
+		Integrate:  *integrate,
+		StateDir:   *stateDir,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		return 1
+	}
+
+	srv := newServer(router, *integrate)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		router.Close()
+		return 1
+	}
+
+	// Register the handler before the address is announced so a test
+	// that connects the instant ready fires cannot race the signal
+	// plumbing.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "pdedupd: listening on %s (%d shards, schema %v)\n", ln.Addr(), *shards, schema)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "pdedupd: %v: draining\n", sig)
+		srv.draining.Store(true)
+		rc := 0
+		// Close the router before shutting the HTTP server down: Close
+		// drains every shard queue, checkpoints durable state, and closes
+		// the subscriber channels, which is what lets the long-lived SSE
+		// handlers finish — Shutdown waits for them.
+		if err := router.Close(); err != nil {
+			fmt.Fprintln(stderr, "pdedupd:", err)
+			rc = 1
+		}
+		if err := hs.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(stderr, "pdedupd:", err)
+			rc = 1
+		}
+		fmt.Fprintln(stdout, "pdedupd: drained")
+		return rc
+	case err := <-errc:
+		fmt.Fprintln(stderr, "pdedupd:", err)
+		router.Close()
+		return 1
+	}
+}

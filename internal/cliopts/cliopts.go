@@ -1,0 +1,104 @@
+// Package cliopts resolves the shared flag vocabulary of the pdedup
+// and pdedupd commands — comparison functions, derivation functions
+// and reduction methods by name, schema parsing, and the equal-weight
+// decision model — so both binaries accept the same spellings and an
+// option added for one is automatically available to the other.
+package cliopts
+
+import (
+	"fmt"
+	"strings"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/ssr"
+	"probdedup/internal/strsim"
+	"probdedup/internal/xmatch"
+)
+
+// Compare resolves a comparison-function name.
+func Compare(name string) (strsim.Func, error) {
+	switch name {
+	case "hamming":
+		return strsim.NormalizedHamming, nil
+	case "levenshtein":
+		return strsim.Levenshtein, nil
+	case "damerau":
+		return strsim.DamerauLevenshtein, nil
+	case "jaro":
+		return strsim.Jaro, nil
+	case "jarowinkler":
+		return strsim.JaroWinkler, nil
+	case "dice2":
+		return strsim.QGramDice(2), nil
+	case "exact":
+		return strsim.Exact, nil
+	}
+	return nil, fmt.Errorf("unknown comparison function %q", name)
+}
+
+// Derivation resolves a derivation-function name.
+func Derivation(name string) (xmatch.Derivation, error) {
+	switch name {
+	case "similarity":
+		return xmatch.SimilarityBased{Conditioned: true}, nil
+	case "decision":
+		return xmatch.DecisionBased{Conditioned: true}, nil
+	case "eta":
+		return xmatch.ExpectedEta{Conditioned: true}, nil
+	case "mpw":
+		return xmatch.MostProbableWorld{Conditioned: true}, nil
+	case "max":
+		return xmatch.MaxSim{Conditioned: true}, nil
+	}
+	return nil, fmt.Errorf("unknown derivation %q", name)
+}
+
+// Reduction resolves a reduction-method name against a parsed key
+// definition and the method-specific shape parameters.
+func Reduction(name string, def keys.Def, window, kWorlds, kClusters int, seed int64) (ssr.Method, error) {
+	switch name {
+	case "snm-certain":
+		return ssr.SNMCertain{Key: def, Window: window}, nil
+	case "snm-alternatives":
+		return ssr.SNMAlternatives{Key: def, Window: window}, nil
+	case "snm-ranked":
+		return ssr.SNMRanked{Key: def, Window: window}, nil
+	case "snm-ranked-median":
+		return ssr.SNMRanked{Key: def, Window: window, Strategy: ssr.MedianKey}, nil
+	case "snm-multipass":
+		return ssr.SNMMultiPass{Key: def, Window: window, Select: ssr.TopWorlds, K: kWorlds}, nil
+	case "blocking-certain":
+		return ssr.BlockingCertain{Key: def}, nil
+	case "blocking-alternatives":
+		return ssr.BlockingAlternatives{Key: def}, nil
+	case "blocking-cluster":
+		return ssr.BlockingCluster{Key: def, K: kClusters, Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("unknown reduction %q", name)
+}
+
+// EqualWeights is the default per-attribute weight vector of the
+// weighted-sum decision model: every attribute contributes equally.
+func EqualWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// ParseSchema splits a comma-separated attribute list, rejecting empty
+// names ("name,job" → ["name" "job"]).
+func ParseSchema(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty schema")
+	}
+	schema := strings.Split(spec, ",")
+	for i := range schema {
+		schema[i] = strings.TrimSpace(schema[i])
+		if schema[i] == "" {
+			return nil, fmt.Errorf("schema %q has an empty attribute name", spec)
+		}
+	}
+	return schema, nil
+}

@@ -1,0 +1,97 @@
+package cliopts
+
+import (
+	"math"
+	"testing"
+
+	"probdedup/internal/keys"
+	"probdedup/internal/ssr"
+)
+
+func TestCompareNames(t *testing.T) {
+	for _, name := range []string{"hamming", "levenshtein", "damerau", "jaro", "jarowinkler", "dice2", "exact"} {
+		fn, err := Compare(name)
+		if err != nil || fn == nil {
+			t.Errorf("Compare(%q) = (%v, %v)", name, fn, err)
+		}
+	}
+	if _, err := Compare("nope"); err == nil {
+		t.Error("Compare accepted an unknown name")
+	}
+}
+
+func TestDerivationNames(t *testing.T) {
+	for _, name := range []string{"similarity", "decision", "eta", "mpw", "max"} {
+		d, err := Derivation(name)
+		if err != nil || d == nil {
+			t.Errorf("Derivation(%q) = (%v, %v)", name, d, err)
+		}
+	}
+	if _, err := Derivation("nope"); err == nil {
+		t.Error("Derivation accepted an unknown name")
+	}
+}
+
+func TestReductionNames(t *testing.T) {
+	schema := []string{"name", "job"}
+	def, err := keys.ParseDef("name:3", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]string{
+		"snm-certain":           "snm-certain",
+		"snm-alternatives":      "snm-alternatives",
+		"snm-ranked":            "snm-ranked",
+		"snm-ranked-median":     "snm-ranked-median",
+		"snm-multipass":         "snm-multipass-top",
+		"blocking-certain":      "blocking-certain",
+		"blocking-alternatives": "blocking-alternatives",
+		"blocking-cluster":      "blocking-cluster",
+	} {
+		m, err := Reduction(name, def, 3, 8, 2, 1)
+		if err != nil {
+			t.Errorf("Reduction(%q): %v", name, err)
+			continue
+		}
+		if got := m.Name(); got != want {
+			t.Errorf("Reduction(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+	// The median spelling must actually install the median strategy.
+	m, err := Reduction("snm-ranked-median", def, 3, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := m.(ssr.SNMRanked); !ok || r.Strategy != ssr.MedianKey {
+		t.Errorf("snm-ranked-median did not set the median strategy: %#v", m)
+	}
+	if _, err := Reduction("nope", def, 3, 8, 2, 1); err == nil {
+		t.Error("Reduction accepted an unknown name")
+	}
+}
+
+func TestEqualWeights(t *testing.T) {
+	w := EqualWeights(4)
+	if len(w) != 4 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	schema, err := ParseSchema(" name , job ")
+	if err != nil || len(schema) != 2 || schema[0] != "name" || schema[1] != "job" {
+		t.Fatalf("ParseSchema = (%v, %v)", schema, err)
+	}
+	for _, bad := range []string{"", "  ", "name,,job", "name,"} {
+		if _, err := ParseSchema(bad); err == nil {
+			t.Errorf("ParseSchema(%q) accepted", bad)
+		}
+	}
+}

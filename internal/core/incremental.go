@@ -680,6 +680,20 @@ func (d *Detector) Resident(id string) (*pdb.XTuple, bool) {
 	return x, ok
 }
 
+// ResidentIDs returns the IDs of all resident tuples in sorted order.
+// Shard routers use it after durable recovery to rebuild their
+// ID-to-shard admission map from the engines themselves.
+func (d *Detector) ResidentIDs() []string {
+	d.mu.Lock()
+	ids := make([]string, 0, len(d.eng.byID))
+	for id := range d.eng.byID {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
 // Len returns the resident tuple count.
 func (d *Detector) Len() int {
 	d.mu.Lock()

@@ -586,6 +586,11 @@ func (ig *Integrator) Len() int {
 	return ig.det.Len()
 }
 
+// ResidentIDs returns the IDs of all resident tuples in sorted order.
+func (ig *Integrator) ResidentIDs() []string {
+	return ig.det.ResidentIDs()
+}
+
 // Stats summarizes the integrator's state and cumulative work.
 func (ig *Integrator) Stats() IntegratorStats {
 	det := ig.det.Stats()

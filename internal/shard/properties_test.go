@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"probdedup/internal/core"
+	"probdedup/internal/dataset"
+	"probdedup/internal/keys"
+	"probdedup/internal/pdb"
+	"probdedup/internal/resolve"
+	"probdedup/internal/ssr"
+)
+
+// TestShardEquivalence is the tentpole oath: for random schedules of
+// inserts, batches and removals, the union of the per-shard Flush
+// results and the merged match-delta stream equal a single-instance
+// Detector run on the same schedule — across shard counts and worker
+// counts. Runs under -race in CI.
+func TestShardEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				shards, workers, seed := shards, workers, seed
+				t.Run(fmt.Sprintf("n%d/w%d/seed%d", shards, workers, seed), func(t *testing.T) {
+					t.Parallel()
+					schema, ops := genSchedule(t, seed, 40)
+					opts := testOptions(t, schema, workers)
+
+					r := mustOpen(t, Config{Shards: shards, Schema: schema, Opts: opts})
+					events, cancel := r.SubscribeMatches(1 << 14)
+					defer cancel()
+					var (
+						got []core.MatchDelta
+						wg  sync.WaitGroup
+					)
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for ev := range events {
+							got = append(got, ev.Delta)
+						}
+					}()
+					for _, o := range ops {
+						routerApply(t, r, o)
+					}
+					res, err := r.Flush()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := r.Close(); err != nil {
+						t.Fatal(err)
+					}
+					wg.Wait()
+
+					wantRes, wantDeltas := singleRun(t, schema, opts, ops)
+					if canonResult(res) != canonResult(wantRes) {
+						t.Errorf("sharded flush union diverges from single instance\n--- sharded ---\n%s--- single ---\n%s",
+							canonResult(res), canonResult(wantRes))
+					}
+					if canonDeltas(got) != canonDeltas(wantDeltas) {
+						t.Errorf("merged delta stream diverges from single instance\n--- sharded ---\n%s\n--- single ---\n%s",
+							canonDeltas(got), canonDeltas(wantDeltas))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceConcurrentIngest drives the router from many
+// goroutines at once (the daemon's concurrent-clients shape) and
+// checks the final Flush against a single-instance run over the same
+// tuples — admission order is nondeterministic, but the exact tier's
+// Flush depends only on the resident set.
+func TestShardEquivalenceConcurrentIngest(t *testing.T) {
+	schema, ops := genSchedule(t, 7, 48)
+	var tuples []*pdb.XTuple
+	for _, o := range ops {
+		// Keep only arrivals: concurrent removal interleavings change
+		// the resident set, which is exactly what this variant holds
+		// fixed.
+		if o.add != nil {
+			tuples = append(tuples, o.add)
+		}
+		tuples = append(tuples, o.batch...)
+	}
+	opts := testOptions(t, schema, 4)
+	r := mustOpen(t, Config{Shards: 8, Schema: schema, Opts: opts})
+	const clients = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(tuples); i += clients {
+				if err := r.Ingest(tuples[i]); err != nil {
+					t.Errorf("ingest %s: %v", tuples[i].ID, err)
+					return
+				}
+			}
+		}(c)
+	}
+	// Concurrent introspection must be safe while clients push.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	res, err := r.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sched := make([]schedOp, len(tuples))
+	for i, x := range tuples {
+		sched[i] = schedOp{add: x}
+	}
+	want := singleResult(t, schema, opts, sched)
+	if canonResult(res) != canonResult(want) {
+		t.Fatalf("concurrent sharded flush diverges\n--- sharded ---\n%s--- single ---\n%s",
+			canonResult(res), canonResult(want))
+	}
+}
+
+// TestShardEquivalenceIntegrate extends the oath one layer up: in
+// integrate mode the union of per-shard resolutions (entities and
+// uncertain duplicates) and the merged entity-delta stream equal a
+// single resolve.Integrator fed the same schedule. The router drains
+// after every operation so both sides fold at the same granularity —
+// entity delta kinds (created vs merged) depend on it.
+func TestShardEquivalenceIntegrate(t *testing.T) {
+	for _, shards := range []int{2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("n%d", shards), func(t *testing.T) {
+			t.Parallel()
+			schema, ops := genSchedule(t, 11, 32)
+			ops = singlesOnly(ops)
+			opts := testOptions(t, schema, 2)
+
+			r := mustOpen(t, Config{Shards: shards, Schema: schema, Opts: opts, Integrate: true})
+			events, cancel := r.SubscribeEntities(1 << 14)
+			defer cancel()
+			var (
+				got []resolve.EntityDelta
+				wg  sync.WaitGroup
+			)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ev := range events {
+					got = append(got, ev.Delta)
+				}
+			}()
+			for _, o := range ops {
+				routerApply(t, r, o)
+				if err := r.Drain(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := r.FlushEntities()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+
+			ig, err := resolve.NewIntegrator(schema, opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []resolve.EntityDelta
+			ig2, err := resolve.NewIntegrator(schema, opts, func(ed resolve.EntityDelta) bool {
+				want = append(want, ed)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range ops {
+				var aerr error
+				switch {
+				case o.add != nil:
+					aerr = ig.Add(o.add)
+					if aerr == nil {
+						aerr = ig2.Add(o.add)
+					}
+				default:
+					aerr = ig.Remove(o.remove)
+					if aerr == nil {
+						aerr = ig2.Remove(o.remove)
+					}
+				}
+				if aerr != nil {
+					t.Fatal(aerr)
+				}
+			}
+			wantRes, err := ig.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if canonResolution(res) != canonResolution(wantRes) {
+				t.Errorf("sharded entity union diverges\n--- sharded ---\n%s--- single ---\n%s",
+					canonResolution(res), canonResolution(wantRes))
+			}
+			if canonEntityDeltas(got) != canonEntityDeltas(want) {
+				t.Errorf("merged entity-delta stream diverges\n--- sharded ---\n%s\n--- single ---\n%s",
+					canonEntityDeltas(got), canonEntityDeltas(want))
+			}
+		})
+	}
+}
+
+// singlesOnly flattens batches into single adds, so per-op draining
+// gives both sides identical fold granularity.
+func singlesOnly(ops []schedOp) []schedOp {
+	var out []schedOp
+	for _, o := range ops {
+		switch {
+		case o.batch != nil:
+			for _, x := range o.batch {
+				out = append(out, schedOp{add: x})
+			}
+		default:
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// canonResolution canonicalizes the entity-level view: the entity
+// partition with fused representations and the uncertain duplicates
+// with calibrated probabilities. Universe/Tuples are excluded — the
+// sharded union does not merge lineage universes.
+func canonResolution(r *resolve.Resolution) string {
+	var b strings.Builder
+	for _, e := range r.Entities {
+		fmt.Fprintf(&b, "entity %s members=%v tuple=%s\n", e.ID, e.Members, e.Tuple)
+	}
+	for _, ud := range r.Uncertain {
+		fmt.Fprintf(&b, "uncertain %s|%s sym=%s p=%.12f merged=%s\n", ud.A, ud.B, ud.Sym, ud.P, ud.Merged)
+	}
+	return b.String()
+}
+
+// canonEntityDeltas canonicalizes an entity-delta stream as a sorted
+// multiset.
+func canonEntityDeltas(deltas []resolve.EntityDelta) string {
+	lines := make([]string, len(deltas))
+	for i, ed := range deltas {
+		lines[i] = fmt.Sprintf("%s|%s|%v|from=%v", ed.Kind, ed.Entity.ID, ed.Entity.Members, ed.From)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestShardEquivalencePruned runs the oath once more with the pruned
+// composition (Filter over BlockingCertain) — pruning is block-local,
+// so sharding must still hold.
+func TestShardEquivalencePruned(t *testing.T) {
+	schema, ops := genSchedule(t, 3, 36)
+	opts := testOptions(t, schema, 1)
+	opts.Reduction = prunedBlocking(t, schema)
+	r := mustOpen(t, Config{Shards: 4, Schema: schema, Opts: opts})
+	for _, o := range ops {
+		routerApply(t, r, o)
+	}
+	res, err := r.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := singleResult(t, schema, opts, ops)
+	if canonResult(res) != canonResult(want) {
+		t.Fatalf("pruned sharded flush diverges\n--- sharded ---\n%s--- single ---\n%s",
+			canonResult(res), canonResult(want))
+	}
+}
+
+// prunedBlocking composes length pruning (on the name attribute) over
+// blocking — the shardable Filter composition.
+func prunedBlocking(tb testing.TB, schema []string) ssr.Method {
+	tb.Helper()
+	def, err := keys.ParseDef("name:3", schema)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ssr.NewFilter(ssr.BlockingCertain{Key: def}, ssr.Pruning{MaxDiff: map[int]int{0: 3}})
+}
+
+var _ = dataset.Schema // keep the corpus dependency explicit

@@ -425,6 +425,10 @@ func (d *DurableDetector) Len() int { return d.det.Len() }
 // Resident looks up a resident tuple by ID (see core.Detector.Resident).
 func (d *DurableDetector) Resident(id string) (*pdb.XTuple, bool) { return d.det.Resident(id) }
 
+// ResidentIDs returns the sorted resident tuple IDs (see
+// core.Detector.ResidentIDs).
+func (d *DurableDetector) ResidentIDs() []string { return d.det.ResidentIDs() }
+
 // DurableIntegrator is a resolve.Integrator with the same durability
 // contract as DurableDetector: WAL-logged operations, snapshot
 // checkpoints, and exact recovery of the live entity set.
@@ -470,3 +474,7 @@ func (d *DurableIntegrator) Stats() resolve.IntegratorStats { return d.ig.Stats(
 
 // Len reports the number of resident tuples.
 func (d *DurableIntegrator) Len() int { return d.ig.Len() }
+
+// ResidentIDs returns the sorted resident tuple IDs (see
+// core.Detector.ResidentIDs).
+func (d *DurableIntegrator) ResidentIDs() []string { return d.ig.ResidentIDs() }
